@@ -1,0 +1,101 @@
+"""A2 (ablation) — the security parameter k: buying probability with cluster size.
+
+Every guarantee in the paper holds "for k large enough" (clusters of
+``k log N`` nodes): Lemma 1's exceedance probability decays as
+``exp(-eps^2 tau k log N / 3)``, so doubling ``k`` squares the failure
+probability away, at the price of proportionally larger clusters and
+(since every primitive is quadratic-ish in the cluster size) a polynomially
+larger per-operation cost.
+
+This ablation sweeps ``k`` under identical churn and reports, for each value:
+the realised cluster size, the worst-corruption trajectory, the measured
+exceedance rate of the one-third line, the finite-size theory prediction
+(exact binomial tail), and the mean per-operation message cost — the
+probability-vs-cost trade-off a deployment would actually tune.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.analysis import ExperimentTable, summarize_fractions
+from repro.analysis.bounds import exact_binomial_tail, recommended_k
+from repro.workloads import UniformChurn, drive
+
+from common import bootstrap_engine, fresh_rng, run_once, scaled_parameters
+
+MAX_SIZE = 2048
+TAU = 0.15
+STEPS = 220
+K_VALUES = [1.5, 3.0, 6.0]
+CLUSTERS = 6
+
+
+def run_for_k(k: float, seed: int):
+    params = scaled_parameters(MAX_SIZE, tau=TAU, k=k)
+    initial = CLUSTERS * params.target_cluster_size
+    engine = bootstrap_engine(MAX_SIZE, initial, tau=TAU, k=k, seed=seed)
+    workload = UniformChurn(fresh_rng(seed + 1), byzantine_join_fraction=TAU)
+    drive(engine, workload, steps=STEPS)
+
+    worst = [report.worst_byzantine_fraction for report in engine.history]
+    summary = summarize_fractions(worst)
+    operation_messages = [report.operation.messages for report in engine.history]
+    return {
+        "k": k,
+        "cluster_size": params.target_cluster_size,
+        "summary": summary,
+        "tail": exact_binomial_tail(params.target_cluster_size, TAU, 1.0 / 3.0),
+        "mean_operation_cost": sum(operation_messages) / len(operation_messages),
+    }
+
+
+def run_experiment():
+    return [run_for_k(k, seed=950 + index) for index, k in enumerate(K_VALUES)]
+
+
+@pytest.mark.experiment("A2")
+def test_ablation_security_parameter(benchmark):
+    rows = run_once(benchmark, run_experiment)
+    table = ExperimentTable(
+        title=f"A2 ablation - security parameter k (tau={TAU}, {STEPS} churn steps)",
+        headers=[
+            "k",
+            "cluster size",
+            "mean worst",
+            "max worst",
+            "fraction of steps >= 1/3",
+            "binomial tail (theory)",
+            "mean msgs per operation",
+        ],
+    )
+    for row in rows:
+        summary = row["summary"]
+        table.add_row(
+            row["k"],
+            row["cluster_size"],
+            summary.mean,
+            summary.maximum,
+            summary.fraction_above_threshold,
+            row["tail"],
+            row["mean_operation_cost"],
+        )
+    suggested = recommended_k(MAX_SIZE, TAU, 0.5, failure_probability=1e-3, time_steps=STEPS)
+    table.add_note(
+        "Lemma 1's exceedance probability decays exponentially in k; the binomial-tail "
+        f"column is the per-exchange theory value at each cluster size.  recommended_k() "
+        f"suggests k ~ {suggested:.1f} for a 1e-3 failure budget over this run."
+    )
+    table.print()
+
+    # Exceedance rates and theory tails both decrease monotonically in k, while
+    # per-operation cost increases.
+    exceedance = [row["summary"].fraction_above_threshold for row in rows]
+    tails = [row["tail"] for row in rows]
+    costs = [row["mean_operation_cost"] for row in rows]
+    assert tails[0] > tails[1] > tails[2]
+    assert exceedance[2] <= exceedance[0] + 1e-9
+    assert exceedance[2] <= 0.02
+    assert costs[0] < costs[1] < costs[2]
+    # The largest-k run behaves like the theorem: essentially never above 1/3.
+    assert rows[2]["summary"].maximum < 0.40

@@ -1,0 +1,114 @@
+"""A3 (ablation) — walk modes: simulated biased CTRW vs the stationary-law oracle.
+
+DESIGN.md §5 documents the one simulation shortcut the long-churn experiments
+take: ``randCl`` can either simulate the biased CTRW hop by hop
+(``WalkMode.SIMULATED``) or draw the cluster directly from the walk's target
+distribution ``|C|/n`` while charging the expected walking cost
+(``WalkMode.ORACLE``).  E10 already shows the two endpoint distributions are
+statistically indistinguishable; this ablation closes the loop at the *system*
+level: it runs the same churn workload under both modes and compares
+
+* the corruption trajectories (they must agree statistically — the protocol's
+  safety cannot depend on which mode produced the samples), and
+* the charged communication costs (the oracle's expected-cost model must
+  track the simulated walk's measured cost),
+
+plus the wall-clock ratio, which is the reason the oracle mode exists.
+"""
+
+from __future__ import annotations
+
+import time
+
+import pytest
+
+from repro import EngineConfig
+from repro.analysis import ExperimentTable, summarize_fractions
+from repro.walks.sampler import WalkMode
+from repro.workloads import UniformChurn, drive
+
+from common import bootstrap_engine, fresh_rng, run_once
+
+MAX_SIZE = 2048
+INITIAL = 200
+TAU = 0.15
+STEPS = 150
+
+
+def run_mode(mode: WalkMode, seed: int):
+    engine = bootstrap_engine(
+        MAX_SIZE,
+        INITIAL,
+        tau=TAU,
+        seed=seed,
+        config=EngineConfig(walk_mode=mode),
+    )
+    workload = UniformChurn(fresh_rng(seed + 1), byzantine_join_fraction=TAU)
+    started = time.perf_counter()
+    drive(engine, workload, steps=STEPS)
+    elapsed = time.perf_counter() - started
+
+    worst = [report.worst_byzantine_fraction for report in engine.history]
+    operation_messages = [report.operation.messages for report in engine.history]
+    walk_hops = [report.operation.walk_hops for report in engine.history]
+    return {
+        "mode": mode.value,
+        "summary": summarize_fractions(worst),
+        "mean_operation_cost": sum(operation_messages) / len(operation_messages),
+        "mean_walk_hops": sum(walk_hops) / len(walk_hops),
+        "elapsed_seconds": elapsed,
+        "invariants": engine.check_invariants(check_honest_majority=False).holds,
+    }
+
+
+def run_experiment():
+    return {
+        "simulated": run_mode(WalkMode.SIMULATED, seed=970),
+        "oracle": run_mode(WalkMode.ORACLE, seed=970),
+    }
+
+
+@pytest.mark.experiment("A3")
+def test_ablation_walk_mode(benchmark):
+    result = run_once(benchmark, run_experiment)
+    table = ExperimentTable(
+        title=f"A3 ablation - simulated CTRW vs oracle sampling ({STEPS} churn steps)",
+        headers=[
+            "walk mode",
+            "mean worst corruption",
+            "max worst corruption",
+            "mean msgs per operation",
+            "mean walk hops per operation",
+            "wall-clock seconds",
+        ],
+    )
+    for key in ("simulated", "oracle"):
+        row = result[key]
+        summary = row["summary"]
+        table.add_row(
+            row["mode"],
+            summary.mean,
+            summary.maximum,
+            row["mean_operation_cost"],
+            row["mean_walk_hops"],
+            row["elapsed_seconds"],
+        )
+    table.add_note(
+        "The oracle mode draws from the walk's stationary law and charges its expected "
+        "cost; it must reproduce the simulated mode's safety behaviour and cost scale "
+        "(E10 checks the distributions directly), while running substantially faster - "
+        "that speed is why the long-churn benchmarks use it (DESIGN.md §5)."
+    )
+    table.print()
+
+    simulated = result["simulated"]
+    oracle = result["oracle"]
+    assert simulated["invariants"] and oracle["invariants"]
+    # Safety statistics agree within the Monte-Carlo noise of a 150-step run.
+    assert abs(simulated["summary"].mean - oracle["summary"].mean) < 0.06
+    assert abs(simulated["summary"].maximum - oracle["summary"].maximum) < 0.15
+    # The charged costs agree within a factor of two (same model, measured vs expected hops).
+    ratio = simulated["mean_operation_cost"] / max(1.0, oracle["mean_operation_cost"])
+    assert 0.5 < ratio < 2.0
+    hop_ratio = simulated["mean_walk_hops"] / max(1.0, oracle["mean_walk_hops"])
+    assert 0.4 < hop_ratio < 2.5

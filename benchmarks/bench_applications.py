@@ -1,0 +1,108 @@
+"""E8 — Applications (Section 6): broadcast O~(n) vs O(n^2); sampling polylog(n).
+
+Paper claims (conclusion): "A broadcast algorithm using our technique would
+have for instance O~(n) message complexity as compared to O(n^2) without the
+clustering.  Similarly, a sampling algorithm relying on our protocol would
+have a polylog(n) message complexity per sample."
+
+What we run: on maintained NOW systems of increasing current size ``n``,
+measure the per-broadcast and per-sample message cost of the clustered
+applications, next to the naive unclustered costs.  Shape checks: the
+clustered broadcast grows roughly linearly in ``n`` (fitted exponent near 1,
+far below the naive 2), the per-sample cost does not grow with ``n``
+(polylog in ``N`` only), and the cluster-level agreement service succeeds
+while being far cheaper than whole-network Phase King.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.analysis import ExperimentTable, fit_power_law
+from repro.apps import ClusterAgreementService, ClusteredBroadcast, SamplingService
+from repro.baselines import SingleClusterBaseline
+
+from common import bootstrap_engine, run_once
+
+MAX_SIZE = 16384
+SIZES = [200, 400, 800]
+SAMPLES_PER_SIZE = 20
+
+
+def run_for_size(current_size: int, seed: int):
+    engine = bootstrap_engine(MAX_SIZE, current_size, tau=0.1, seed=seed)
+    naive = SingleClusterBaseline()
+
+    broadcast_report = ClusteredBroadcast(engine).broadcast("payload")
+    sampler = SamplingService(engine)
+    samples = sampler.sample_many(SAMPLES_PER_SIZE)
+    agreement = ClusterAgreementService(engine).decide()
+    naive_agreement = naive.agreement_messages(current_size, fault_fraction=0.1)
+
+    return {
+        "n": current_size,
+        "clusters": engine.cluster_count,
+        "clustered_broadcast": broadcast_report.messages,
+        "naive_broadcast": naive.broadcast_messages(current_size),
+        "broadcast_coverage": broadcast_report.coverage(engine.cluster_count),
+        "sample_cost": SamplingService.average_cost(samples),
+        "cluster_agreement": agreement.physical_messages,
+        "naive_agreement": naive_agreement,
+        "agreement_ok": agreement.succeeded,
+    }
+
+
+def run_experiment():
+    return [run_for_size(size, seed=500 + index) for index, size in enumerate(SIZES)]
+
+
+@pytest.mark.experiment("E8")
+def test_application_costs(benchmark):
+    rows = run_once(benchmark, run_experiment)
+    table = ExperimentTable(
+        title=f"E8 applications on NOW (N={MAX_SIZE}) vs unclustered baselines",
+        headers=[
+            "n",
+            "#clusters",
+            "clustered broadcast msgs",
+            "naive broadcast msgs (n^2)",
+            "per-sample msgs",
+            "cluster agreement msgs",
+            "naive agreement msgs",
+        ],
+    )
+    for row in rows:
+        table.add_row(
+            row["n"],
+            row["clusters"],
+            row["clustered_broadcast"],
+            row["naive_broadcast"],
+            row["sample_cost"],
+            row["cluster_agreement"],
+            row["naive_agreement"],
+        )
+    sizes = [row["n"] for row in rows]
+    clustered_fit = fit_power_law(sizes, [row["clustered_broadcast"] for row in rows])
+    naive_fit = fit_power_law(sizes, [row["naive_broadcast"] for row in rows])
+    sample_fit = fit_power_law(sizes, [row["sample_cost"] for row in rows])
+    table.add_note(
+        f"Fitted exponents in n: clustered broadcast {clustered_fit.exponent:.2f} "
+        f"(naive {naive_fit.exponent:.2f}); per-sample cost {sample_fit.exponent:.2f} "
+        "(paper: O~(n) vs O(n^2) for broadcast, polylog(n) per sample). At these sizes "
+        "the polylog factors still dominate the absolute broadcast numbers; the exponent "
+        "gap is the reproducible shape."
+    )
+    table.print()
+
+    # Broadcast: every cluster reached, growth ~linear vs the naive quadratic.
+    assert all(row["broadcast_coverage"] == pytest.approx(1.0) for row in rows)
+    assert clustered_fit.exponent < 1.45
+    assert naive_fit.exponent > 1.9
+    # Sampling: per-sample cost grows at most polylogarithmically with n
+    # (the walk's log^2 n hop budget), far below any polynomial dependence.
+    assert sample_fit.exponent < 0.8
+    # Agreement among clusters succeeds and scales better than whole-network Phase King.
+    assert all(row["agreement_ok"] for row in rows)
+    agreement_fit = fit_power_law(sizes, [row["cluster_agreement"] for row in rows])
+    naive_agreement_fit = fit_power_law(sizes, [row["naive_agreement"] for row in rows])
+    assert agreement_fit.exponent < naive_agreement_fit.exponent

@@ -1,0 +1,168 @@
+"""E10 — CTRW uniformity and Lemma 1: the sampling assumption behind the analysis.
+
+Paper claims (Sections 3.1 and 4): the biased CTRW selects a cluster with
+probability ``|C| / n`` (equivalently, nodes uniformly), and the analysis may
+treat the walk's output as perfectly distributed because the residual bias
+after the chosen mixing time is ``O(n^-c)``.  Lemma 1 then states that a
+cluster that has exchanged all its nodes holds at most a ``tau (1 + eps)``
+fraction of Byzantine nodes whp.
+
+What we run:
+
+1. **Walk uniformity** — on a live overlay, compare the empirical endpoint
+   distribution of the *simulated* biased CTRW against the target ``|C|/n``
+   distribution and against the oracle sampler (total-variation distances).
+   This is also the experiment justifying the oracle walk mode used by the
+   long-churn benchmarks (DESIGN.md §5).
+2. **Lemma 1** — repeatedly force a full exchange of one cluster and compare
+   the post-exchange Byzantine fraction distribution against the binomial
+   model ``Bin(|C|, tau)`` (mean and exceedance rate of ``tau (1 + eps)``
+   versus the Chernoff/exact tails).
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.analysis import ExperimentTable, chernoff_cluster_tail
+from repro.analysis.bounds import exact_binomial_tail
+from repro.core.exchange import ExchangeProtocol
+from repro.core.randcl import RandCl
+from repro.walks.mixing import total_variation_distance
+from repro.walks.sampler import WalkMode
+
+from common import bootstrap_engine, run_once
+
+MAX_SIZE = 2048
+INITIAL = 220
+TAU = 0.15
+WALK_SAMPLES = 1200
+EXCHANGE_TRIALS = 120
+EPSILON = 0.5
+
+
+def run_walk_uniformity(seed: int):
+    engine = bootstrap_engine(MAX_SIZE, INITIAL, tau=TAU, seed=seed)
+    state = engine.state
+    randcl_simulated = RandCl(state, walk_mode=WalkMode.SIMULATED)
+    randcl_oracle = RandCl(state, walk_mode=WalkMode.ORACLE)
+    start = state.clusters.cluster_ids()[0]
+
+    target = {
+        cluster_id: len(state.clusters.get(cluster_id)) / state.network_size
+        for cluster_id in state.clusters.cluster_ids()
+    }
+    simulated_counts = {}
+    oracle_counts = {}
+    hops_total = 0
+    for _ in range(WALK_SAMPLES):
+        sim = randcl_simulated.select(start)
+        ora = randcl_oracle.select(start)
+        simulated_counts[sim.cluster_id] = simulated_counts.get(sim.cluster_id, 0) + 1
+        oracle_counts[ora.cluster_id] = oracle_counts.get(ora.cluster_id, 0) + 1
+        hops_total += sim.hops
+    simulated_dist = {key: value / WALK_SAMPLES for key, value in simulated_counts.items()}
+    oracle_dist = {key: value / WALK_SAMPLES for key, value in oracle_counts.items()}
+    return {
+        "tv_simulated_vs_target": total_variation_distance(simulated_dist, target),
+        "tv_oracle_vs_target": total_variation_distance(oracle_dist, target),
+        "tv_simulated_vs_oracle": total_variation_distance(simulated_dist, oracle_dist),
+        "mean_hops": hops_total / WALK_SAMPLES,
+        "cluster_count": engine.cluster_count,
+    }
+
+
+def run_lemma1(seed: int):
+    engine = bootstrap_engine(MAX_SIZE, INITIAL, tau=TAU, seed=seed)
+    state = engine.state
+    randcl = RandCl(state, walk_mode=WalkMode.ORACLE)
+    exchange = ExchangeProtocol(state, randcl)
+    target = state.clusters.cluster_ids()[0]
+    cluster_size = len(state.clusters.get(target))
+
+    fractions = []
+    exceedances = 0
+    threshold = TAU * (1.0 + EPSILON)
+    for _ in range(EXCHANGE_TRIALS):
+        exchange.exchange_all(target)
+        fraction = state.cluster_byzantine_fraction(target)
+        fractions.append(fraction)
+        if fraction > threshold:
+            exceedances += 1
+    return {
+        "cluster_size": cluster_size,
+        "mean_fraction": sum(fractions) / len(fractions),
+        "max_fraction": max(fractions),
+        "exceedance_rate": exceedances / EXCHANGE_TRIALS,
+        "chernoff_bound": chernoff_cluster_tail(cluster_size, TAU, EPSILON),
+        "exact_tail": exact_binomial_tail(cluster_size, TAU, threshold),
+    }
+
+
+def run_experiment():
+    return {"walks": run_walk_uniformity(seed=1001), "lemma1": run_lemma1(seed=1002)}
+
+
+@pytest.mark.experiment("E10")
+def test_ctrw_uniformity_and_lemma1(benchmark):
+    result = run_once(benchmark, run_experiment)
+    walks = result["walks"]
+    lemma = result["lemma1"]
+
+    walk_table = ExperimentTable(
+        title=f"E10a biased CTRW uniformity ({WALK_SAMPLES} walks, {walks['cluster_count']} clusters)",
+        headers=[
+            "TV(simulated, |C|/n)",
+            "TV(oracle, |C|/n)",
+            "TV(simulated, oracle)",
+            "mean hops per walk",
+        ],
+    )
+    walk_table.add_row(
+        walks["tv_simulated_vs_target"],
+        walks["tv_oracle_vs_target"],
+        walks["tv_simulated_vs_oracle"],
+        walks["mean_hops"],
+    )
+    walk_table.add_note(
+        "Paper (Section 4): the walk's endpoint distribution may be treated as the exact "
+        "|C|/n distribution; the residual TV distance here is sampling noise "
+        f"(~sqrt(#C / samples) = {(walks['cluster_count'] / WALK_SAMPLES) ** 0.5:.3f})."
+    )
+    walk_table.print()
+
+    lemma_table = ExperimentTable(
+        title=f"E10b Lemma 1 - cluster corruption right after a full exchange (tau={TAU})",
+        headers=[
+            "cluster size",
+            "mean fraction",
+            "max fraction",
+            f"P[fraction > tau(1+{EPSILON})] measured",
+            "exact binomial tail",
+            "Chernoff bound",
+        ],
+    )
+    lemma_table.add_row(
+        lemma["cluster_size"],
+        lemma["mean_fraction"],
+        lemma["max_fraction"],
+        lemma["exceedance_rate"],
+        lemma["exact_tail"],
+        lemma["chernoff_bound"],
+    )
+    lemma_table.add_note(
+        "Lemma 1: P[fraction > tau(1+eps)] <= exp(-eps^2 tau |C| / 3) after a full "
+        "exchange; the measured exceedance rate must sit at or below the exact binomial "
+        "tail (up to Monte-Carlo noise), which itself sits below the Chernoff bound."
+    )
+    lemma_table.print()
+
+    noise_floor = 3.0 * (walks["cluster_count"] / WALK_SAMPLES) ** 0.5
+    assert walks["tv_simulated_vs_target"] < noise_floor
+    assert walks["tv_simulated_vs_oracle"] < noise_floor
+    assert walks["mean_hops"] > 1.0
+
+    assert lemma["mean_fraction"] == pytest.approx(TAU, abs=0.06)
+    measurement_noise = 3.0 * (lemma["exact_tail"] / EXCHANGE_TRIALS) ** 0.5 + 0.03
+    assert lemma["exceedance_rate"] <= lemma["exact_tail"] + measurement_noise
+    assert lemma["exact_tail"] <= lemma["chernoff_bound"] + 1e-9

@@ -1,0 +1,91 @@
+"""E1 — Theorem 3: every cluster keeps an honest supermajority under long churn.
+
+Paper claim: "Whp, after a number of steps polynomial in N, at each time
+step, all clusters are composed of more than two thirds of honest nodes"
+(Theorem 3), provided ``tau <= 1/3 - eps`` and the security parameter ``k``
+is large enough.
+
+What we run: a NOW system with ``tau`` = 0.10 and 0.15 under sustained
+uniform churn (joins corrupted at rate ``tau``), recording the worst
+per-cluster Byzantine fraction at every time step.  The table reports the
+trajectory summary (mean / p99 / max) and the fraction of time steps on which
+any cluster reached one third, side by side with the Chernoff prediction of
+Lemma 1 for the configured cluster size.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.analysis import ExperimentTable, chernoff_cluster_tail, summarize_fractions
+from repro.analysis.bounds import exact_binomial_tail
+from repro.workloads import UniformChurn, drive
+
+from common import bootstrap_engine, fresh_rng, initial_size_for, run_once
+
+MAX_SIZE = 2048
+STEPS = 400
+
+
+def run_experiment(tau: float, seed: int):
+    engine = bootstrap_engine(
+        MAX_SIZE, initial_size_for(MAX_SIZE, clusters=7), tau=tau, seed=seed
+    )
+    workload = UniformChurn(fresh_rng(seed + 1), byzantine_join_fraction=tau)
+    drive(engine, workload, steps=STEPS)
+    worst = [report.worst_byzantine_fraction for report in engine.history]
+    summary = summarize_fractions(worst)
+    cluster_size = engine.parameters.target_cluster_size
+    return {
+        "tau": tau,
+        "summary": summary,
+        "cluster_size": cluster_size,
+        "chernoff": chernoff_cluster_tail(cluster_size, tau, 0.5),
+        "exact_tail": exact_binomial_tail(cluster_size, tau, 1.0 / 3.0),
+        "final_invariants": engine.check_invariants(check_honest_majority=False).holds,
+    }
+
+
+@pytest.mark.experiment("E1")
+@pytest.mark.parametrize("tau", [0.10, 0.15])
+def test_theorem3_honest_majority(benchmark, tau):
+    result = run_once(benchmark, lambda: run_experiment(tau, seed=int(tau * 100)))
+    table = ExperimentTable(
+        title=f"E1 Theorem 3 - worst per-cluster corruption over {STEPS} churn steps (tau={tau})",
+        headers=[
+            "tau",
+            "cluster size",
+            "mean worst",
+            "p99 worst",
+            "max worst",
+            "steps >= 1/3",
+            "fraction >= 1/3",
+            "per-exchange tail (exact)",
+        ],
+    )
+    summary = result["summary"]
+    table.add_row(
+        result["tau"],
+        result["cluster_size"],
+        summary.mean,
+        summary.p99,
+        summary.maximum,
+        summary.steps_above_threshold,
+        summary.fraction_above_threshold,
+        result["exact_tail"],
+    )
+    table.add_note(
+        "Paper: all clusters keep > 2/3 honest whp for k large enough; the exact "
+        "binomial tail column is the per-full-exchange exceedance probability at "
+        "this cluster size, i.e. the theory's own prediction of the residual rate."
+    )
+    table.print()
+
+    # Shape assertions: the typical corruption tracks tau (not 1/3), structural
+    # invariants hold, and exceedances are no more frequent than a generous
+    # multiple of the per-exchange theoretical tail.
+    assert result["final_invariants"]
+    assert summary.mean < 1.0 / 3.0
+    assert summary.p50 <= result["tau"] * 1.8 + 0.05
+    allowed = max(0.02, 25 * result["exact_tail"])
+    assert summary.fraction_above_threshold <= allowed

@@ -1,0 +1,73 @@
+"""Shared helpers for the benchmark/experiment harness.
+
+Every benchmark module reproduces one experiment row of EXPERIMENTS.md
+(mapped to a figure or quantitative claim of the paper in DESIGN.md §4).
+The helpers here keep the scenario construction consistent across benchmarks:
+the same parameter scaling, the same seeding discipline, and the same
+plain-text table output.
+
+Benchmarks are executed through pytest-benchmark (``pytest benchmarks/
+--benchmark-only``); each test wraps its experiment in ``benchmark.pedantic``
+with a single round — the interesting output is the experiment table printed
+to stdout plus the shape assertions, not a micro-benchmark timing.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Optional
+
+from repro import EngineConfig, NowEngine, default_parameters
+from repro.params import ProtocolParameters
+
+
+def scaled_parameters(max_size: int, tau: float = 0.15, k: float = 3.0) -> ProtocolParameters:
+    """Protocol parameters used across benchmarks, scaled to ``max_size``."""
+    return default_parameters(max_size=max_size, k=k, l=2.0, alpha=0.1, tau=tau, epsilon=0.05)
+
+
+def bootstrap_engine(
+    max_size: int,
+    initial_size: int,
+    tau: float = 0.15,
+    k: float = 3.0,
+    seed: int = 1,
+    config: Optional[EngineConfig] = None,
+) -> NowEngine:
+    """A NOW engine bootstrapped with the benchmark parameter scaling."""
+    params = scaled_parameters(max_size, tau=tau, k=k)
+    return NowEngine.bootstrap(
+        params,
+        initial_size=initial_size,
+        byzantine_fraction=tau,
+        seed=seed,
+        config=config,
+    )
+
+
+def initial_size_for(max_size: int, k: float = 3.0, clusters: int = 8) -> int:
+    """An initial population giving roughly ``clusters`` clusters at ``max_size`` scaling."""
+    params = scaled_parameters(max_size, k=k)
+    return max(2 * params.target_cluster_size, clusters * params.target_cluster_size)
+
+
+def sqrt_scaled_size(max_size: int, factor: float = 4.0, k: float = 3.0) -> int:
+    """An initial population of ``factor * sqrt(N)`` nodes (the paper's admissible band).
+
+    The cost sweeps (E2, E3, E5) need the *current* size ``n`` to scale with
+    the maximum size ``N`` — as the paper's model allows, ``n`` lives in
+    ``[sqrt(N), N]`` — otherwise the walk lengths and cluster counts stay
+    constant across the sweep and the measured exponents are meaningless.
+    """
+    params = scaled_parameters(max_size, k=k)
+    return max(3 * params.target_cluster_size, int(factor * max_size ** 0.5))
+
+
+def run_once(benchmark, func):
+    """Run ``func`` exactly once under pytest-benchmark and return its result."""
+    return benchmark.pedantic(func, rounds=1, iterations=1)
+
+
+def fresh_rng(seed: int) -> random.Random:
+    """Seeded RNG helper (keeps benchmark modules free of bare random.Random calls)."""
+    return random.Random(seed)

@@ -1,0 +1,19 @@
+"""Pytest configuration for the benchmark harness.
+
+Makes the ``benchmarks`` directory importable as a package root so the
+benchmark modules can share :mod:`common`, and registers a marker used to
+annotate the experiment each benchmark reproduces.
+"""
+
+from __future__ import annotations
+
+import os
+import sys
+
+sys.path.insert(0, os.path.dirname(__file__))
+
+
+def pytest_configure(config):
+    config.addinivalue_line(
+        "markers", "experiment(id): maps a benchmark to an experiment row in EXPERIMENTS.md"
+    )

@@ -1,0 +1,87 @@
+#!/usr/bin/env python3
+"""Attack comparison: the join–leave attack against NOW and two baselines.
+
+This example reproduces, at demo scale, the motivation of Section 3.3: an
+adversary that keeps re-inserting its nodes until they land in one target
+cluster captures that cluster unless the protocol shuffles nodes on every
+membership change.  We run the same attack (mixed with background churn)
+against:
+
+* NOW           — full ``exchange`` shuffling on every join and leave,
+* the cuckoo rule — constant-size eviction on joins only,
+* no shuffling  — nodes stay where they land.
+
+and print the corruption trajectory of the targeted cluster for each scheme.
+
+Run with::
+
+    python examples/attack_comparison.py
+"""
+
+from __future__ import annotations
+
+import random
+
+from repro import NowEngine, default_parameters
+from repro.adversary import JoinLeaveAttack
+from repro.analysis import format_table
+from repro.baselines import CuckooRuleEngine, NoShuffleEngine
+from repro.workloads import MixedDriver, UniformChurn
+
+MAX_SIZE = 4096
+INITIAL = 260
+TAU = 0.2
+STEPS = 240
+REPORT_EVERY = 40
+
+
+def run_attack(engine, label: str, seed: int):
+    """Drive the attack against ``engine`` and return its corruption trajectory."""
+    target = engine.state.clusters.cluster_ids()[0]
+    attack = JoinLeaveAttack(random.Random(seed), target_cluster=target)
+    background = UniformChurn(random.Random(seed + 1), byzantine_join_fraction=TAU)
+    driver = MixedDriver([(attack, 0.6), (background, 0.4)], random.Random(seed + 2))
+
+    trajectory = []
+    for step in range(1, STEPS + 1):
+        event = driver.next_event(engine)
+        if event is not None:
+            engine.apply_event(event)
+        if step % REPORT_EVERY == 0:
+            if target in engine.state.clusters:
+                fraction = engine.state.cluster_byzantine_fraction(target)
+            else:
+                fraction = engine.worst_cluster_fraction()
+            trajectory.append(fraction)
+    return label, trajectory
+
+
+def main() -> None:
+    params = default_parameters(max_size=MAX_SIZE, k=3.0, tau=TAU, epsilon=0.05)
+
+    now_engine = NowEngine.bootstrap(params, initial_size=INITIAL, seed=3)
+    cuckoo = CuckooRuleEngine.bootstrap(params, initial_size=INITIAL, byzantine_fraction=TAU, seed=3)
+    plain = NoShuffleEngine.bootstrap(params, initial_size=INITIAL, byzantine_fraction=TAU, seed=3)
+
+    results = [
+        run_attack(now_engine, "NOW (full exchange)", seed=100),
+        run_attack(cuckoo, "cuckoo rule", seed=100),
+        run_attack(plain, "no shuffling", seed=100),
+    ]
+
+    headers = ["scheme"] + [f"step {step}" for step in range(REPORT_EVERY, STEPS + 1, REPORT_EVERY)]
+    rows = [
+        [label] + [f"{fraction:.2f}" for fraction in trajectory]
+        for label, trajectory in results
+    ]
+    print(f"Corruption of the targeted cluster under a join-leave attack (tau={TAU})")
+    print(format_table(headers, rows))
+    print()
+    print("Reading: a value of 0.33 or more means the adversary holds a third of the")
+    print("targeted cluster (its majority-rule messages are no longer trustworthy at 0.5).")
+    print("NOW keeps the target near the global corruption level; without shuffling the")
+    print("same attack captures the cluster outright — the paper's Section 3.3 argument.")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,80 @@
+"""repro — reproduction of "Highly Dynamic Distributed Computing with Byzantine Failures".
+
+This library implements, in pure Python, the NOW (Neighbors On Watch)
+clustering protocol of Guerraoui, Huc and Kermarrec (PODC 2013) together with
+every substrate it relies on: the OVER expander overlay, continuous random
+walks, a synchronous message-level network simulator, a Byzantine agreement
+substrate for the initialization phase, adversary models, baseline schemes
+and the applications sketched in the paper's conclusion (broadcast, sampling,
+aggregation, agreement).
+
+Quick start::
+
+    from repro import NowEngine, default_parameters
+
+    params = default_parameters(max_size=4096, tau=0.25)
+    engine = NowEngine.bootstrap(params, initial_size=256, seed=7)
+    engine.join()                       # a node joins
+    engine.leave(engine.random_member())  # a node leaves
+    print(engine.worst_cluster_fraction())
+    print(engine.check_invariants().summary())
+
+See ``DESIGN.md`` for the system inventory and ``EXPERIMENTS.md`` for the
+reproduced claims.
+"""
+
+from .params import ProtocolParameters, default_parameters
+from .errors import (
+    AgreementError,
+    ClusterCompromisedError,
+    ConfigurationError,
+    NetworkSizeError,
+    ProtocolViolationError,
+    ReproError,
+    SimulationError,
+    UnknownClusterError,
+    UnknownNodeError,
+    WalkError,
+)
+from .core import (
+    ChurnEvent,
+    ChurnKind,
+    EngineConfig,
+    InitializationReport,
+    InvariantReport,
+    MaintenanceReport,
+    NowEngine,
+    NowInitializer,
+    SystemState,
+    check_invariants,
+)
+from .walks.sampler import WalkMode
+
+__version__ = "0.1.0"
+
+__all__ = [
+    "ProtocolParameters",
+    "default_parameters",
+    "ReproError",
+    "ConfigurationError",
+    "ProtocolViolationError",
+    "ClusterCompromisedError",
+    "UnknownNodeError",
+    "UnknownClusterError",
+    "NetworkSizeError",
+    "AgreementError",
+    "SimulationError",
+    "WalkError",
+    "ChurnEvent",
+    "ChurnKind",
+    "EngineConfig",
+    "InitializationReport",
+    "InvariantReport",
+    "MaintenanceReport",
+    "NowEngine",
+    "NowInitializer",
+    "SystemState",
+    "check_invariants",
+    "WalkMode",
+    "__version__",
+]

@@ -1,0 +1,37 @@
+"""Adversary models.
+
+The paper's adversary is *static* and *Byzantine*: before the protocol starts
+it corrupts a fraction ``tau <= 1/3 - eps`` of the nodes, it has full
+knowledge of the network at all times (it knows every node's cluster), and it
+drives churn — join–leave attacks with its own nodes, or forcing honest nodes
+out (e.g. through DoS).  It cannot corrupt additional nodes later (it may
+corrupt joining nodes at the moment they join), cannot forge identities and
+cannot tamper with channels.
+
+This package provides:
+
+* :mod:`repro.adversary.base`       — the adversary interface (an event
+  source with full knowledge of the engine's state),
+* :mod:`repro.adversary.strategies` — concrete attack strategies: the
+  join–leave (re-join until you land in the target) attack, the targeted
+  departure (DoS) attack, oblivious random churn by corrupted nodes, and an
+  adaptive-corruption comparison adversary that the protocol is *not*
+  designed to resist (used to show where the guarantees stop).
+"""
+
+from .base import Adversary, AdversaryContext
+from .strategies import (
+    AdaptiveCorruptionAdversary,
+    JoinLeaveAttack,
+    ObliviousChurnAdversary,
+    TargetedDosAdversary,
+)
+
+__all__ = [
+    "Adversary",
+    "AdversaryContext",
+    "JoinLeaveAttack",
+    "TargetedDosAdversary",
+    "ObliviousChurnAdversary",
+    "AdaptiveCorruptionAdversary",
+]

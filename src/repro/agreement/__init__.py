@@ -1,0 +1,41 @@
+"""Byzantine agreement substrate used by NOW's initialization phase.
+
+After the discovery algorithm has given every honest node the identifiers of
+all nodes, the paper runs an off-the-shelf Byzantine agreement protocol
+(it cites King et al. [19], complexity ``O~(n sqrt n)``, tolerating a static
+adversary below ``1/3 - eps``) to elect a *representative cluster* which then
+partitions the network.  This package provides:
+
+* :mod:`repro.agreement.interface`   — the protocol-agnostic agreement API,
+* :mod:`repro.agreement.broadcast`   — flooding broadcast over the knowledge
+  graph (used by discovery) and all-to-all exchange helpers,
+* :mod:`repro.agreement.phase_king`  — a fully executed Phase-King consensus
+  (message-level, synchronous, tolerates ``f < n/4``),
+* :mod:`repro.agreement.scalable`    — a calibrated model of the scalable
+  agreement of [19] (tolerates ``f < n/3``), used when the Byzantine fraction
+  exceeds Phase-King's threshold; see DESIGN.md §5 for the substitution note,
+* :mod:`repro.agreement.committee`   — representative-cluster election built
+  on either protocol.
+"""
+
+from .interface import AgreementOutcome, AgreementProtocol
+from .broadcast import FloodingBroadcast, flood_broadcast, all_to_all_exchange
+from .phase_king import PhaseKingConsensus, PhaseKingProcess
+from .reliable_broadcast import ReliableBroadcast, ReliableBroadcastOutcome
+from .scalable import ScalableAgreementModel
+from .committee import CommitteeElection, CommitteeResult
+
+__all__ = [
+    "AgreementOutcome",
+    "AgreementProtocol",
+    "FloodingBroadcast",
+    "flood_broadcast",
+    "all_to_all_exchange",
+    "PhaseKingConsensus",
+    "PhaseKingProcess",
+    "ReliableBroadcast",
+    "ReliableBroadcastOutcome",
+    "ScalableAgreementModel",
+    "CommitteeElection",
+    "CommitteeResult",
+]

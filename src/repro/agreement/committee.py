@@ -1,0 +1,117 @@
+"""Representative-cluster (committee) election for NOW's initialization.
+
+Once every honest node knows all identifiers (discovery) the paper elects a
+*representative cluster* of logarithmic size containing more than two thirds
+of honest nodes, which then orders the nodes at random and cuts the ordering
+into clusters.  The election reduces to one Byzantine agreement on a common
+random seed: all honest nodes derive the committee (and later the ordering)
+from the agreed seed with a deterministic pseudo-random permutation, so they
+all obtain the same committee.
+
+:class:`CommitteeElection` performs exactly that reduction on top of any
+:class:`~repro.agreement.interface.AgreementProtocol` — the executed
+Phase-King when the Byzantine fraction allows it, the calibrated scalable
+model otherwise.
+"""
+
+from __future__ import annotations
+
+import math
+import random
+from dataclasses import dataclass, field
+from typing import Dict, List, Mapping, Optional, Sequence, Set
+
+from ..errors import AgreementError
+from ..network.node import NodeId
+from ..rng import shuffled
+from .interface import AgreementOutcome, AgreementProtocol
+
+
+@dataclass
+class CommitteeResult:
+    """Outcome of the representative-cluster election."""
+
+    committee: List[NodeId]
+    seed: int
+    honest_fraction: float
+    outcome: AgreementOutcome
+    ordering: List[NodeId] = field(default_factory=list)
+
+    @property
+    def honest_supermajority(self) -> bool:
+        """Whether the committee contains more than two thirds of honest nodes."""
+        return self.honest_fraction > 2.0 / 3.0
+
+
+class CommitteeElection:
+    """Elects a representative cluster via agreement on a common random seed."""
+
+    def __init__(self, protocol: AgreementProtocol, rng: random.Random) -> None:
+        self._protocol = protocol
+        self._rng = rng
+
+    def elect(
+        self,
+        node_ids: Sequence[NodeId],
+        byzantine: Set[NodeId],
+        committee_size: int,
+    ) -> CommitteeResult:
+        """Elect a committee of ``committee_size`` nodes from ``node_ids``.
+
+        Every node proposes a locally drawn random seed; the agreement
+        protocol fixes one proposal (validity guarantees it comes from an
+        honest node when the adversary is below threshold); the committee is
+        the first ``committee_size`` elements of the seed-keyed pseudo-random
+        permutation of the identifiers.
+
+        Raises :class:`AgreementError` when agreement fails (which the paper's
+        assumptions exclude, but attack experiments deliberately provoke).
+        """
+        members = sorted(node_ids)
+        if not members:
+            raise AgreementError("cannot elect a committee from an empty node set")
+        if committee_size <= 0:
+            raise AgreementError("committee size must be positive")
+        committee_size = min(committee_size, len(members))
+
+        inputs: Dict[NodeId, int] = {}
+        for node_id in members:
+            if node_id in byzantine:
+                # The adversary proposes a seed of its choice; a fixed value is
+                # its best strategy against a uniformly keyed permutation.
+                inputs[node_id] = 0
+            else:
+                inputs[node_id] = self._rng.getrandbits(62)
+        outcome = self._protocol.decide(inputs, byzantine)
+        if not outcome.agreement or outcome.decided_value is None:
+            raise AgreementError("committee election failed: no agreement on the seed")
+
+        seed = int(outcome.decided_value)
+        ordering = self.ordering_from_seed(members, seed)
+        committee = ordering[:committee_size]
+        honest_count = sum(1 for node_id in committee if node_id not in byzantine)
+        return CommitteeResult(
+            committee=committee,
+            seed=seed,
+            honest_fraction=honest_count / len(committee),
+            outcome=outcome,
+            ordering=ordering,
+        )
+
+    @staticmethod
+    def ordering_from_seed(node_ids: Sequence[NodeId], seed: int) -> List[NodeId]:
+        """Deterministic pseudo-random permutation of ``node_ids`` keyed by ``seed``.
+
+        Every honest node computes the same permutation from the agreed seed,
+        which is how the representative cluster's random ordering is shared
+        without further communication.
+        """
+        ordering_rng = random.Random(seed)
+        return shuffled(ordering_rng, sorted(node_ids))
+
+    @staticmethod
+    def recommended_committee_size(total_nodes: int, k: float, log_base_value: float = 2.0) -> int:
+        """``k * log(n)`` committee size (the paper's logarithmic representative cluster)."""
+        if total_nodes <= 1:
+            return 1
+        return max(3, int(round(k * math.log(total_nodes, log_base_value))))

@@ -1,0 +1,237 @@
+"""Phase-King Byzantine consensus, executed message by message.
+
+Phase King (Berman, Garay, Perry) is a classic synchronous consensus protocol
+with ``f + 1`` phases of two rounds each and ``O(f * n^2)`` messages of
+constant size.  Its guarantees hold when ``n > 4f`` (Byzantine fraction below
+one quarter); above that, and up to the paper's ``1/3 - eps``, the
+initialization phase falls back to the calibrated model of King et al. [19]
+in :mod:`repro.agreement.scalable` (see DESIGN.md §5).
+
+The protocol, per phase ``k`` with designated king ``king_k``:
+
+* **Round 1** — every node sends its current value to every node; each node
+  computes the majority value among the values it received (its own included)
+  and that value's multiplicity.
+* **Round 2** — the king sends its majority value to every node.  Every node
+  keeps its own majority value if its multiplicity exceeded ``n/2 + f``;
+  otherwise it adopts the king's value.
+
+After ``f + 1`` phases at least one phase had an honest king, after which all
+honest nodes hold the same value and the decision rule never changes it.
+
+Byzantine behaviour is supplied as a *strategy* callable so attack
+experiments can plug in equivocation or silence; the default strategy
+equivocates, the classical worst case for majority-based protocols.  Every
+message is sent over a :class:`~repro.network.channels.ChannelSet`, so the
+counts reported in the outcome are measured, not estimated.
+"""
+
+from __future__ import annotations
+
+import random
+from collections import Counter
+from typing import Any, Callable, Dict, Mapping, Optional, Set
+
+from ..network.channels import ChannelSet
+from ..network.message import Message, MessageKind
+from ..network.metrics import CommunicationMetrics
+from ..network.node import NodeId
+from ..network.topology import KnowledgeGraph
+from .interface import (
+    AgreementOutcome,
+    AgreementProtocol,
+    check_agreement,
+    check_validity,
+)
+
+# A Byzantine strategy maps (byzantine_id, receiver_id, phase, round_index) to
+# the value to send, or None to stay silent for that receiver.
+ByzantineStrategy = Callable[[NodeId, NodeId, int, int], Optional[Any]]
+
+
+def equivocating_strategy(rng: random.Random) -> ByzantineStrategy:
+    """Classic equivocation: different binary values to different receivers, some silence."""
+
+    def strategy(sender: NodeId, receiver: NodeId, phase: int, round_index: int) -> Optional[Any]:
+        if rng.random() < 0.1:
+            return None
+        return (receiver + phase) % 2
+
+    return strategy
+
+
+def silent_strategy() -> ByzantineStrategy:
+    """Byzantine nodes that never send anything (crash-like behaviour)."""
+
+    def strategy(sender: NodeId, receiver: NodeId, phase: int, round_index: int) -> Optional[Any]:
+        return None
+
+    return strategy
+
+
+class PhaseKingProcess:
+    """Per-node state of one Phase-King participant (driven by the runner)."""
+
+    def __init__(self, node_id: NodeId, initial_value: Any, is_byzantine: bool) -> None:
+        self.node_id = node_id
+        self.value = initial_value
+        self.is_byzantine = is_byzantine
+        self.majority_value: Optional[Any] = None
+        self.majority_count: int = 0
+        self.king_value: Optional[Any] = None
+        self.decided_value: Optional[Any] = None
+
+    def compute_majority(self, received: Dict[NodeId, Any]) -> None:
+        """Tally round-1 values (own value included) and record the majority."""
+        values = list(received.values()) + [self.value]
+        counts = Counter(values)
+        self.majority_value, self.majority_count = counts.most_common(1)[0]
+
+    def apply_phase_rule(self, participant_count: int, fault_bound: int) -> None:
+        """End-of-phase update: keep own majority if strong enough, else follow the king."""
+        threshold = participant_count / 2.0 + fault_bound
+        if self.majority_count > threshold or self.king_value is None:
+            if self.majority_value is not None:
+                self.value = self.majority_value
+        else:
+            self.value = self.king_value
+
+
+class PhaseKingConsensus(AgreementProtocol):
+    """Runs Phase King over private channels for a given participant set."""
+
+    def __init__(
+        self,
+        rng: random.Random,
+        byzantine_strategy: Optional[ByzantineStrategy] = None,
+    ) -> None:
+        self._rng = rng
+        self._byzantine_strategy = (
+            byzantine_strategy if byzantine_strategy is not None else equivocating_strategy(rng)
+        )
+
+    def tolerated_fraction(self) -> float:
+        """Phase King requires ``n > 4f``."""
+        return 0.25
+
+    # ------------------------------------------------------------------
+    # Execution
+    # ------------------------------------------------------------------
+    def decide(
+        self,
+        inputs: Mapping[NodeId, Any],
+        byzantine: Set[NodeId],
+    ) -> AgreementOutcome:
+        participants = sorted(inputs)
+        if not participants:
+            return AgreementOutcome(agreement=True, validity=True)
+        fault_bound = len(byzantine)
+        knowledge = KnowledgeGraph()
+        knowledge.connect_clique(participants)
+        metrics = CommunicationMetrics()
+        channels = ChannelSet(knowledge, metrics=metrics)
+
+        processes = {
+            node_id: PhaseKingProcess(
+                node_id, initial_value=inputs[node_id], is_byzantine=node_id in byzantine
+            )
+            for node_id in participants
+        }
+
+        round_number = 0
+        for phase in range(1, fault_bound + 2):
+            king = participants[(phase - 1) % len(participants)]
+            # Round 1: all-to-all value exchange.
+            round_number += 1
+            metrics.charge_rounds(1, label="phase-king")
+            for process in processes.values():
+                self._send_to_all(
+                    channels, process, participants, phase, 1, process.value, round_number
+                )
+            channels.advance_round()
+            received_per_node = {
+                node_id: {
+                    message.sender: message.payload for message in channels.deliver(node_id)
+                }
+                for node_id in participants
+            }
+            for node_id, process in processes.items():
+                if not process.is_byzantine:
+                    process.compute_majority(received_per_node[node_id])
+                    process.king_value = None
+
+            # Round 2: the king broadcasts its majority value.
+            round_number += 1
+            metrics.charge_rounds(1, label="phase-king")
+            king_process = processes[king]
+            king_payload = (
+                king_process.majority_value
+                if king_process.majority_value is not None
+                else king_process.value
+            )
+            self._send_to_all(
+                channels, king_process, participants, phase, 2, king_payload, round_number
+            )
+            channels.advance_round()
+            for node_id in participants:
+                for message in channels.deliver(node_id):
+                    if message.sender == king:
+                        processes[node_id].king_value = message.payload
+
+            for process in processes.values():
+                if not process.is_byzantine:
+                    process.apply_phase_rule(len(participants), fault_bound)
+
+        decisions = {
+            node_id: process.value
+            for node_id, process in processes.items()
+            if not process.is_byzantine
+        }
+        honest_inputs = {
+            node_id: value for node_id, value in inputs.items() if node_id not in byzantine
+        }
+        agreement = check_agreement(decisions)
+        validity = check_validity(decisions, honest_inputs)
+        decided_value = next(iter(decisions.values()), None) if agreement else None
+        return AgreementOutcome(
+            decisions=decisions,
+            decided_value=decided_value,
+            agreement=agreement,
+            validity=validity,
+            messages=metrics.messages,
+            rounds=metrics.rounds,
+        )
+
+    # ------------------------------------------------------------------
+    # Internals
+    # ------------------------------------------------------------------
+    def _send_to_all(
+        self,
+        channels: ChannelSet,
+        process: PhaseKingProcess,
+        participants,
+        phase: int,
+        round_index: int,
+        honest_value: Any,
+        round_number: int,
+    ) -> None:
+        for receiver in participants:
+            if receiver == process.node_id:
+                continue
+            if process.is_byzantine:
+                value = self._byzantine_strategy(process.node_id, receiver, phase, round_index)
+                if value is None:
+                    continue
+            else:
+                value = honest_value
+            channels.send(
+                Message(
+                    sender=process.node_id,
+                    receiver=receiver,
+                    kind=MessageKind.AGREEMENT,
+                    topic=f"phase-king:p{phase}r{round_index}",
+                    payload=value,
+                ),
+                round_number=round_number,
+                label="phase-king",
+            )

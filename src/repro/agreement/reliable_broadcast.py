@@ -1,0 +1,244 @@
+"""Bracha-style reliable broadcast over the round simulator.
+
+The cluster-internal steps of NOW repeatedly need a primitive by which one
+member disseminates a value to its cluster such that all honest members
+deliver the *same* value even if the sender is Byzantine (e.g. announcing the
+node to be exchanged, or the outcome of a ``randNum`` instance).  In the
+paper this is implicit in the "identical message from more than half of the
+nodes" rule; the executable counterpart in the classic synchronous setting
+with ``n > 3f`` is Bracha's echo broadcast:
+
+* **send**  — the sender sends ``(SEND, v)`` to every member;
+* **echo**  — on receiving the first SEND, a member echoes ``(ECHO, v)`` to
+  everyone;
+* **ready** — on receiving ``ECHO`` for the same ``v`` from more than
+  ``(n + f) / 2`` members, or ``READY`` from ``f + 1`` members, a member
+  sends ``(READY, v)``;
+* **deliver** — on receiving ``READY`` for ``v`` from ``2f + 1`` members, a
+  member delivers ``v``.
+
+The implementation runs message by message on the
+:class:`~repro.network.simulator.RoundSimulator` and therefore measures its
+own cost (``O(n^2)`` messages, a constant number of rounds), which is the
+figure charged for intra-cluster announcements in the maintenance-phase cost
+model.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass, field
+from typing import Any, Callable, Dict, Iterable, List, Optional, Set
+
+from ..network.message import Message, MessageKind
+from ..network.metrics import CommunicationMetrics
+from ..network.node import NodeDescriptor, NodeId, NodeProcess, NodeRole
+from ..network.simulator import RoundSimulator
+from ..network.topology import KnowledgeGraph
+
+# A Byzantine sender strategy maps the receiver id to the value sent to it
+# (None = stay silent towards that receiver).
+SenderStrategy = Callable[[NodeId], Optional[Any]]
+
+
+@dataclass
+class ReliableBroadcastOutcome:
+    """Result of one reliable-broadcast instance."""
+
+    delivered: Dict[NodeId, Any] = field(default_factory=dict)
+    messages: int = 0
+    rounds: int = 0
+
+    @property
+    def consistent(self) -> bool:
+        """Whether every delivering honest node delivered the same value."""
+        values = list(self.delivered.values())
+        return all(value == values[0] for value in values[1:]) if values else True
+
+    @property
+    def delivered_value(self) -> Optional[Any]:
+        """The common delivered value (``None`` when nothing was delivered)."""
+        if not self.delivered or not self.consistent:
+            return None
+        return next(iter(self.delivered.values()))
+
+
+class _BrachaProcess(NodeProcess):
+    """Per-node state machine of the echo broadcast."""
+
+    def __init__(
+        self,
+        descriptor: NodeDescriptor,
+        participants: List[NodeId],
+        sender: NodeId,
+        fault_bound: int,
+        value: Optional[Any] = None,
+        sender_strategy: Optional[SenderStrategy] = None,
+    ) -> None:
+        super().__init__(descriptor)
+        self.participants = participants
+        self.sender = sender
+        self.fault_bound = fault_bound
+        self.value = value
+        self.sender_strategy = sender_strategy
+        self.delivered: Optional[Any] = None
+        self._echoed = False
+        self._readied = False
+        self._echo_counts: Dict[Any, Set[NodeId]] = {}
+        self._ready_counts: Dict[Any, Set[NodeId]] = {}
+
+    # ------------------------------------------------------------------
+    # Helpers
+    # ------------------------------------------------------------------
+    def _everyone(self, topic: str, payload: Any) -> Iterable[Message]:
+        for receiver in self.participants:
+            if receiver == self.node_id:
+                continue
+            yield Message(
+                sender=self.node_id,
+                receiver=receiver,
+                kind=MessageKind.AGREEMENT,
+                topic=topic,
+                payload=payload,
+            )
+
+    @property
+    def _n(self) -> int:
+        return len(self.participants)
+
+    # ------------------------------------------------------------------
+    # Hooks
+    # ------------------------------------------------------------------
+    def on_start(self) -> Iterable[Message]:
+        if self.node_id != self.sender:
+            return ()
+        if self.descriptor.is_byzantine and self.sender_strategy is not None:
+            messages = []
+            for receiver in self.participants:
+                if receiver == self.node_id:
+                    continue
+                forged = self.sender_strategy(receiver)
+                if forged is None:
+                    continue
+                messages.append(
+                    Message(
+                        sender=self.node_id,
+                        receiver=receiver,
+                        kind=MessageKind.AGREEMENT,
+                        topic="rb:send",
+                        payload=forged,
+                    )
+                )
+            return messages
+        # An honest sender immediately echoes its own value (it trivially
+        # "received" its own SEND), so it participates in the echo quorum.
+        self._echoed = True
+        self._echo_counts.setdefault(self.value, set()).add(self.node_id)
+        return list(self._everyone("rb:send", self.value)) + list(
+            self._everyone("rb:echo", self.value)
+        )
+
+    def on_message(self, message: Message, round_number: int) -> Iterable[Message]:
+        if self.descriptor.is_byzantine:
+            # A Byzantine non-sender's strongest play against consistency is
+            # silence (it cannot forge enough ECHO/READY weight below n > 3f).
+            return ()
+        out: List[Message] = []
+        if message.topic == "rb:send" and message.sender == self.sender and not self._echoed:
+            self._echoed = True
+            # A node counts its own echo (it trivially agrees with itself).
+            self._echo_counts.setdefault(message.payload, set()).add(self.node_id)
+            out.extend(self._everyone("rb:echo", message.payload))
+        elif message.topic == "rb:echo":
+            supporters = self._echo_counts.setdefault(message.payload, set())
+            supporters.add(message.sender)
+            if not self._readied and len(supporters) > (self._n + self.fault_bound) / 2:
+                self._readied = True
+                self._ready_counts.setdefault(message.payload, set()).add(self.node_id)
+                out.extend(self._everyone("rb:ready", message.payload))
+        elif message.topic == "rb:ready":
+            supporters = self._ready_counts.setdefault(message.payload, set())
+            supporters.add(message.sender)
+            if not self._readied and len(supporters) >= self.fault_bound + 1:
+                self._readied = True
+                supporters.add(self.node_id)
+                out.extend(self._everyone("rb:ready", message.payload))
+            if self.delivered is None and len(supporters) >= 2 * self.fault_bound + 1:
+                self.delivered = message.payload
+        return out
+
+
+class ReliableBroadcast:
+    """Runs Bracha's echo broadcast among a set of participants."""
+
+    def __init__(self, rng: Optional[random.Random] = None) -> None:
+        self._rng = rng if rng is not None else random.Random(0)
+
+    def broadcast(
+        self,
+        participants: Iterable[NodeId],
+        sender: NodeId,
+        value: Any,
+        byzantine: Iterable[NodeId] = (),
+        sender_strategy: Optional[SenderStrategy] = None,
+        max_rounds: int = 12,
+    ) -> ReliableBroadcastOutcome:
+        """Broadcast ``value`` from ``sender`` to ``participants``.
+
+        ``byzantine`` marks adversary-controlled members; when the sender is
+        among them, ``sender_strategy`` defines what it sends to whom (the
+        default equivocates between two values).  Returns the per-honest-node
+        delivered values plus the measured message and round counts.
+        """
+        members = sorted(set(participants))
+        if sender not in members:
+            raise ValueError("the sender must be one of the participants")
+        byzantine_set = set(byzantine) & set(members)
+        fault_bound = len(byzantine_set)
+        if sender_strategy is None and sender in byzantine_set:
+            sender_strategy = self.equivocating_sender(value)
+
+        knowledge = KnowledgeGraph()
+        knowledge.connect_clique(members)
+        metrics = CommunicationMetrics()
+        simulator = RoundSimulator(knowledge=knowledge, metrics=metrics)
+        processes: Dict[NodeId, _BrachaProcess] = {}
+        for node_id in members:
+            role = NodeRole.BYZANTINE if node_id in byzantine_set else NodeRole.HONEST
+            process = _BrachaProcess(
+                NodeDescriptor(node_id=node_id, role=role),
+                participants=members,
+                sender=sender,
+                fault_bound=fault_bound,
+                value=value if node_id == sender else None,
+                sender_strategy=sender_strategy,
+            )
+            processes[node_id] = process
+            simulator.add_process(process)
+
+        simulator.start()
+        simulator.run(
+            max_rounds,
+            stop_when=lambda _sim: all(
+                proc.delivered is not None
+                for node_id, proc in processes.items()
+                if node_id not in byzantine_set
+            ),
+        )
+        delivered = {
+            node_id: process.delivered
+            for node_id, process in processes.items()
+            if node_id not in byzantine_set and process.delivered is not None
+        }
+        return ReliableBroadcastOutcome(
+            delivered=delivered, messages=metrics.messages, rounds=metrics.rounds
+        )
+
+    @staticmethod
+    def equivocating_sender(value: Any) -> SenderStrategy:
+        """A Byzantine sender that sends ``value`` to half the nodes and a fake to the rest."""
+
+        def strategy(receiver: NodeId) -> Optional[Any]:
+            return value if receiver % 2 == 0 else ("forged", value)
+
+        return strategy

@@ -1,0 +1,80 @@
+"""Plain-text experiment tables.
+
+Benchmarks print the rows they measured in the same shape the paper states
+its claims (one row per system size, per operation, per scheme...).  The
+helpers here render aligned ASCII tables and accumulate rows into an
+:class:`ExperimentTable` that the benchmark harness prints at the end of a
+run and that EXPERIMENTS.md quotes.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Iterable, List, Sequence
+
+
+def _format_cell(value) -> str:
+    if isinstance(value, bool):
+        return "yes" if value else "no"
+    if isinstance(value, float):
+        if value == 0:
+            return "0"
+        magnitude = abs(value)
+        if magnitude >= 1e6 or magnitude < 1e-3:
+            return f"{value:.3e}"
+        return f"{value:.4g}"
+    return str(value)
+
+
+def format_table(headers: Sequence[str], rows: Iterable[Sequence]) -> str:
+    """Render ``headers`` and ``rows`` as an aligned plain-text table."""
+    header_cells = [str(header) for header in headers]
+    body = [[_format_cell(cell) for cell in row] for row in rows]
+    widths = [len(cell) for cell in header_cells]
+    for row in body:
+        for index, cell in enumerate(row):
+            if index >= len(widths):
+                widths.append(len(cell))
+            else:
+                widths[index] = max(widths[index], len(cell))
+    def render_row(cells: Sequence[str]) -> str:
+        padded = [cell.ljust(widths[index]) for index, cell in enumerate(cells)]
+        return "| " + " | ".join(padded) + " |"
+
+    separator = "|-" + "-|-".join("-" * width for width in widths) + "-|"
+    lines = [render_row(header_cells), separator]
+    lines.extend(render_row(row) for row in body)
+    return "\n".join(lines)
+
+
+@dataclass
+class ExperimentTable:
+    """A named table accumulated row by row during a benchmark run."""
+
+    title: str
+    headers: Sequence[str]
+    rows: List[Sequence] = field(default_factory=list)
+    notes: List[str] = field(default_factory=list)
+
+    def add_row(self, *cells) -> None:
+        """Append one row (cells in header order)."""
+        if len(cells) != len(self.headers):
+            raise ValueError(
+                f"row has {len(cells)} cells but the table has {len(self.headers)} columns"
+            )
+        self.rows.append(list(cells))
+
+    def add_note(self, note: str) -> None:
+        """Attach a free-form note printed under the table."""
+        self.notes.append(note)
+
+    def render(self) -> str:
+        """Render the title, table and notes as printable text."""
+        parts = [f"== {self.title} ==", format_table(self.headers, self.rows)]
+        for note in self.notes:
+            parts.append(f"  note: {note}")
+        return "\n".join(parts)
+
+    def print(self) -> None:
+        """Print the rendered table to stdout (benchmarks call this at the end)."""
+        print("\n" + self.render() + "\n")

@@ -1,0 +1,117 @@
+"""Trajectory statistics for corruption fractions and cost series.
+
+Long churn experiments produce per-time-step histories (worst cluster
+corruption, cluster counts, operation costs).  The helpers here condense them
+into the quantities the experiment tables report: maxima, means, quantiles,
+exceedance counts and the fraction of time above a threshold.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Dict, Iterable, List, Sequence
+
+
+@dataclass(frozen=True)
+class TrajectorySummary:
+    """Summary statistics of a scalar time series."""
+
+    count: int
+    mean: float
+    minimum: float
+    maximum: float
+    p50: float
+    p90: float
+    p99: float
+    threshold: float
+    steps_above_threshold: int
+    fraction_above_threshold: float
+
+    def as_dict(self) -> Dict[str, float]:
+        """Plain-dict view (used when rendering tables)."""
+        return {
+            "count": self.count,
+            "mean": self.mean,
+            "min": self.minimum,
+            "max": self.maximum,
+            "p50": self.p50,
+            "p90": self.p90,
+            "p99": self.p99,
+            "threshold": self.threshold,
+            "steps_above": self.steps_above_threshold,
+            "fraction_above": self.fraction_above_threshold,
+        }
+
+
+def quantile(sorted_values: Sequence[float], q: float) -> float:
+    """Linear-interpolation quantile of an already sorted sequence."""
+    if not sorted_values:
+        return float("nan")
+    if len(sorted_values) == 1:
+        return float(sorted_values[0])
+    q = min(1.0, max(0.0, q))
+    position = q * (len(sorted_values) - 1)
+    low = int(math.floor(position))
+    high = int(math.ceil(position))
+    if low == high:
+        return float(sorted_values[low])
+    weight = position - low
+    return float(sorted_values[low] * (1.0 - weight) + sorted_values[high] * weight)
+
+
+def summarize_values(values: Iterable[float], threshold: float = float("inf")) -> TrajectorySummary:
+    """Summarise an arbitrary scalar series with an exceedance threshold."""
+    series: List[float] = [float(value) for value in values]
+    if not series:
+        return TrajectorySummary(
+            count=0,
+            mean=0.0,
+            minimum=0.0,
+            maximum=0.0,
+            p50=0.0,
+            p90=0.0,
+            p99=0.0,
+            threshold=threshold,
+            steps_above_threshold=0,
+            fraction_above_threshold=0.0,
+        )
+    ordered = sorted(series)
+    above = sum(1 for value in series if value >= threshold)
+    return TrajectorySummary(
+        count=len(series),
+        mean=sum(series) / len(series),
+        minimum=ordered[0],
+        maximum=ordered[-1],
+        p50=quantile(ordered, 0.50),
+        p90=quantile(ordered, 0.90),
+        p99=quantile(ordered, 0.99),
+        threshold=threshold,
+        steps_above_threshold=above,
+        fraction_above_threshold=above / len(series),
+    )
+
+
+def summarize_fractions(
+    fractions: Iterable[float], threshold: float = 1.0 / 3.0
+) -> TrajectorySummary:
+    """Summarise a corruption-fraction trajectory against the one-third threshold."""
+    return summarize_values(fractions, threshold=threshold)
+
+
+def longest_run_above(values: Iterable[float], threshold: float) -> int:
+    """Length of the longest consecutive stretch at or above ``threshold``.
+
+    Lemma 3 predicts that excursions above ``tau (1 + eps/2)`` are repaired
+    within ``O(log N)`` exchanges; this statistic measures the observed
+    excursion lengths.
+    """
+    longest = 0
+    current = 0
+    for value in values:
+        if value >= threshold:
+            current += 1
+            longest = max(longest, current)
+        else:
+            current = 0
+    return longest

@@ -1,0 +1,32 @@
+"""Applications built on the NOW clustering (Section 6).
+
+The paper's conclusion claims the clustering "can be leveraged to implement
+efficient and robust algorithms for various problems such as broadcast,
+agreement, aggregation, and sampling": broadcast drops from ``O(n^2)`` to
+``O~(n)`` messages and sampling costs ``polylog(n)`` messages per sample.
+This package implements those four services on top of a maintained
+:class:`~repro.core.engine.NowEngine` so experiment E8 can measure the gap
+against the unclustered baseline:
+
+* :class:`ClusteredBroadcast`   — cluster-level flooding over the overlay,
+* :class:`SamplingService`      — uniform node sampling via ``randCl`` + ``randNum``,
+* :class:`AggregationService`   — convergecast over a cluster-level spanning tree,
+* :class:`ClusterAgreementService` — agreement among clusters (each cluster
+  acting as one reliable process).
+"""
+
+from .broadcast import BroadcastReport, ClusteredBroadcast
+from .sampling import SampleReport, SamplingService
+from .aggregation import AggregateReport, AggregationService
+from .agreement_service import ClusterAgreementReport, ClusterAgreementService
+
+__all__ = [
+    "ClusteredBroadcast",
+    "BroadcastReport",
+    "SamplingService",
+    "SampleReport",
+    "AggregationService",
+    "AggregateReport",
+    "ClusterAgreementService",
+    "ClusterAgreementReport",
+]

@@ -1,0 +1,105 @@
+"""Clustered broadcast: ``O~(n)`` messages instead of ``O(n^2)``.
+
+A value originating in one cluster is flooded over the overlay at cluster
+granularity: each cluster that has accepted the value forwards it once to
+every neighbouring cluster it has not yet heard from, using the
+majority-validated inter-cluster channel.  Every node of a cluster receives
+the value as part of the intra-cluster delivery, so total cost is
+
+    sum over traversed overlay edges of |C| * |C'|  +  intra-cluster delivery,
+
+which is ``O(#C * max_degree * log^2 N) = O~(n)`` given Properties 1–2 —
+the conclusion's claim.  Clusters whose Byzantine fraction reaches one half
+can refuse to forward (or forward a forged value); the report records which
+clusters received the honest value so robustness experiments can measure
+coverage under partial compromise.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from dataclasses import dataclass, field
+from typing import Any, Dict, List, Optional, Set
+
+from ..core.cluster import ClusterId
+from ..core.engine import NowEngine
+from ..core.intercluster import InterClusterChannel
+from ..network.message import MessageKind
+from ..network.metrics import CommunicationMetrics
+
+
+@dataclass
+class BroadcastReport:
+    """Outcome of one clustered broadcast."""
+
+    origin_cluster: ClusterId
+    payload: Any
+    messages: int
+    rounds: int
+    clusters_reached: Set[ClusterId] = field(default_factory=set)
+    nodes_reached: int = 0
+    forged_deliveries: int = 0
+
+    def coverage(self, total_clusters: int) -> float:
+        """Fraction of clusters that accepted the honest payload."""
+        if total_clusters <= 0:
+            return 0.0
+        return len(self.clusters_reached) / total_clusters
+
+
+class ClusteredBroadcast:
+    """Flooding broadcast at cluster granularity over the OVER overlay."""
+
+    def __init__(self, engine: NowEngine, metrics: Optional[CommunicationMetrics] = None) -> None:
+        self._engine = engine
+        self._metrics = (
+            metrics if metrics is not None else engine.metrics.scope("app-broadcast")
+        )
+        self._channel = InterClusterChannel(engine.state, metrics=self._metrics)
+
+    def broadcast(self, payload: Any, origin_cluster: Optional[ClusterId] = None) -> BroadcastReport:
+        """Flood ``payload`` from ``origin_cluster`` (default: a random cluster) to all clusters."""
+        state = self._engine.state
+        if origin_cluster is None:
+            origin_cluster = self._engine.random_cluster()
+        report = BroadcastReport(
+            origin_cluster=origin_cluster, payload=payload, messages=0, rounds=0
+        )
+
+        overlay_graph = state.overlay.graph
+        reached: Set[ClusterId] = {origin_cluster}
+        frontier = deque([(origin_cluster, 0)])
+        max_depth = 0
+        while frontier:
+            current, depth = frontier.popleft()
+            max_depth = max(max_depth, depth)
+            if current not in overlay_graph:
+                continue
+            for neighbour in sorted(overlay_graph.neighbours(current)):
+                if neighbour in reached or neighbour not in state.clusters:
+                    continue
+                outcome = self._channel.send(current, neighbour, payload, label="broadcast")
+                report.messages += outcome.messages
+                if outcome.forged:
+                    report.forged_deliveries += 1
+                if outcome.accepted:
+                    reached.add(neighbour)
+                    frontier.append((neighbour, depth + 1))
+
+        # Intra-cluster delivery: inside each reached cluster, one member
+        # relays the accepted value to its peers.
+        intra_messages = 0
+        nodes_reached = 0
+        for cluster_id in reached:
+            size = len(state.clusters.get(cluster_id))
+            nodes_reached += size
+            intra_messages += max(0, size - 1)
+        self._metrics.charge_messages(
+            intra_messages, kind=MessageKind.APPLICATION, label="broadcast-intra"
+        )
+        report.messages += intra_messages
+        report.rounds = max_depth + 1
+        self._metrics.charge_rounds(report.rounds, label="broadcast")
+        report.clusters_reached = reached
+        report.nodes_reached = nodes_reached
+        return report

@@ -1,0 +1,66 @@
+"""Clustering without shuffling: the negative control for the join–leave attack.
+
+Section 3.3 motivates the exchange primitive with the observation that,
+without shuffling, the adversary can capture any cluster by "choosing a
+specific cluster and keeps adding and removing the Byzantine nodes until they
+fall into that cluster".  :class:`NoShuffleEngine` is exactly that scheme:
+joins insert the newcomer directly into the contacted cluster (the adversary
+therefore controls placement), leaves just remove the node, and oversized or
+undersized clusters still split or merge so sizes remain comparable to NOW's.
+Experiment E7 runs the join–leave attack against this engine and against NOW
+and reports how quickly (if ever) a cluster is captured.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from ..core.cluster import ClusterId
+from ..network.node import NodeId
+from ..rng import shuffled
+from .common import BaselineEngine
+
+
+class NoShuffleEngine(BaselineEngine):
+    """Cluster maintenance with joins placed where they land and no exchange."""
+
+    def handle_join(self, node_id: NodeId, contact_cluster: Optional[ClusterId]) -> None:
+        host = self._resolve_contact(contact_cluster)
+        self.state.clusters.add_member(host, node_id)
+        self.state.sync_overlay_weight(host)
+        if len(self.state.clusters.get(host)) > self.parameters.split_threshold:
+            self._split(host)
+
+    def handle_leave(self, node_id: NodeId) -> None:
+        cluster_id = self._remove_from_cluster(node_id)
+        if (
+            len(self.state.clusters.get(cluster_id)) < self.parameters.merge_threshold
+            and len(self.state.clusters) > 1
+        ):
+            self._merge(cluster_id)
+
+    # ------------------------------------------------------------------
+    # Split / merge without shuffling
+    # ------------------------------------------------------------------
+    def _split(self, cluster_id: ClusterId) -> None:
+        cluster = self.state.clusters.get(cluster_id)
+        ordering = shuffled(self.state.rng, cluster.member_list())
+        half = len(ordering) // 2
+        new_cluster = self.state.clusters.create_cluster([], created_at=self.state.time_step)
+        for node_id in ordering[half:]:
+            self.state.clusters.move_member(node_id, new_cluster.cluster_id)
+        self.state.sync_overlay_weight(cluster_id)
+        anchor = cluster_id if cluster_id in self.state.overlay.graph else None
+        self.state.overlay.add_vertex(
+            new_cluster.cluster_id, weight=float(len(new_cluster)), anchor=anchor
+        )
+
+    def _merge(self, cluster_id: ClusterId) -> None:
+        cluster = self.state.clusters.dissolve_cluster(cluster_id)
+        if cluster_id in self.state.overlay.graph:
+            self.state.overlay.remove_vertex(cluster_id)
+        survivors = self.state.clusters.cluster_ids()
+        for node_id in sorted(cluster.members):
+            host = survivors[self.state.rng.randrange(len(survivors))]
+            self.state.clusters.add_member(host, node_id)
+            self.state.sync_overlay_weight(host)

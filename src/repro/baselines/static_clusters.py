@@ -1,0 +1,52 @@
+"""Static-cluster-count scheme: what breaks under polynomial size variation.
+
+Prior work (Awerbuch & Scheideler and follow-ups, as discussed in Sections 1
+and 5) maintains a *fixed* number of clusters, sized for a network whose size
+varies by at most a constant factor.  When the network instead grows
+polynomially — say from ``sqrt(N)`` to ``N`` — each cluster's size grows by
+the same polynomial factor, so intra-cluster agreement degenerates towards
+the single-committee cost the clustering was meant to avoid.
+
+:class:`StaticClusterEngine` models that family: the cluster count is fixed
+at initialization, joins are assigned to a uniformly random cluster (it does
+shuffle placements, so the join–leave attack is not the interesting failure
+mode here), and clusters never split or merge.  Experiment E6 grows the
+network from ``sqrt(N)`` towards ``N`` and compares the evolution of the
+maximum cluster size (and the implied per-cluster agreement cost) against
+NOW, whose dynamic splitting keeps clusters at ``Theta(log N)``.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from ..core.cluster import ClusterId
+from ..network.node import NodeId
+from .common import BaselineEngine
+
+
+class StaticClusterEngine(BaselineEngine):
+    """Fixed number of clusters; joins go to a uniformly random cluster."""
+
+    def handle_join(self, node_id: NodeId, contact_cluster: Optional[ClusterId]) -> None:
+        # Placement is random regardless of the contact point (the scheme
+        # shuffles placements), but the number of clusters never changes.
+        host = self.random_cluster()
+        self.state.clusters.add_member(host, node_id)
+        self.state.sync_overlay_weight(host)
+
+    def handle_leave(self, node_id: NodeId) -> None:
+        cluster_id = self._remove_from_cluster(node_id)
+        # If a cluster empties completely it stays in place (size 0 clusters
+        # are a visible failure of the static scheme, not hidden by merging).
+        self.state.sync_overlay_weight(cluster_id)
+
+    def max_cluster_size(self) -> int:
+        """Largest cluster size (the quantity that blows up under growth)."""
+        sizes = self.cluster_sizes()
+        return max(sizes.values()) if sizes else 0
+
+    def implied_agreement_cost(self) -> int:
+        """Quadratic intra-cluster agreement cost implied by the largest cluster."""
+        largest = self.max_cluster_size()
+        return largest * largest

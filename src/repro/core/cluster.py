@@ -1,0 +1,216 @@
+"""Clusters and the cluster registry.
+
+A cluster is the unit of reliability in NOW: its nodes form a clique (every
+member knows every other member), an overlay edge between two clusters means
+full bipartite knowledge, and a message "from a cluster" is accepted by a
+neighbour only when more than half of the cluster's members sent it.  As long
+as more than two thirds of a cluster's members are honest, the cluster as a
+whole behaves like a single correct process.
+
+:class:`Cluster` is deliberately ignorant of which of its members are
+Byzantine — that ground truth lives in the
+:class:`~repro.core.state.NodeRegistry` — so protocol code cannot
+accidentally "cheat" by reading the adversary's hand.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import FrozenSet, Iterable, Iterator, List, Optional, Set
+
+from ..errors import ProtocolViolationError, UnknownClusterError, UnknownNodeError
+from ..network.node import NodeId
+
+ClusterId = int
+
+
+@dataclass
+class Cluster:
+    """A set of node identifiers plus bookkeeping about its history."""
+
+    cluster_id: ClusterId
+    members: Set[NodeId] = field(default_factory=set)
+    created_at: int = 0
+    exchanges_performed: int = 0
+    last_full_exchange: Optional[int] = None
+
+    def __post_init__(self) -> None:
+        self.members = set(self.members)
+
+    # ------------------------------------------------------------------
+    # Membership
+    # ------------------------------------------------------------------
+    def __len__(self) -> int:
+        return len(self.members)
+
+    def __contains__(self, node_id: NodeId) -> bool:
+        return node_id in self.members
+
+    @property
+    def size(self) -> int:
+        """Number of member nodes."""
+        return len(self.members)
+
+    def add_member(self, node_id: NodeId) -> None:
+        """Insert ``node_id``; error if it is already a member."""
+        if node_id in self.members:
+            raise ProtocolViolationError(
+                f"node {node_id} is already a member of cluster {self.cluster_id}"
+            )
+        self.members.add(node_id)
+
+    def remove_member(self, node_id: NodeId) -> None:
+        """Remove ``node_id``; error if it is not a member."""
+        if node_id not in self.members:
+            raise UnknownNodeError(
+                f"node {node_id} is not a member of cluster {self.cluster_id}"
+            )
+        self.members.discard(node_id)
+
+    def swap_member(self, outgoing: NodeId, incoming: NodeId) -> None:
+        """Atomically replace ``outgoing`` with ``incoming`` (an exchange step)."""
+        if outgoing == incoming:
+            return
+        if outgoing not in self.members:
+            raise UnknownNodeError(
+                f"node {outgoing} is not a member of cluster {self.cluster_id}"
+            )
+        if incoming in self.members:
+            raise ProtocolViolationError(
+                f"node {incoming} is already a member of cluster {self.cluster_id}"
+            )
+        self.members.discard(outgoing)
+        self.members.add(incoming)
+
+    def member_list(self) -> List[NodeId]:
+        """Sorted list of members (deterministic iteration order for sampling)."""
+        return sorted(self.members)
+
+    def snapshot(self) -> FrozenSet[NodeId]:
+        """Immutable copy of the membership."""
+        return frozenset(self.members)
+
+
+class ClusterRegistry:
+    """All live clusters, indexed by cluster id and by member node."""
+
+    def __init__(self) -> None:
+        self._clusters: dict = {}
+        self._node_to_cluster: dict = {}
+        self._next_id: int = 0
+
+    # ------------------------------------------------------------------
+    # Creation / removal
+    # ------------------------------------------------------------------
+    def new_cluster_id(self) -> ClusterId:
+        """Allocate a fresh, never-reused cluster identifier."""
+        allocated = self._next_id
+        self._next_id += 1
+        return allocated
+
+    def create_cluster(
+        self, members: Iterable[NodeId], created_at: int = 0, cluster_id: Optional[ClusterId] = None
+    ) -> Cluster:
+        """Create a cluster with the given members and register it."""
+        if cluster_id is None:
+            cluster_id = self.new_cluster_id()
+        elif cluster_id in self._clusters:
+            raise ProtocolViolationError(f"cluster id {cluster_id} is already in use")
+        else:
+            self._next_id = max(self._next_id, cluster_id + 1)
+        cluster = Cluster(cluster_id=cluster_id, members=set(members), created_at=created_at)
+        for node_id in cluster.members:
+            if node_id in self._node_to_cluster:
+                raise ProtocolViolationError(
+                    f"node {node_id} already belongs to cluster "
+                    f"{self._node_to_cluster[node_id]}"
+                )
+            self._node_to_cluster[node_id] = cluster_id
+        self._clusters[cluster_id] = cluster
+        return cluster
+
+    def dissolve_cluster(self, cluster_id: ClusterId) -> Cluster:
+        """Remove a cluster from the registry (its members become unassigned)."""
+        cluster = self.get(cluster_id)
+        for node_id in cluster.members:
+            self._node_to_cluster.pop(node_id, None)
+        del self._clusters[cluster_id]
+        return cluster
+
+    # ------------------------------------------------------------------
+    # Membership updates (kept in sync with the node index)
+    # ------------------------------------------------------------------
+    def add_member(self, cluster_id: ClusterId, node_id: NodeId) -> None:
+        """Add ``node_id`` to ``cluster_id`` (it must not belong to any cluster)."""
+        if node_id in self._node_to_cluster:
+            raise ProtocolViolationError(
+                f"node {node_id} already belongs to cluster {self._node_to_cluster[node_id]}"
+            )
+        self.get(cluster_id).add_member(node_id)
+        self._node_to_cluster[node_id] = cluster_id
+
+    def remove_member(self, cluster_id: ClusterId, node_id: NodeId) -> None:
+        """Remove ``node_id`` from ``cluster_id``."""
+        self.get(cluster_id).remove_member(node_id)
+        self._node_to_cluster.pop(node_id, None)
+
+    def move_member(self, node_id: NodeId, target_cluster_id: ClusterId) -> None:
+        """Move ``node_id`` from its current cluster to ``target_cluster_id``."""
+        source_id = self.cluster_of(node_id)
+        if source_id == target_cluster_id:
+            return
+        self.get(source_id).remove_member(node_id)
+        self.get(target_cluster_id).add_member(node_id)
+        self._node_to_cluster[node_id] = target_cluster_id
+
+    def swap_members(
+        self, first_cluster: ClusterId, first_node: NodeId, second_cluster: ClusterId, second_node: NodeId
+    ) -> None:
+        """Exchange ``first_node`` (of ``first_cluster``) with ``second_node`` (of ``second_cluster``)."""
+        if first_cluster == second_cluster:
+            return
+        self.get(first_cluster).swap_member(first_node, second_node)
+        self.get(second_cluster).swap_member(second_node, first_node)
+        self._node_to_cluster[first_node] = second_cluster
+        self._node_to_cluster[second_node] = first_cluster
+
+    # ------------------------------------------------------------------
+    # Queries
+    # ------------------------------------------------------------------
+    def __len__(self) -> int:
+        return len(self._clusters)
+
+    def __contains__(self, cluster_id: ClusterId) -> bool:
+        return cluster_id in self._clusters
+
+    def get(self, cluster_id: ClusterId) -> Cluster:
+        """Return the cluster with the given id (error if absent)."""
+        if cluster_id not in self._clusters:
+            raise UnknownClusterError(f"cluster {cluster_id} does not exist")
+        return self._clusters[cluster_id]
+
+    def cluster_of(self, node_id: NodeId) -> ClusterId:
+        """Return the id of the cluster containing ``node_id``."""
+        if node_id not in self._node_to_cluster:
+            raise UnknownNodeError(f"node {node_id} is not assigned to any cluster")
+        return self._node_to_cluster[node_id]
+
+    def contains_node(self, node_id: NodeId) -> bool:
+        """Whether ``node_id`` currently belongs to some cluster."""
+        return node_id in self._node_to_cluster
+
+    def clusters(self) -> Iterator[Cluster]:
+        """Iterate over all live clusters."""
+        return iter(list(self._clusters.values()))
+
+    def cluster_ids(self) -> List[ClusterId]:
+        """Sorted list of live cluster ids."""
+        return sorted(self._clusters)
+
+    def total_nodes(self) -> int:
+        """Total number of nodes across all clusters."""
+        return len(self._node_to_cluster)
+
+    def sizes(self) -> dict:
+        """Mapping cluster id -> size."""
+        return {cluster_id: len(cluster) for cluster_id, cluster in self._clusters.items()}

@@ -1,0 +1,68 @@
+"""Churn events: the inputs of NOW's maintenance phase.
+
+Each time step, either a node joins or a node leaves (or nothing happens).
+Workload generators (:mod:`repro.workloads`) and adversaries
+(:mod:`repro.adversary`) produce sequences of :class:`ChurnEvent` objects
+that the :class:`~repro.core.engine.NowEngine` consumes one per time step.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+from typing import Optional
+
+from ..network.node import NodeId, NodeRole
+
+
+class ChurnKind(enum.Enum):
+    """The two kinds of churn the paper's model allows per time step."""
+
+    JOIN = "join"
+    LEAVE = "leave"
+
+    def __str__(self) -> str:  # pragma: no cover - trivial
+        return self.value
+
+
+@dataclass(frozen=True)
+class ChurnEvent:
+    """One join or leave request.
+
+    Attributes
+    ----------
+    kind:
+        Whether a node joins or leaves.
+    role:
+        For joins, whether the joining node is honest or (if the adversary
+        chooses to corrupt it on arrival, as the model allows) Byzantine.
+    node_id:
+        For leaves, the departing node.  For joins it may carry the identity
+        of a re-joining node (e.g. during a join–leave attack); ``None`` means
+        a brand new node.
+    contact_cluster:
+        For joins, the cluster the newcomer contacts first.  ``None`` lets the
+        engine pick a uniformly random live cluster; adversarial joins can aim
+        at a specific cluster (the attack NOW's shuffling defends against).
+    """
+
+    kind: ChurnKind
+    role: NodeRole = NodeRole.HONEST
+    node_id: Optional[NodeId] = None
+    contact_cluster: Optional[int] = None
+
+    @staticmethod
+    def join(
+        role: NodeRole = NodeRole.HONEST,
+        node_id: Optional[NodeId] = None,
+        contact_cluster: Optional[int] = None,
+    ) -> "ChurnEvent":
+        """Convenience constructor for a join event."""
+        return ChurnEvent(
+            kind=ChurnKind.JOIN, role=role, node_id=node_id, contact_cluster=contact_cluster
+        )
+
+    @staticmethod
+    def leave(node_id: NodeId) -> "ChurnEvent":
+        """Convenience constructor for a leave event."""
+        return ChurnEvent(kind=ChurnKind.LEAVE, node_id=node_id)

@@ -1,0 +1,161 @@
+"""``exchange``: shuffling a cluster's nodes with the rest of the network.
+
+Section 3.1: "some clusters exchange their nodes with nodes chosen at random
+from other clusters.  For each node ``x`` to be exchanged from cluster ``C``,
+a cluster is chosen at random using ``randCl``.  The chosen cluster ``C'`` is
+informed that it will receive ``x``.  The cluster ``C'`` chooses one of its
+nodes (using ``randNum``) to send in replacement of ``x``."  During an
+exchange, neighbouring clusters are informed of the new composition of the
+clusters involved, since inter-cluster message validation requires knowing
+the membership of the sender cluster.
+
+The expected cost reported by the paper is ``O(log^6 N)`` messages and
+``O(log^4 N)`` rounds per full-cluster exchange: ``Theta(log N)`` exchanged
+nodes, each requiring one ``randCl`` walk (``O(log^5 N)`` messages).
+
+Exchanging all the nodes of a cluster is exactly the event analysed by
+Lemma 1: afterwards, each member is an (almost) fresh uniform sample of the
+network, so the cluster's Byzantine fraction concentrates around ``tau``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Iterable, List, Optional, Set, Tuple
+
+from ..network.message import MessageKind
+from ..network.metrics import CommunicationMetrics
+from ..network.node import NodeId
+from .cluster import ClusterId
+from .randcl import RandCl
+from .randnum import RandNum
+from .state import SystemState
+
+
+@dataclass
+class ExchangeReport:
+    """Summary of one full-cluster exchange."""
+
+    cluster_id: ClusterId
+    swaps: List[Tuple[NodeId, ClusterId, NodeId]] = field(default_factory=list)
+    partner_clusters: Set[ClusterId] = field(default_factory=set)
+    messages: int = 0
+    rounds: int = 0
+    walk_hops: int = 0
+
+    @property
+    def swap_count(self) -> int:
+        """Number of member swaps actually performed."""
+        return len(self.swaps)
+
+
+class ExchangeProtocol:
+    """Implements the ``exchange`` primitive on the shared system state."""
+
+    def __init__(
+        self,
+        state: SystemState,
+        randcl: RandCl,
+        randnum: Optional[RandNum] = None,
+    ) -> None:
+        self._state = state
+        self._randcl = randcl
+        self._randnum = randnum if randnum is not None else RandNum(state.rng)
+
+    # ------------------------------------------------------------------
+    # Full-cluster exchange
+    # ------------------------------------------------------------------
+    def exchange_all(
+        self,
+        cluster_id: ClusterId,
+        metrics: Optional[CommunicationMetrics] = None,
+        label: str = "exchange",
+    ) -> ExchangeReport:
+        """Exchange every node of ``cluster_id`` with nodes picked at random.
+
+        Each original member is swapped with a uniformly chosen node of a
+        ``randCl``-selected cluster (the swap is skipped when the walk lands
+        back on the same cluster — the member is then its own replacement,
+        which does not change the distributional argument of Lemma 1 because
+        the cluster is selected with probability ``|C| / n``).
+        """
+        ledger = metrics if metrics is not None else self._state.metrics.scope(label)
+        report = ExchangeReport(cluster_id=cluster_id)
+        cluster = self._state.clusters.get(cluster_id)
+        byzantine = self._state.nodes.active_byzantine()
+
+        original_members = cluster.member_list()
+        for node_id in original_members:
+            if node_id not in cluster.members:
+                # Already swapped out by a previous iteration's partner choice.
+                continue
+            walk = self._randcl.select(cluster_id, metrics=ledger, label=label)
+            report.walk_hops += walk.hops
+            report.messages += walk.messages
+            report.rounds += walk.rounds
+            partner_id = walk.cluster_id
+            if partner_id == cluster_id:
+                continue
+            partner = self._state.clusters.get(partner_id)
+            if not partner.members:
+                continue
+            # The partner cluster is informed it will receive ``node_id`` and
+            # chooses a replacement uniformly via randNum.
+            pick = self._randnum.pick_member(
+                partner.members,
+                byzantine_members=byzantine,
+                metrics=ledger,
+                label=label,
+            )
+            report.messages += pick.messages
+            report.rounds += pick.rounds
+            replacement = pick.value
+            self._state.clusters.swap_members(cluster_id, node_id, partner_id, replacement)
+            report.swaps.append((node_id, partner_id, replacement))
+            report.partner_clusters.add(partner_id)
+            self._state.sync_overlay_weight(partner_id)
+
+        cluster.exchanges_performed += 1
+        cluster.last_full_exchange = self._state.time_step
+        self._state.sync_overlay_weight(cluster_id)
+
+        # Inform neighbouring clusters of the new compositions (batched at the
+        # end of the operation; see DESIGN.md §5 note 3).
+        notify = self._notify_neighbours(
+            [cluster_id, *sorted(report.partner_clusters)], ledger, label
+        )
+        report.messages += notify[0]
+        report.rounds += notify[1]
+        return report
+
+    # ------------------------------------------------------------------
+    # Neighbour notification
+    # ------------------------------------------------------------------
+    def _notify_neighbours(
+        self,
+        cluster_ids: Iterable[ClusterId],
+        metrics: CommunicationMetrics,
+        label: str,
+    ) -> Tuple[int, int]:
+        """Charge the membership-update traffic to overlay neighbours.
+
+        Every member of an updated cluster sends the new composition to every
+        member of every adjacent cluster (a neighbour accepts the update only
+        when more than half of the cluster sent it, hence the full bipartite
+        pattern).
+        """
+        overlay_graph = self._state.overlay.graph
+        total_messages = 0
+        for cluster_id in cluster_ids:
+            if cluster_id not in overlay_graph:
+                continue
+            size = len(self._state.clusters.get(cluster_id))
+            for neighbour_id in overlay_graph.neighbours(cluster_id):
+                if neighbour_id in self._state.clusters:
+                    neighbour_size = len(self._state.clusters.get(neighbour_id))
+                    total_messages += size * neighbour_size
+        rounds = 1 if total_messages else 0
+        if total_messages:
+            metrics.charge_messages(total_messages, kind=MessageKind.MEMBERSHIP, label=label)
+            metrics.charge_rounds(rounds, label=label)
+        return total_messages, rounds

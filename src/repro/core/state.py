@@ -1,0 +1,205 @@
+"""Global system state shared by the NOW maintenance machinery.
+
+:class:`SystemState` bundles together everything a maintenance operation
+needs to read or update:
+
+* the :class:`NodeRegistry` (ground truth about every node — identity, honest
+  or Byzantine, active or departed),
+* the :class:`~repro.core.cluster.ClusterRegistry` (the partition),
+* the :class:`~repro.overlay.over.OverOverlay` (the expander of clusters),
+* the protocol parameters, the metrics registry and the RNG,
+* the discrete time step counter.
+
+The separation mirrors the paper's layering: protocols only see cluster
+membership and overlay structure; the Byzantine ground truth is consulted
+exclusively by measurement code (invariants, experiments) and by the
+adversary.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass, field
+from typing import Dict, Iterable, Iterator, List, Optional, Set
+
+from ..errors import UnknownNodeError
+from ..network.metrics import MetricsRegistry
+from ..network.node import NodeDescriptor, NodeId, NodeRole, NodeState
+from ..overlay.over import OverOverlay
+from ..params import ProtocolParameters
+from .cluster import ClusterId, ClusterRegistry
+
+
+class NodeRegistry:
+    """Ground-truth registry of every node that ever joined the system."""
+
+    def __init__(self) -> None:
+        self._descriptors: Dict[NodeId, NodeDescriptor] = {}
+        self._next_id: int = 0
+
+    # ------------------------------------------------------------------
+    # Creation and lifecycle
+    # ------------------------------------------------------------------
+    def new_node_id(self) -> NodeId:
+        """Allocate a fresh node identifier (identities are never reused)."""
+        allocated = self._next_id
+        self._next_id += 1
+        return allocated
+
+    def register(
+        self,
+        role: NodeRole = NodeRole.HONEST,
+        joined_at: int = 0,
+        node_id: Optional[NodeId] = None,
+    ) -> NodeDescriptor:
+        """Create and register a new node descriptor."""
+        if node_id is None:
+            node_id = self.new_node_id()
+        else:
+            if node_id in self._descriptors:
+                raise UnknownNodeError(f"node id {node_id} is already registered")
+            self._next_id = max(self._next_id, node_id + 1)
+        descriptor = NodeDescriptor(node_id=node_id, role=role, joined_at=joined_at)
+        self._descriptors[node_id] = descriptor
+        return descriptor
+
+    def mark_left(self, node_id: NodeId, time_step: int) -> NodeDescriptor:
+        """Record that ``node_id`` left the network."""
+        descriptor = self.get(node_id)
+        descriptor.mark_left(time_step)
+        return descriptor
+
+    def reactivate(self, node_id: NodeId, time_step: int) -> NodeDescriptor:
+        """Mark a previously departed node as active again (re-join)."""
+        descriptor = self.get(node_id)
+        descriptor.state = NodeState.ACTIVE
+        descriptor.joined_at = time_step
+        descriptor.left_at = None
+        return descriptor
+
+    # ------------------------------------------------------------------
+    # Queries
+    # ------------------------------------------------------------------
+    def __contains__(self, node_id: NodeId) -> bool:
+        return node_id in self._descriptors
+
+    def __len__(self) -> int:
+        return len(self._descriptors)
+
+    def get(self, node_id: NodeId) -> NodeDescriptor:
+        """Descriptor of ``node_id`` (error if unknown)."""
+        if node_id not in self._descriptors:
+            raise UnknownNodeError(f"node {node_id} is not registered")
+        return self._descriptors[node_id]
+
+    def is_byzantine(self, node_id: NodeId) -> bool:
+        """Ground truth: whether the adversary controls ``node_id``."""
+        return self.get(node_id).is_byzantine
+
+    def is_active(self, node_id: NodeId) -> bool:
+        """Whether ``node_id`` is currently part of the network."""
+        return self.get(node_id).is_active
+
+    def active_nodes(self) -> List[NodeId]:
+        """Sorted ids of all currently active nodes."""
+        return sorted(
+            node_id for node_id, descr in self._descriptors.items() if descr.is_active
+        )
+
+    def active_byzantine(self) -> Set[NodeId]:
+        """Ids of active adversary-controlled nodes."""
+        return {
+            node_id
+            for node_id, descr in self._descriptors.items()
+            if descr.is_active and descr.is_byzantine
+        }
+
+    def active_count(self) -> int:
+        """Number of active nodes."""
+        return sum(1 for descr in self._descriptors.values() if descr.is_active)
+
+    def byzantine_fraction(self) -> float:
+        """Fraction of active nodes controlled by the adversary."""
+        active = [descr for descr in self._descriptors.values() if descr.is_active]
+        if not active:
+            return 0.0
+        return sum(1 for descr in active if descr.is_byzantine) / len(active)
+
+    def descriptors(self) -> Iterator[NodeDescriptor]:
+        """Iterate over every registered descriptor (active or not)."""
+        return iter(list(self._descriptors.values()))
+
+
+@dataclass
+class SystemState:
+    """Everything the NOW maintenance machinery operates on."""
+
+    parameters: ProtocolParameters
+    rng: random.Random
+    nodes: NodeRegistry = field(default_factory=NodeRegistry)
+    clusters: ClusterRegistry = field(default_factory=ClusterRegistry)
+    overlay: Optional[OverOverlay] = None
+    metrics: MetricsRegistry = field(default_factory=MetricsRegistry)
+    time_step: int = 0
+
+    def __post_init__(self) -> None:
+        if self.overlay is None:
+            self.overlay = OverOverlay(self.parameters, self.rng)
+
+    # ------------------------------------------------------------------
+    # Size and corruption
+    # ------------------------------------------------------------------
+    @property
+    def network_size(self) -> int:
+        """Current number of nodes in the partition."""
+        return self.clusters.total_nodes()
+
+    def cluster_byzantine_fraction(self, cluster_id: ClusterId) -> float:
+        """Ground-truth fraction of adversary-controlled members of a cluster."""
+        cluster = self.clusters.get(cluster_id)
+        if not cluster.members:
+            return 0.0
+        corrupt = sum(1 for node_id in cluster.members if self.nodes.is_byzantine(node_id))
+        return corrupt / len(cluster.members)
+
+    def byzantine_fractions(self) -> Dict[ClusterId, float]:
+        """Per-cluster corruption fractions, keyed by cluster id."""
+        return {
+            cluster.cluster_id: self.cluster_byzantine_fraction(cluster.cluster_id)
+            for cluster in self.clusters.clusters()
+        }
+
+    def worst_cluster_fraction(self) -> float:
+        """Largest per-cluster Byzantine fraction (0 when there are no clusters)."""
+        fractions = self.byzantine_fractions()
+        return max(fractions.values()) if fractions else 0.0
+
+    def compromised_clusters(self, threshold: Optional[float] = None) -> List[ClusterId]:
+        """Clusters whose corruption fraction reaches ``threshold`` (default one third)."""
+        limit = threshold if threshold is not None else self.parameters.byzantine_alarm_fraction
+        return sorted(
+            cluster_id
+            for cluster_id, fraction in self.byzantine_fractions().items()
+            if fraction >= limit
+        )
+
+    # ------------------------------------------------------------------
+    # Overlay synchronisation
+    # ------------------------------------------------------------------
+    def sync_overlay_weight(self, cluster_id: ClusterId) -> None:
+        """Propagate a cluster's current size to its overlay vertex weight."""
+        if cluster_id in self.overlay.graph:
+            self.overlay.update_weight(cluster_id, float(len(self.clusters.get(cluster_id))))
+
+    def sync_all_overlay_weights(self) -> None:
+        """Propagate every cluster size to the overlay weights."""
+        for cluster in self.clusters.clusters():
+            self.sync_overlay_weight(cluster.cluster_id)
+
+    # ------------------------------------------------------------------
+    # Time
+    # ------------------------------------------------------------------
+    def advance_time(self) -> int:
+        """Advance and return the discrete time-step counter."""
+        self.time_step += 1
+        return self.time_step

@@ -1,0 +1,105 @@
+"""Crash/leave detection.
+
+The paper assumes "a mechanism enabling a node to detect if one of its
+neighbors has crashed or left the network" — i.e. a perfect local failure
+detector over the synchronous rounds.  :class:`FailureDetector` provides that
+mechanism for the simulator: it tracks the liveness state of every node and
+answers queries about neighbours, and it records which detections have been
+reported so protocols can react exactly once per departure.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, List, Optional, Set
+
+from ..errors import UnknownNodeError
+from .node import NodeDescriptor, NodeId, NodeState
+from .topology import KnowledgeGraph
+
+
+class FailureDetector:
+    """Perfect failure/leave detector over a knowledge graph."""
+
+    def __init__(self, knowledge: KnowledgeGraph) -> None:
+        self._knowledge = knowledge
+        self._states: Dict[NodeId, NodeState] = {}
+        self._reported: Set[NodeId] = set()
+
+    # ------------------------------------------------------------------
+    # State updates
+    # ------------------------------------------------------------------
+    def register(self, descriptor: NodeDescriptor) -> None:
+        """Start tracking ``descriptor``'s node."""
+        self._states[descriptor.node_id] = descriptor.state
+
+    def mark_active(self, node_id: NodeId) -> None:
+        """Record that ``node_id`` (re-)joined the network."""
+        self._states[node_id] = NodeState.ACTIVE
+        self._reported.discard(node_id)
+
+    def mark_left(self, node_id: NodeId) -> None:
+        """Record a voluntary departure."""
+        self._require_known(node_id)
+        self._states[node_id] = NodeState.LEFT
+
+    def mark_crashed(self, node_id: NodeId) -> None:
+        """Record a crash (indistinguishable from a departure for neighbours)."""
+        self._require_known(node_id)
+        self._states[node_id] = NodeState.CRASHED
+
+    # ------------------------------------------------------------------
+    # Queries
+    # ------------------------------------------------------------------
+    def is_alive(self, node_id: NodeId) -> bool:
+        """Whether ``node_id`` is currently active."""
+        return self._states.get(node_id) is NodeState.ACTIVE
+
+    def state_of(self, node_id: NodeId) -> NodeState:
+        """Return the tracked liveness state of ``node_id``."""
+        self._require_known(node_id)
+        return self._states[node_id]
+
+    def detect_departed_neighbours(self, observer: NodeId) -> List[NodeId]:
+        """Neighbours of ``observer`` that are no longer active (each reported once).
+
+        Matches the paper's assumption: a node notices the absence of its
+        direct neighbours.  The same departure is not reported twice across
+        different observers — the first observer to ask "consumes" the event,
+        which is how the cluster-level Leave operation is triggered exactly
+        once per departed node.
+        """
+        departed: List[NodeId] = []
+        if observer not in self._knowledge:
+            return departed
+        for neighbour in self._knowledge.neighbours(observer):
+            state = self._states.get(neighbour)
+            if state in (NodeState.LEFT, NodeState.CRASHED) and neighbour not in self._reported:
+                self._reported.add(neighbour)
+                departed.append(neighbour)
+        return departed
+
+    def departed_nodes(self) -> Set[NodeId]:
+        """Every node currently tracked as departed or crashed."""
+        return {
+            node_id
+            for node_id, state in self._states.items()
+            if state in (NodeState.LEFT, NodeState.CRASHED)
+        }
+
+    def active_nodes(self) -> Set[NodeId]:
+        """Every node currently tracked as active."""
+        return {
+            node_id for node_id, state in self._states.items() if state is NodeState.ACTIVE
+        }
+
+    def forget(self, node_id: NodeId) -> None:
+        """Stop tracking ``node_id`` entirely (after cleanup completes)."""
+        self._states.pop(node_id, None)
+        self._reported.discard(node_id)
+
+    # ------------------------------------------------------------------
+    # Internals
+    # ------------------------------------------------------------------
+    def _require_known(self, node_id: NodeId) -> None:
+        if node_id not in self._states:
+            raise UnknownNodeError(f"node {node_id} is not tracked by the failure detector")

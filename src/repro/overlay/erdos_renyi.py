@@ -1,0 +1,93 @@
+"""Erdős–Rényi bootstrap of the overlay.
+
+At initialization the representative cluster links every pair of clusters
+independently with probability ``p = log^(1+alpha) N / sqrt(N)``
+(Section 3.2).  With ``#C = Theta(sqrt N / log N)`` initial clusters this
+gives expected degree ``Theta(log^alpha N * #C / sqrt N * log N) =
+Theta(log^(1+alpha) N)`` and, by standard ER results, an expander with high
+probability.  ``connect_if_disconnected`` patches the (rare, small-``N``)
+event that the sampled graph is disconnected, because a disconnected overlay
+would stall the CTRW; each added patch edge is reported so callers can charge
+its cost.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Iterable, List, Sequence, Tuple
+
+from ..errors import ConfigurationError
+from .graph import ClusterId, OverlayGraph
+
+
+def erdos_renyi_overlay(
+    cluster_ids: Sequence[ClusterId],
+    edge_probability: float,
+    rng: random.Random,
+    weights: Iterable[float] = None,
+) -> OverlayGraph:
+    """Build an overlay with an independent edge for each pair with probability ``p``."""
+    if not 0.0 <= edge_probability <= 1.0:
+        raise ConfigurationError("edge probability must lie in [0, 1]")
+    ids = list(cluster_ids)
+    if len(set(ids)) != len(ids):
+        raise ConfigurationError("cluster identifiers must be distinct")
+    weight_list = list(weights) if weights is not None else [1.0] * len(ids)
+    if len(weight_list) != len(ids):
+        raise ConfigurationError("weights must match cluster_ids in length")
+
+    overlay = OverlayGraph()
+    for cluster_id, weight in zip(ids, weight_list):
+        overlay.add_vertex(cluster_id, weight)
+    for index, first in enumerate(ids):
+        for second in ids[index + 1 :]:
+            if rng.random() < edge_probability:
+                overlay.add_edge(first, second)
+    return overlay
+
+
+def connect_if_disconnected(
+    overlay: OverlayGraph, rng: random.Random
+) -> List[Tuple[ClusterId, ClusterId]]:
+    """Add the minimum number of random edges needed to make the overlay connected.
+
+    Returns the list of edges added (empty when the overlay was already
+    connected).  Components are stitched together by linking a uniformly
+    random vertex of each additional component to a uniformly random vertex
+    of the growing connected core.
+    """
+    vertices = list(overlay.vertices())
+    if len(vertices) <= 1:
+        return []
+    components = _components(overlay)
+    if len(components) <= 1:
+        return []
+    added: List[Tuple[ClusterId, ClusterId]] = []
+    core = list(components[0])
+    for component in components[1:]:
+        first = rng.choice(core)
+        second = rng.choice(list(component))
+        if overlay.add_edge(first, second):
+            added.append((first, second))
+        core.extend(component)
+    return added
+
+
+def _components(overlay: OverlayGraph) -> List[List[ClusterId]]:
+    """Connected components of the overlay, largest first."""
+    remaining = set(overlay.vertices())
+    components: List[List[ClusterId]] = []
+    while remaining:
+        start = next(iter(remaining))
+        seen = {start}
+        frontier = [start]
+        while frontier:
+            current = frontier.pop()
+            for neighbour in overlay.neighbours(current):
+                if neighbour not in seen:
+                    seen.add(neighbour)
+                    frontier.append(neighbour)
+        components.append(sorted(seen))
+        remaining -= seen
+    components.sort(key=len, reverse=True)
+    return components

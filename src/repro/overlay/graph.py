@@ -1,0 +1,154 @@
+"""Mutable, vertex-weighted overlay graph.
+
+:class:`OverlayGraph` is the data structure on which OVER operates: an
+undirected graph whose vertices are cluster identifiers and whose vertex
+weights are the current cluster sizes (used by the biased CTRW).  It
+implements :class:`repro.walks.interface.WalkableGraph` so walks can run on
+it directly.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, Iterator, List, Sequence, Set, Tuple
+
+from ..errors import UnknownClusterError
+from ..walks.interface import WalkableGraph
+
+ClusterId = int
+
+
+class OverlayGraph(WalkableGraph):
+    """Undirected graph over cluster identifiers with mutable vertex weights."""
+
+    def __init__(self) -> None:
+        self._adjacency: Dict[ClusterId, Set[ClusterId]] = {}
+        self._weights: Dict[ClusterId, float] = {}
+
+    # ------------------------------------------------------------------
+    # Mutation
+    # ------------------------------------------------------------------
+    def add_vertex(self, cluster_id: ClusterId, weight: float = 1.0) -> None:
+        """Insert ``cluster_id`` with the given weight (error if it already exists)."""
+        if cluster_id in self._adjacency:
+            raise UnknownClusterError(f"cluster {cluster_id} already present in the overlay")
+        self._adjacency[cluster_id] = set()
+        self._weights[cluster_id] = float(weight)
+
+    def remove_vertex(self, cluster_id: ClusterId) -> Set[ClusterId]:
+        """Remove ``cluster_id``; returns its former neighbours."""
+        self._require(cluster_id)
+        neighbours = self._adjacency.pop(cluster_id)
+        for other in neighbours:
+            self._adjacency[other].discard(cluster_id)
+        self._weights.pop(cluster_id, None)
+        return neighbours
+
+    def add_edge(self, first: ClusterId, second: ClusterId) -> bool:
+        """Add an edge; returns ``False`` when it already existed or is a loop."""
+        if first == second:
+            return False
+        self._require(first)
+        self._require(second)
+        if second in self._adjacency[first]:
+            return False
+        self._adjacency[first].add(second)
+        self._adjacency[second].add(first)
+        return True
+
+    def remove_edge(self, first: ClusterId, second: ClusterId) -> bool:
+        """Remove an edge; returns ``False`` when it was absent."""
+        self._require(first)
+        self._require(second)
+        if second not in self._adjacency[first]:
+            return False
+        self._adjacency[first].discard(second)
+        self._adjacency[second].discard(first)
+        return True
+
+    def set_weight(self, cluster_id: ClusterId, weight: float) -> None:
+        """Update the weight (cluster size) of ``cluster_id``."""
+        self._require(cluster_id)
+        self._weights[cluster_id] = float(weight)
+
+    # ------------------------------------------------------------------
+    # WalkableGraph interface
+    # ------------------------------------------------------------------
+    def vertices(self) -> Sequence[ClusterId]:
+        return list(self._adjacency.keys())
+
+    def neighbours(self, vertex: ClusterId) -> Sequence[ClusterId]:
+        self._require(vertex)
+        return list(self._adjacency[vertex])
+
+    def weight(self, vertex: ClusterId) -> float:
+        self._require(vertex)
+        return self._weights[vertex]
+
+    # ------------------------------------------------------------------
+    # Queries
+    # ------------------------------------------------------------------
+    def __contains__(self, cluster_id: ClusterId) -> bool:
+        return cluster_id in self._adjacency
+
+    def __len__(self) -> int:
+        return len(self._adjacency)
+
+    def has_edge(self, first: ClusterId, second: ClusterId) -> bool:
+        """Whether the undirected edge ``{first, second}`` exists."""
+        return first in self._adjacency and second in self._adjacency[first]
+
+    def degree(self, vertex: ClusterId) -> int:
+        self._require(vertex)
+        return len(self._adjacency[vertex])
+
+    def max_degree(self) -> int:
+        """Largest vertex degree (0 for an empty overlay)."""
+        if not self._adjacency:
+            return 0
+        return max(len(neigh) for neigh in self._adjacency.values())
+
+    def edge_count(self) -> int:
+        """Number of undirected edges."""
+        return sum(len(neigh) for neigh in self._adjacency.values()) // 2
+
+    def edges(self) -> Iterator[Tuple[ClusterId, ClusterId]]:
+        """Iterate over undirected edges as ``(small_id, large_id)`` pairs."""
+        for vertex, neighbours in self._adjacency.items():
+            for other in neighbours:
+                if vertex < other:
+                    yield (vertex, other)
+
+    def is_connected(self) -> bool:
+        """Whether the overlay is a single connected component."""
+        if not self._adjacency:
+            return True
+        start = next(iter(self._adjacency))
+        seen = {start}
+        frontier: List[ClusterId] = [start]
+        while frontier:
+            current = frontier.pop()
+            for neighbour in self._adjacency[current]:
+                if neighbour not in seen:
+                    seen.add(neighbour)
+                    frontier.append(neighbour)
+        return len(seen) == len(self._adjacency)
+
+    def adjacency_mapping(self) -> Dict[ClusterId, List[ClusterId]]:
+        """A plain-dict copy of the adjacency (used by the analysis helpers)."""
+        return {vertex: sorted(neigh) for vertex, neigh in self._adjacency.items()}
+
+    def copy(self) -> "OverlayGraph":
+        """Deep copy of the overlay (weights included)."""
+        clone = OverlayGraph()
+        for vertex in self._adjacency:
+            clone.add_vertex(vertex, self._weights[vertex])
+        for first, second in self.edges():
+            clone.add_edge(first, second)
+        return clone
+
+    # ------------------------------------------------------------------
+    # Internals
+    # ------------------------------------------------------------------
+    def _require(self, cluster_id: ClusterId) -> None:
+        if cluster_id not in self._adjacency:
+            raise UnknownClusterError(f"cluster {cluster_id} is not in the overlay")

@@ -1,0 +1,41 @@
+"""Random walks on the cluster overlay.
+
+The paper's key sampling primitive, ``randCl``, is a *biased continuous
+random walk* (CTRW) on the OVER overlay: the walk visits clusters, each hop
+decided collaboratively by the current cluster via ``randNum``, and it is
+biased so that the endpoint cluster ``C`` is selected with probability
+``|C| / n`` — i.e. sampling a cluster this way is equivalent to sampling a
+*node* uniformly at random and returning its cluster.
+
+This package provides:
+
+* :mod:`repro.walks.interface`  — the minimal graph interface walks need,
+* :mod:`repro.walks.ctrw`       — continuous random walks (exponential holding
+  times, uniform neighbour choice) and their discrete skeletons,
+* :mod:`repro.walks.biased`     — the biased CTRW of the paper (Metropolis
+  filter towards the ``|C|/n`` distribution, restart loop),
+* :mod:`repro.walks.mixing`     — mixing-time and total-variation estimation,
+* :mod:`repro.walks.sampler`    — node- and cluster-level uniform samplers
+  built on the walks, with an "oracle" mode for long simulations.
+"""
+
+from .interface import WalkableGraph, MappingGraph
+from .ctrw import ContinuousRandomWalk, WalkResult
+from .biased import BiasedClusterWalk, BiasedWalkOutcome
+from .mixing import total_variation_distance, empirical_distribution, estimate_mixing_time
+from .sampler import ClusterSampler, SampleOutcome, WalkMode
+
+__all__ = [
+    "WalkableGraph",
+    "MappingGraph",
+    "ContinuousRandomWalk",
+    "WalkResult",
+    "BiasedClusterWalk",
+    "BiasedWalkOutcome",
+    "total_variation_distance",
+    "empirical_distribution",
+    "estimate_mixing_time",
+    "ClusterSampler",
+    "SampleOutcome",
+    "WalkMode",
+]

@@ -1,0 +1,153 @@
+"""Continuous random walks (CTRW) on a walkable graph.
+
+The paper uses *continuous-time* random walks (Aldous & Fill [1]) because, on
+an irregular graph, the continuous-time walk's stationary distribution is
+uniform over the vertices — unlike the discrete-time walk, whose stationary
+distribution is proportional to the degree.  The walk holds at each vertex
+for an exponentially distributed time with rate equal to the vertex degree,
+i.e. it crosses each incident edge at unit rate, and it is run for a fixed
+*duration* rather than a fixed number of hops.
+
+:class:`ContinuousRandomWalk` simulates this process exactly (exponential
+holding times, uniform neighbour choice) and also exposes a discrete-skeleton
+variant used when only the jump chain matters.  Every hop can be charged to a
+metrics ledger by callers; the walk itself only reports hop counts so that
+the cost model stays in one place (``repro.core.randcl``).
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass, field
+from typing import Dict, Hashable, List, Optional
+
+from ..errors import WalkError
+from .interface import WalkableGraph
+
+Vertex = Hashable
+
+
+@dataclass
+class WalkResult:
+    """Outcome of one continuous random walk.
+
+    Attributes
+    ----------
+    endpoint:
+        Vertex on which the walk stopped.
+    hops:
+        Number of edge traversals (jump-chain transitions) performed.
+    duration:
+        The total (continuous) duration the walk was run for.
+    elapsed:
+        The continuous time actually consumed (equals ``duration`` unless the
+        walk was stopped early, e.g. on an isolated vertex).
+    path:
+        The sequence of vertices visited, starting with the origin.
+    """
+
+    endpoint: Vertex
+    hops: int
+    duration: float
+    elapsed: float
+    path: List[Vertex] = field(default_factory=list)
+
+
+class ContinuousRandomWalk:
+    """Continuous-time random walk simulator on a :class:`WalkableGraph`."""
+
+    def __init__(self, graph: WalkableGraph, rng: random.Random) -> None:
+        self._graph = graph
+        self._rng = rng
+
+    # ------------------------------------------------------------------
+    # Continuous-time walk
+    # ------------------------------------------------------------------
+    def run(self, start: Vertex, duration: float, record_path: bool = False) -> WalkResult:
+        """Run the CTRW from ``start`` for the given continuous ``duration``.
+
+        At a vertex of degree ``d`` the walk waits an ``Exp(d)`` holding time
+        then jumps to a uniformly chosen neighbour.  A walk starting on an
+        isolated vertex stays there and the result reports zero hops.
+        """
+        if duration < 0:
+            raise WalkError("walk duration must be non-negative")
+        if start not in set(self._graph.vertices()):
+            raise WalkError(f"start vertex {start!r} is not in the graph")
+        current = start
+        remaining = float(duration)
+        elapsed = 0.0
+        hops = 0
+        path: List[Vertex] = [current] if record_path else []
+        while remaining > 0:
+            neighbours = list(self._graph.neighbours(current))
+            degree = len(neighbours)
+            if degree == 0:
+                break
+            holding = self._rng.expovariate(degree)
+            if holding >= remaining:
+                elapsed += remaining
+                remaining = 0.0
+                break
+            remaining -= holding
+            elapsed += holding
+            current = neighbours[self._rng.randrange(degree)]
+            hops += 1
+            if record_path:
+                path.append(current)
+        return WalkResult(
+            endpoint=current, hops=hops, duration=float(duration), elapsed=elapsed, path=path
+        )
+
+    # ------------------------------------------------------------------
+    # Discrete skeleton
+    # ------------------------------------------------------------------
+    def run_discrete(self, start: Vertex, steps: int, record_path: bool = False) -> WalkResult:
+        """Run the jump chain of the walk for a fixed number of ``steps``."""
+        if steps < 0:
+            raise WalkError("number of steps must be non-negative")
+        if start not in set(self._graph.vertices()):
+            raise WalkError(f"start vertex {start!r} is not in the graph")
+        current = start
+        hops = 0
+        path: List[Vertex] = [current] if record_path else []
+        for _ in range(steps):
+            neighbours = list(self._graph.neighbours(current))
+            if not neighbours:
+                break
+            current = neighbours[self._rng.randrange(len(neighbours))]
+            hops += 1
+            if record_path:
+                path.append(current)
+        return WalkResult(
+            endpoint=current, hops=hops, duration=float(steps), elapsed=float(hops), path=path
+        )
+
+    # ------------------------------------------------------------------
+    # Distribution helpers
+    # ------------------------------------------------------------------
+    def endpoint_distribution(
+        self, start: Vertex, duration: float, samples: int
+    ) -> Dict[Vertex, float]:
+        """Empirical endpoint distribution over ``samples`` independent walks."""
+        if samples <= 0:
+            raise WalkError("samples must be positive")
+        counts: Dict[Vertex, int] = {}
+        for _ in range(samples):
+            endpoint = self.run(start, duration).endpoint
+            counts[endpoint] = counts.get(endpoint, 0) + 1
+        return {vertex: count / samples for vertex, count in counts.items()}
+
+    def expected_hop_rate(self, vertex: Optional[Vertex] = None) -> float:
+        """Expected number of hops per unit of continuous time.
+
+        For a single vertex it is its degree; without an argument it is the
+        average degree, useful to convert a duration into an expected hop
+        count when estimating communication costs.
+        """
+        if vertex is not None:
+            return float(self._graph.degree(vertex))
+        vertices = list(self._graph.vertices())
+        if not vertices:
+            return 0.0
+        return sum(self._graph.degree(v) for v in vertices) / len(vertices)

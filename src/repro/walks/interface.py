@@ -1,0 +1,86 @@
+"""Minimal graph interface required by the random-walk machinery.
+
+Walks do not care whether they run on the OVER overlay, a test fixture or a
+networkx graph — they only need vertices, neighbourhoods and per-vertex
+weights (cluster sizes).  :class:`WalkableGraph` captures that contract and
+:class:`MappingGraph` provides a simple dict-backed implementation used by
+tests and by adapters.
+"""
+
+from __future__ import annotations
+
+import abc
+from typing import Dict, Hashable, Iterable, List, Mapping, Sequence
+
+Vertex = Hashable
+
+
+class WalkableGraph(abc.ABC):
+    """Abstract view of an undirected, vertex-weighted graph."""
+
+    @abc.abstractmethod
+    def vertices(self) -> Sequence[Vertex]:
+        """Return the vertices of the graph (order is irrelevant)."""
+
+    @abc.abstractmethod
+    def neighbours(self, vertex: Vertex) -> Sequence[Vertex]:
+        """Return the neighbours of ``vertex``."""
+
+    @abc.abstractmethod
+    def weight(self, vertex: Vertex) -> float:
+        """Return the weight of ``vertex`` (for NOW: the cluster size)."""
+
+    # ------------------------------------------------------------------
+    # Derived helpers (concrete)
+    # ------------------------------------------------------------------
+    def degree(self, vertex: Vertex) -> int:
+        """Number of neighbours of ``vertex``."""
+        return len(self.neighbours(vertex))
+
+    def vertex_count(self) -> int:
+        """Number of vertices."""
+        return len(self.vertices())
+
+    def total_weight(self) -> float:
+        """Sum of all vertex weights (for NOW: the number of nodes ``n``)."""
+        return float(sum(self.weight(vertex) for vertex in self.vertices()))
+
+    def max_weight(self) -> float:
+        """Largest vertex weight (used by the biased walk's acceptance test)."""
+        weights = [self.weight(vertex) for vertex in self.vertices()]
+        return max(weights) if weights else 0.0
+
+    def target_distribution(self) -> Dict[Vertex, float]:
+        """The ``weight(v) / total_weight`` distribution the biased walk targets."""
+        total = self.total_weight()
+        if total <= 0:
+            return {vertex: 0.0 for vertex in self.vertices()}
+        return {vertex: self.weight(vertex) / total for vertex in self.vertices()}
+
+
+class MappingGraph(WalkableGraph):
+    """Dict-backed :class:`WalkableGraph` (adjacency mapping + weight mapping)."""
+
+    def __init__(
+        self,
+        adjacency: Mapping[Vertex, Iterable[Vertex]],
+        weights: Mapping[Vertex, float] = None,
+    ) -> None:
+        self._adjacency: Dict[Vertex, List[Vertex]] = {
+            vertex: list(neighbours) for vertex, neighbours in adjacency.items()
+        }
+        if weights is None:
+            weights = {vertex: 1.0 for vertex in self._adjacency}
+        self._weights: Dict[Vertex, float] = dict(weights)
+        missing = set(self._adjacency) - set(self._weights)
+        if missing:
+            raise ValueError(f"weights missing for vertices: {sorted(missing)!r}")
+
+    def vertices(self) -> Sequence[Vertex]:
+        return list(self._adjacency.keys())
+
+    def neighbours(self, vertex: Vertex) -> Sequence[Vertex]:
+        return list(self._adjacency.get(vertex, ()))
+
+    def weight(self, vertex: Vertex) -> float:
+        return float(self._weights.get(vertex, 0.0))

@@ -1,0 +1,145 @@
+"""Cluster and node sampling built on the biased CTRW.
+
+``repro.core.randcl`` needs a single entry point that returns a cluster
+distributed according to ``|C| / n`` and reports how much walking it took.
+:class:`ClusterSampler` provides that entry point with two modes:
+
+* ``WalkMode.SIMULATED`` — actually runs the biased CTRW hop by hop on the
+  overlay.  This is the faithful execution used to validate uniformity (E10)
+  and to measure per-hop costs.
+* ``WalkMode.ORACLE`` — draws the cluster directly from the walk's target
+  distribution ``|C| / n`` and reports the *expected* hop/restart counts of
+  the simulated walk.  Long churn experiments (hundreds of thousands of
+  sampled walks) use this mode; its statistical equivalence to the simulated
+  mode is exactly what E10 checks, and the paper's own analysis (Section 4)
+  makes the same idealisation after bounding the walk's bias by ``O(n^-c)``.
+
+Both modes report a :class:`SampleOutcome` with identical fields so the cost
+accounting in ``repro.core`` is mode-agnostic.
+"""
+
+from __future__ import annotations
+
+import enum
+import random
+from dataclasses import dataclass
+from typing import Hashable, Optional
+
+from ..errors import WalkError
+from ..rng import choice_weighted
+from .biased import BiasedClusterWalk
+from .interface import WalkableGraph
+
+Vertex = Hashable
+
+
+class WalkMode(enum.Enum):
+    """How ``randCl`` samples are produced (see module docstring)."""
+
+    SIMULATED = "simulated"
+    ORACLE = "oracle"
+
+    def __str__(self) -> str:  # pragma: no cover - trivial
+        return self.value
+
+
+@dataclass
+class SampleOutcome:
+    """One sampled cluster plus the walking effort it required."""
+
+    cluster: Vertex
+    hops: int
+    restarts: int
+    mode: WalkMode
+    truncated: bool = False
+
+
+class ClusterSampler:
+    """Samples clusters from the ``|C|/n`` distribution via biased CTRWs."""
+
+    def __init__(
+        self,
+        graph: WalkableGraph,
+        rng: random.Random,
+        segment_duration: float,
+        mode: WalkMode = WalkMode.SIMULATED,
+        max_restarts: int = 64,
+    ) -> None:
+        self._graph = graph
+        self._rng = rng
+        self._segment_duration = float(segment_duration)
+        self._mode = mode
+        self._max_restarts = max_restarts
+
+    @property
+    def mode(self) -> WalkMode:
+        """The sampling mode currently in use."""
+        return self._mode
+
+    def sample(self, start: Vertex) -> SampleOutcome:
+        """Sample one cluster, starting the walk from ``start``."""
+        if self._mode is WalkMode.SIMULATED:
+            return self._sample_simulated(start)
+        return self._sample_oracle(start)
+
+    # ------------------------------------------------------------------
+    # Simulated mode
+    # ------------------------------------------------------------------
+    def _sample_simulated(self, start: Vertex) -> SampleOutcome:
+        walk = BiasedClusterWalk(
+            self._graph,
+            self._rng,
+            segment_duration=self._segment_duration,
+            max_restarts=self._max_restarts,
+        )
+        outcome = walk.run(start)
+        return SampleOutcome(
+            cluster=outcome.cluster,
+            hops=outcome.hops,
+            restarts=outcome.restarts,
+            mode=WalkMode.SIMULATED,
+            truncated=outcome.truncated,
+        )
+
+    # ------------------------------------------------------------------
+    # Oracle mode
+    # ------------------------------------------------------------------
+    def _sample_oracle(self, start: Vertex) -> SampleOutcome:
+        vertices = list(self._graph.vertices())
+        if not vertices:
+            raise WalkError("cannot sample from an empty graph")
+        weights = [max(0.0, self._graph.weight(vertex)) for vertex in vertices]
+        if sum(weights) <= 0:
+            raise WalkError("graph has no positive vertex weight")
+        cluster = choice_weighted(self._rng, vertices, weights)
+        hops, restarts = self._expected_effort()
+        return SampleOutcome(
+            cluster=cluster, hops=hops, restarts=restarts, mode=WalkMode.ORACLE
+        )
+
+    def _expected_effort(self) -> tuple:
+        """Expected (hops, restarts) of the equivalent simulated walk.
+
+        The expected number of hops of one CTRW segment equals the segment
+        duration times the average vertex degree; the number of segments is
+        the geometric restart count of the biased walk.
+        """
+        vertices = list(self._graph.vertices())
+        if not vertices:
+            return (0, 1)
+        average_degree = sum(self._graph.degree(v) for v in vertices) / len(vertices)
+        mean_weight = self._graph.total_weight() / len(vertices)
+        max_weight = self._graph.max_weight()
+        expected_restarts = max(1.0, max_weight / mean_weight) if mean_weight > 0 else 1.0
+        expected_hops = self._segment_duration * average_degree * expected_restarts
+        return (max(1, int(round(expected_hops))), max(1, int(round(expected_restarts))))
+
+    def with_mode(self, mode: WalkMode) -> "ClusterSampler":
+        """Return a sampler sharing graph and RNG but using ``mode``."""
+        return ClusterSampler(
+            self._graph,
+            self._rng,
+            segment_duration=self._segment_duration,
+            mode=mode,
+            max_restarts=self._max_restarts,
+        )

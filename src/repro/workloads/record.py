@@ -1,0 +1,164 @@
+"""Recording and serialising experiment runs.
+
+Long churn experiments produce a per-time-step history (the engine's
+``MaintenanceReport`` list, or a baseline's ``BaselineStepReport`` list).
+:class:`RunRecord` converts those histories into plain, JSON-serialisable
+dictionaries so runs can be archived, compared across parameter settings or
+re-analysed without re-simulating, and :func:`load_run` restores them into a
+form the :mod:`repro.analysis` helpers accept.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass, field
+from typing import Any, Dict, Iterable, List, Optional, Sequence
+
+from ..analysis.statistics import TrajectorySummary, summarize_fractions
+from ..params import ProtocolParameters
+
+
+@dataclass
+class RunRecord:
+    """A serialisable record of one experiment run."""
+
+    label: str
+    parameters: Dict[str, Any]
+    steps: List[Dict[str, Any]] = field(default_factory=list)
+    metadata: Dict[str, Any] = field(default_factory=dict)
+
+    # ------------------------------------------------------------------
+    # Construction
+    # ------------------------------------------------------------------
+    @classmethod
+    def from_engine(cls, engine, label: str, metadata: Optional[Dict[str, Any]] = None) -> "RunRecord":
+        """Build a record from an engine (NOW or baseline) with a recorded history."""
+        record = cls(
+            label=label,
+            parameters=parameters_to_dict(engine.parameters),
+            metadata=dict(metadata or {}),
+        )
+        for report in engine.history:
+            record.steps.append(step_to_dict(report))
+        record.metadata.setdefault("final_network_size", engine.network_size)
+        record.metadata.setdefault("final_cluster_count", engine.cluster_count)
+        return record
+
+    def append_step(self, report) -> None:
+        """Append one more per-step report to the record."""
+        self.steps.append(step_to_dict(report))
+
+    # ------------------------------------------------------------------
+    # Views
+    # ------------------------------------------------------------------
+    def worst_fractions(self) -> List[float]:
+        """The worst-cluster corruption trajectory."""
+        return [step["worst_byzantine_fraction"] for step in self.steps]
+
+    def network_sizes(self) -> List[int]:
+        """The network-size trajectory."""
+        return [step["network_size"] for step in self.steps]
+
+    def corruption_summary(self, threshold: float = 1.0 / 3.0) -> TrajectorySummary:
+        """Summary statistics of the corruption trajectory."""
+        return summarize_fractions(self.worst_fractions(), threshold=threshold)
+
+    def unsafe_steps(self) -> int:
+        """Number of steps on which some cluster was at or above one third."""
+        return sum(1 for step in self.steps if step["compromised_clusters"])
+
+    # ------------------------------------------------------------------
+    # Serialisation
+    # ------------------------------------------------------------------
+    def to_dict(self) -> Dict[str, Any]:
+        """Plain-dict form (stable key order for diffs)."""
+        return {
+            "label": self.label,
+            "parameters": self.parameters,
+            "metadata": self.metadata,
+            "steps": self.steps,
+        }
+
+    def to_json(self, indent: int = 2) -> str:
+        """JSON text form."""
+        return json.dumps(self.to_dict(), indent=indent, sort_keys=True)
+
+    def save(self, path: str) -> None:
+        """Write the record to ``path`` as JSON."""
+        with open(path, "w", encoding="utf-8") as handle:
+            handle.write(self.to_json())
+
+    @classmethod
+    def from_dict(cls, data: Dict[str, Any]) -> "RunRecord":
+        """Rebuild a record from its plain-dict form."""
+        return cls(
+            label=data["label"],
+            parameters=dict(data.get("parameters", {})),
+            steps=list(data.get("steps", [])),
+            metadata=dict(data.get("metadata", {})),
+        )
+
+
+def parameters_to_dict(parameters: ProtocolParameters) -> Dict[str, Any]:
+    """Serialise the protocol parameters (including the derived thresholds)."""
+    return {
+        "max_size": parameters.max_size,
+        "k": parameters.k,
+        "l": parameters.l,
+        "alpha": parameters.alpha,
+        "tau": parameters.tau,
+        "epsilon": parameters.epsilon,
+        "target_cluster_size": parameters.target_cluster_size,
+        "split_threshold": parameters.split_threshold,
+        "merge_threshold": parameters.merge_threshold,
+        "overlay_degree_cap": parameters.overlay_degree_cap,
+    }
+
+
+def step_to_dict(report) -> Dict[str, Any]:
+    """Serialise one per-step report (NOW or baseline)."""
+    event = report.event
+    step: Dict[str, Any] = {
+        "time_step": report.time_step,
+        "event_kind": event.kind.value,
+        "event_node": event.node_id,
+        "network_size": report.network_size,
+        "cluster_count": report.cluster_count,
+        "worst_byzantine_fraction": report.worst_byzantine_fraction,
+        "compromised_clusters": list(report.compromised_clusters),
+    }
+    operation = getattr(report, "operation", None)
+    if operation is not None:
+        step["operation"] = {
+            "name": operation.operation,
+            "messages": operation.messages,
+            "rounds": operation.rounds,
+            "exchanged_nodes": operation.exchanged_nodes,
+            "triggered": operation.operations_flat()[1:],
+        }
+    return step
+
+
+def load_run(path: str) -> RunRecord:
+    """Load a previously saved run record from ``path``."""
+    with open(path, "r", encoding="utf-8") as handle:
+        data = json.load(handle)
+    return RunRecord.from_dict(data)
+
+
+def compare_runs(records: Sequence[RunRecord], threshold: float = 1.0 / 3.0) -> List[Dict[str, Any]]:
+    """Side-by-side summary rows for several runs (used by the CLI's compare command)."""
+    rows: List[Dict[str, Any]] = []
+    for record in records:
+        summary = record.corruption_summary(threshold=threshold)
+        rows.append(
+            {
+                "label": record.label,
+                "steps": len(record.steps),
+                "mean_worst": summary.mean,
+                "max_worst": summary.maximum,
+                "fraction_above": summary.fraction_above_threshold,
+                "final_size": record.metadata.get("final_network_size"),
+            }
+        )
+    return rows

@@ -1,0 +1,93 @@
+"""Drivers: run one or several event sources against an engine.
+
+Workloads (:mod:`repro.workloads.churn`) and adversaries
+(:mod:`repro.adversary`) expose the same per-step interface — "give me the
+next event for this system" — but adversaries receive an
+:class:`~repro.adversary.base.AdversaryContext` while workloads receive the
+engine directly.  The helpers here paper over that difference so experiments
+can interleave background churn with an attack using a single loop.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import List, Optional, Sequence, Tuple
+
+from ..adversary.base import Adversary, AdversaryContext
+from ..core.events import ChurnEvent
+from ..errors import ConfigurationError
+from .churn import ChurnWorkload
+
+
+def _next_event(source, engine) -> Optional[ChurnEvent]:
+    """Ask ``source`` (workload or adversary) for its next event."""
+    if isinstance(source, Adversary):
+        return source.next_event(AdversaryContext(engine))
+    if isinstance(source, ChurnWorkload):
+        return source.next_event(engine)
+    # Duck-typed source: anything with a next_event(engine) method.
+    return source.next_event(engine)
+
+
+def drive(engine, source, steps: int) -> List:
+    """Run a single event source against ``engine`` for ``steps`` time steps.
+
+    Steps on which the source returns ``None`` are skipped (no event, no time
+    advance), matching the paper's "or nothing occurs" case.
+    Returns the per-step reports produced by the engine.
+    """
+    if steps < 0:
+        raise ConfigurationError("steps must be non-negative")
+    reports = []
+    for _ in range(steps):
+        event = _next_event(source, engine)
+        if event is None:
+            continue
+        reports.append(engine.apply_event(event))
+    return reports
+
+
+class MixedDriver:
+    """Interleaves several event sources with fixed probabilities.
+
+    A typical experiment mixes background honest churn with an adversary's
+    attack stream, e.g. ``MixedDriver([(workload, 0.7), (attack, 0.3)], rng)``.
+    """
+
+    def __init__(self, sources: Sequence[Tuple[object, float]], rng: random.Random) -> None:
+        if not sources:
+            raise ConfigurationError("MixedDriver requires at least one source")
+        total = float(sum(weight for _, weight in sources))
+        if total <= 0:
+            raise ConfigurationError("source weights must sum to a positive value")
+        self._sources = [(source, weight / total) for source, weight in sources]
+        self._rng = rng
+
+    def next_event(self, engine) -> Optional[ChurnEvent]:
+        """Pick a source by weight and return its event (falling back to the others)."""
+        order = sorted(self._sources, key=lambda _pair: self._rng.random())
+        roll = self._rng.random()
+        cumulative = 0.0
+        chosen = None
+        for source, weight in self._sources:
+            cumulative += weight
+            if roll <= cumulative:
+                chosen = source
+                break
+        if chosen is None:
+            chosen = self._sources[-1][0]
+        event = _next_event(chosen, engine)
+        if event is not None:
+            return event
+        # The chosen source is idle; give the others a chance this step.
+        for source, _weight in order:
+            if source is chosen:
+                continue
+            event = _next_event(source, engine)
+            if event is not None:
+                return event
+        return None
+
+    def run(self, engine, steps: int) -> List:
+        """Drive ``engine`` for ``steps`` steps with the mixed stream."""
+        return drive(engine, self, steps)

@@ -1,0 +1,40 @@
+"""Shared fixtures for the test suite."""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+
+from repro import NowEngine, default_parameters
+from repro.params import ProtocolParameters
+
+
+@pytest.fixture
+def rng() -> random.Random:
+    """A deterministic RNG for tests."""
+    return random.Random(12345)
+
+
+@pytest.fixture
+def small_params() -> ProtocolParameters:
+    """Parameters sized for fast unit tests (small clusters, small overlay)."""
+    return default_parameters(max_size=1024, k=2.0, l=2.0, alpha=0.1, tau=0.1, epsilon=0.05)
+
+
+@pytest.fixture
+def mid_params() -> ProtocolParameters:
+    """Parameters for integration-style tests (larger clusters, safer margins)."""
+    return default_parameters(max_size=4096, k=3.0, l=2.0, alpha=0.1, tau=0.15, epsilon=0.05)
+
+
+@pytest.fixture
+def small_engine(small_params) -> NowEngine:
+    """A bootstrapped NOW engine with ~120 nodes and a low Byzantine fraction."""
+    return NowEngine.bootstrap(small_params, initial_size=120, byzantine_fraction=0.1, seed=42)
+
+
+@pytest.fixture
+def mid_engine(mid_params) -> NowEngine:
+    """A bootstrapped NOW engine with ~240 nodes, tau = 0.15."""
+    return NowEngine.bootstrap(mid_params, initial_size=240, byzantine_fraction=0.15, seed=7)

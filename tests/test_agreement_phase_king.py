@@ -1,0 +1,123 @@
+"""Unit tests for the Phase-King consensus and the agreement interface."""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+
+from repro.agreement.interface import (
+    AgreementOutcome,
+    check_agreement,
+    check_validity,
+)
+from repro.agreement.phase_king import (
+    PhaseKingConsensus,
+    equivocating_strategy,
+    silent_strategy,
+)
+
+
+class TestInterfaceHelpers:
+    def test_check_agreement_empty(self):
+        assert check_agreement({})
+
+    def test_check_agreement_true_false(self):
+        assert check_agreement({1: "a", 2: "a"})
+        assert not check_agreement({1: "a", 2: "b"})
+
+    def test_check_validity(self):
+        assert check_validity({1: 0, 2: 0}, {1: 0, 2: 1})
+        assert not check_validity({1: 5}, {1: 0, 2: 1})
+
+    def test_outcome_succeeded_property(self):
+        assert AgreementOutcome(agreement=True, validity=True).succeeded
+        assert not AgreementOutcome(agreement=True, validity=False).succeeded
+
+
+class TestPhaseKingNoFaults:
+    def test_unanimous_inputs_decide_that_value(self):
+        protocol = PhaseKingConsensus(random.Random(0))
+        inputs = {node: 1 for node in range(7)}
+        outcome = protocol.decide(inputs, byzantine=set())
+        assert outcome.agreement
+        assert outcome.validity
+        assert outcome.decided_value == 1
+
+    def test_mixed_inputs_reach_agreement(self):
+        protocol = PhaseKingConsensus(random.Random(0))
+        inputs = {node: node % 2 for node in range(9)}
+        outcome = protocol.decide(inputs, byzantine=set())
+        assert outcome.agreement
+        assert outcome.validity
+        assert outcome.decided_value in (0, 1)
+
+    def test_empty_inputs(self):
+        protocol = PhaseKingConsensus(random.Random(0))
+        outcome = protocol.decide({}, byzantine=set())
+        assert outcome.agreement and outcome.validity
+
+    def test_messages_and_rounds_counted(self):
+        protocol = PhaseKingConsensus(random.Random(0))
+        inputs = {node: 0 for node in range(6)}
+        outcome = protocol.decide(inputs, byzantine=set())
+        # one phase (f=0): all-to-all (6*5=30) plus the king's broadcast (5).
+        assert outcome.messages == 35
+        assert outcome.rounds == 2
+
+
+class TestPhaseKingWithByzantine:
+    @pytest.mark.parametrize("seed", [1, 2, 3, 4, 5])
+    def test_agreement_with_equivocating_minority(self, seed):
+        """n > 4f: 13 nodes, 2 Byzantine equivocators."""
+        rng = random.Random(seed)
+        protocol = PhaseKingConsensus(rng, byzantine_strategy=equivocating_strategy(rng))
+        inputs = {node: node % 2 for node in range(13)}
+        byzantine = {3, 7}
+        outcome = protocol.decide(inputs, byzantine)
+        assert outcome.agreement
+        assert outcome.validity
+
+    @pytest.mark.parametrize("seed", [11, 12, 13])
+    def test_agreement_with_silent_byzantine(self, seed):
+        rng = random.Random(seed)
+        protocol = PhaseKingConsensus(rng, byzantine_strategy=silent_strategy())
+        inputs = {node: 1 for node in range(9)}
+        byzantine = {0, 8}
+        outcome = protocol.decide(inputs, byzantine)
+        assert outcome.agreement
+        assert outcome.decided_value == 1  # unanimous honest inputs must win
+
+    def test_unanimous_honest_value_survives_attack(self):
+        """Validity: when all honest nodes propose v, the decision is v."""
+        for seed in range(5):
+            rng = random.Random(seed)
+            protocol = PhaseKingConsensus(rng, byzantine_strategy=equivocating_strategy(rng))
+            inputs = {node: 1 for node in range(12)}
+            byzantine = {2, 5}
+            outcome = protocol.decide(inputs, byzantine)
+            assert outcome.agreement
+            assert outcome.decided_value == 1
+
+    def test_byzantine_decisions_excluded_from_output(self):
+        rng = random.Random(1)
+        protocol = PhaseKingConsensus(rng)
+        inputs = {node: 0 for node in range(8)}
+        byzantine = {1}
+        outcome = protocol.decide(inputs, byzantine)
+        assert 1 not in outcome.decisions
+        assert set(outcome.decisions) == set(range(8)) - {1}
+
+    def test_tolerated_fraction_reported(self):
+        protocol = PhaseKingConsensus(random.Random(0))
+        assert protocol.tolerated_fraction() == pytest.approx(0.25)
+        assert protocol.supports(participant_count=13, byzantine_count=3)
+        assert not protocol.supports(participant_count=12, byzantine_count=3)
+
+    def test_cost_scales_with_fault_bound(self):
+        protocol = PhaseKingConsensus(random.Random(0))
+        inputs = {node: node % 2 for node in range(16)}
+        cheap = protocol.decide(inputs, byzantine=set())
+        costly = protocol.decide(inputs, byzantine={0, 1, 2})
+        assert costly.rounds > cheap.rounds
+        assert costly.messages > cheap.messages

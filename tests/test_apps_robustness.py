@@ -1,0 +1,128 @@
+"""Robustness tests for the application layer when clusters are captured.
+
+The services' guarantees rest on every cluster being honest-majority; these
+tests corrupt clusters deliberately (bypassing the protocol, by flipping the
+ground-truth roles) and check that the failure modes are the documented ones:
+forged inter-cluster messages, poisoned aggregates, Byzantine cluster-level
+participants — i.e. the applications degrade exactly where the paper says the
+assumptions end, and not before.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro import NowEngine, default_parameters
+from repro.apps import (
+    AggregationService,
+    ClusterAgreementService,
+    ClusteredBroadcast,
+    SamplingService,
+)
+from repro.core.intercluster import InterClusterChannel
+from repro.network.node import NodeRole
+
+
+def build_engine(seed=33):
+    params = default_parameters(max_size=1024, k=2.0, tau=0.1, epsilon=0.05)
+    return NowEngine.bootstrap(params, initial_size=160, byzantine_fraction=0.1, seed=seed)
+
+
+def capture_cluster(engine, cluster_id, fraction=1.0):
+    """Flip members of ``cluster_id`` to Byzantine until ``fraction`` is reached."""
+    members = engine.state.clusters.get(cluster_id).member_list()
+    to_corrupt = int(round(fraction * len(members)))
+    for node_id in members[:to_corrupt]:
+        engine.state.nodes.get(node_id).role = NodeRole.BYZANTINE
+    return engine.state.cluster_byzantine_fraction(cluster_id)
+
+
+class TestBroadcastUnderCapture:
+    def test_captured_origin_cannot_inject_valid_cluster_messages(self):
+        engine = build_engine()
+        origin = engine.state.clusters.cluster_ids()[0]
+        capture_cluster(engine, origin, fraction=1.0)
+        report = ClusteredBroadcast(engine).broadcast("payload", origin_cluster=origin)
+        # The origin's own messages fail the more-than-half honest rule, so no
+        # other cluster accepts the honest payload from it.
+        assert report.clusters_reached == {origin}
+        assert report.coverage(engine.cluster_count) < 1.0
+
+    def test_captured_intermediate_cluster_cannot_block_dissemination(self):
+        engine = build_engine()
+        cluster_ids = engine.state.clusters.cluster_ids()
+        victim = cluster_ids[1]
+        capture_cluster(engine, victim, fraction=1.0)
+        origin = cluster_ids[0]
+        report = ClusteredBroadcast(engine).broadcast("payload", origin_cluster=origin)
+        # A captured cluster still *receives* the payload (each receiving node
+        # validates the sender cluster, which is honest), but nothing it
+        # forwards is trusted; the expander overlay routes around it, so every
+        # cluster is reached regardless.
+        assert report.coverage(engine.cluster_count) == pytest.approx(1.0)
+        assert origin in report.clusters_reached
+
+
+class TestAggregationUnderCapture:
+    def test_captured_cluster_poison_is_blocked_by_the_majority_rule(self):
+        engine = build_engine()
+        cluster_ids = engine.state.clusters.cluster_ids()
+        victim = cluster_ids[-1]
+        capture_cluster(engine, victim, fraction=1.0)
+        values = {node_id: 1.0 for node_id in engine.active_nodes()}
+        origin = cluster_ids[0]
+        report = AggregationService(engine).aggregate_sum(
+            values, origin_cluster=origin, byzantine_value=50.0
+        )
+        honest_total = report.exact_honest_value
+        # The captured cluster cannot push its forged partial through the
+        # more-than-half acceptance rule, so the aggregate never exceeds the
+        # honest total; what can be lost is the captured cluster's own subtree
+        # of the convergecast, which stays a small part of the whole.
+        assert report.value <= honest_total
+        assert report.value > 0.5 * honest_total
+
+    def test_intact_system_is_exact(self):
+        engine = build_engine()
+        values = {node_id: 3.0 for node_id in engine.active_nodes()}
+        report = AggregationService(engine).aggregate_sum(values, byzantine_value=99.0)
+        assert report.value == pytest.approx(report.exact_honest_value)
+
+
+class TestInterClusterChannelUnderCapture:
+    def test_forged_payload_delivered_from_captured_sender(self):
+        engine = build_engine()
+        cluster_ids = engine.state.clusters.cluster_ids()
+        sender, receiver = cluster_ids[0], cluster_ids[1]
+        capture_cluster(engine, sender, fraction=0.8)
+        channel = InterClusterChannel(engine.state)
+        outcome = channel.send(sender, receiver, payload="honest", adversarial_payload="forged")
+        assert outcome.forged
+        assert outcome.payload == "forged"
+
+
+class TestClusterAgreementUnderCapture:
+    def test_compromised_clusters_are_reported_as_byzantine_participants(self):
+        engine = build_engine()
+        cluster_ids = engine.state.clusters.cluster_ids()
+        victim = cluster_ids[0]
+        capture_cluster(engine, victim, fraction=0.8)
+        report = ClusterAgreementService(engine).decide()
+        assert victim in report.compromised_clusters
+        # One captured cluster out of several: cluster-level Phase King still
+        # needs #clusters > 4f, which holds here, so agreement succeeds.
+        if len(cluster_ids) > 4:
+            assert report.agreement
+
+
+class TestSamplingUnderCapture:
+    def test_byzantine_sample_rate_tracks_global_fraction_after_capture(self):
+        engine = build_engine()
+        victim = engine.state.clusters.cluster_ids()[0]
+        capture_cluster(engine, victim, fraction=1.0)
+        global_fraction = engine.state.nodes.byzantine_fraction()
+        samples = SamplingService(engine).sample_many(250)
+        measured = SamplingService.byzantine_sample_fraction(samples)
+        # Sampling remains uniform over nodes, so the Byzantine hit rate tracks
+        # the (now higher) global fraction rather than exploding to 1.
+        assert measured == pytest.approx(global_fraction, abs=0.1)

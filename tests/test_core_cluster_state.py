@@ -1,0 +1,230 @@
+"""Unit tests for clusters, the cluster registry, the node registry and the system state."""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+
+from repro.core.cluster import Cluster, ClusterRegistry
+from repro.core.state import NodeRegistry, SystemState
+from repro.errors import ProtocolViolationError, UnknownClusterError, UnknownNodeError
+from repro.network.node import NodeRole
+from repro.params import ProtocolParameters
+
+
+class TestCluster:
+    def test_membership_basics(self):
+        cluster = Cluster(cluster_id=1, members={1, 2, 3})
+        assert len(cluster) == 3
+        assert 2 in cluster
+        assert cluster.member_list() == [1, 2, 3]
+
+    def test_add_and_remove(self):
+        cluster = Cluster(cluster_id=1)
+        cluster.add_member(5)
+        assert 5 in cluster
+        cluster.remove_member(5)
+        assert 5 not in cluster
+
+    def test_duplicate_add_rejected(self):
+        cluster = Cluster(cluster_id=1, members={5})
+        with pytest.raises(ProtocolViolationError):
+            cluster.add_member(5)
+
+    def test_remove_missing_rejected(self):
+        cluster = Cluster(cluster_id=1)
+        with pytest.raises(UnknownNodeError):
+            cluster.remove_member(5)
+
+    def test_swap_member(self):
+        cluster = Cluster(cluster_id=1, members={1, 2})
+        cluster.swap_member(1, 9)
+        assert cluster.members == {2, 9}
+
+    def test_swap_same_node_is_noop(self):
+        cluster = Cluster(cluster_id=1, members={1, 2})
+        cluster.swap_member(1, 1)
+        assert cluster.members == {1, 2}
+
+    def test_swap_validations(self):
+        cluster = Cluster(cluster_id=1, members={1, 2})
+        with pytest.raises(UnknownNodeError):
+            cluster.swap_member(7, 9)
+        with pytest.raises(ProtocolViolationError):
+            cluster.swap_member(1, 2)
+
+    def test_snapshot_is_immutable_copy(self):
+        cluster = Cluster(cluster_id=1, members={1, 2})
+        snapshot = cluster.snapshot()
+        cluster.add_member(3)
+        assert snapshot == frozenset({1, 2})
+
+
+class TestClusterRegistry:
+    def test_create_and_lookup(self):
+        registry = ClusterRegistry()
+        cluster = registry.create_cluster([1, 2, 3])
+        assert registry.get(cluster.cluster_id) is cluster
+        assert registry.cluster_of(2) == cluster.cluster_id
+        assert registry.contains_node(3)
+        assert registry.total_nodes() == 3
+
+    def test_fresh_ids_never_reused(self):
+        registry = ClusterRegistry()
+        first = registry.create_cluster([1])
+        registry.dissolve_cluster(first.cluster_id)
+        second = registry.create_cluster([2])
+        assert second.cluster_id != first.cluster_id
+
+    def test_explicit_cluster_id(self):
+        registry = ClusterRegistry()
+        cluster = registry.create_cluster([1], cluster_id=10)
+        assert cluster.cluster_id == 10
+        follow_up = registry.create_cluster([2])
+        assert follow_up.cluster_id > 10
+
+    def test_node_in_two_clusters_rejected(self):
+        registry = ClusterRegistry()
+        registry.create_cluster([1, 2])
+        with pytest.raises(ProtocolViolationError):
+            registry.create_cluster([2, 3])
+
+    def test_add_remove_member_updates_index(self):
+        registry = ClusterRegistry()
+        cluster = registry.create_cluster([1, 2])
+        registry.add_member(cluster.cluster_id, 3)
+        assert registry.cluster_of(3) == cluster.cluster_id
+        registry.remove_member(cluster.cluster_id, 1)
+        assert not registry.contains_node(1)
+
+    def test_add_member_already_assigned_rejected(self):
+        registry = ClusterRegistry()
+        first = registry.create_cluster([1])
+        second = registry.create_cluster([2])
+        with pytest.raises(ProtocolViolationError):
+            registry.add_member(second.cluster_id, 1)
+
+    def test_move_member(self):
+        registry = ClusterRegistry()
+        first = registry.create_cluster([1, 2])
+        second = registry.create_cluster([3])
+        registry.move_member(1, second.cluster_id)
+        assert registry.cluster_of(1) == second.cluster_id
+        assert 1 not in registry.get(first.cluster_id)
+
+    def test_swap_members_across_clusters(self):
+        registry = ClusterRegistry()
+        first = registry.create_cluster([1, 2])
+        second = registry.create_cluster([3, 4])
+        registry.swap_members(first.cluster_id, 1, second.cluster_id, 3)
+        assert registry.cluster_of(1) == second.cluster_id
+        assert registry.cluster_of(3) == first.cluster_id
+        assert registry.total_nodes() == 4
+
+    def test_dissolve_cluster_unassigns_members(self):
+        registry = ClusterRegistry()
+        cluster = registry.create_cluster([1, 2])
+        registry.dissolve_cluster(cluster.cluster_id)
+        assert not registry.contains_node(1)
+        with pytest.raises(UnknownClusterError):
+            registry.get(cluster.cluster_id)
+
+    def test_unknown_lookups_raise(self):
+        registry = ClusterRegistry()
+        with pytest.raises(UnknownClusterError):
+            registry.get(5)
+        with pytest.raises(UnknownNodeError):
+            registry.cluster_of(5)
+
+    def test_sizes_mapping(self):
+        registry = ClusterRegistry()
+        a = registry.create_cluster([1, 2, 3])
+        b = registry.create_cluster([4])
+        assert registry.sizes() == {a.cluster_id: 3, b.cluster_id: 1}
+
+
+class TestNodeRegistry:
+    def test_register_and_roles(self):
+        registry = NodeRegistry()
+        honest = registry.register()
+        byz = registry.register(role=NodeRole.BYZANTINE)
+        assert not registry.is_byzantine(honest.node_id)
+        assert registry.is_byzantine(byz.node_id)
+        assert registry.active_count() == 2
+        assert registry.byzantine_fraction() == pytest.approx(0.5)
+
+    def test_ids_are_unique_and_monotone(self):
+        registry = NodeRegistry()
+        ids = [registry.register().node_id for _ in range(10)]
+        assert ids == sorted(ids)
+        assert len(set(ids)) == 10
+
+    def test_explicit_id_registration(self):
+        registry = NodeRegistry()
+        registry.register(node_id=50)
+        follow_up = registry.register()
+        assert follow_up.node_id > 50
+        with pytest.raises(UnknownNodeError):
+            registry.register(node_id=50)
+
+    def test_leave_and_reactivate(self):
+        registry = NodeRegistry()
+        node = registry.register()
+        registry.mark_left(node.node_id, time_step=5)
+        assert not registry.is_active(node.node_id)
+        assert node.node_id not in registry.active_nodes()
+        registry.reactivate(node.node_id, time_step=9)
+        assert registry.is_active(node.node_id)
+
+    def test_active_byzantine_excludes_departed(self):
+        registry = NodeRegistry()
+        byz = registry.register(role=NodeRole.BYZANTINE)
+        registry.register(role=NodeRole.BYZANTINE)
+        registry.mark_left(byz.node_id, time_step=1)
+        assert byz.node_id not in registry.active_byzantine()
+        assert len(registry.active_byzantine()) == 1
+
+    def test_unknown_node_raises(self):
+        registry = NodeRegistry()
+        with pytest.raises(UnknownNodeError):
+            registry.get(3)
+
+
+class TestSystemState:
+    def build_state(self):
+        params = ProtocolParameters(max_size=1024, k=2.0, tau=0.1, epsilon=0.05)
+        state = SystemState(parameters=params, rng=random.Random(0))
+        honest = [state.nodes.register().node_id for _ in range(6)]
+        byz = [state.nodes.register(role=NodeRole.BYZANTINE).node_id for _ in range(2)]
+        state.clusters.create_cluster(honest[:3] + byz[:1])   # 1/4 corrupt
+        state.clusters.create_cluster(honest[3:] + byz[1:])   # 1/4 corrupt
+        return state
+
+    def test_network_size_and_fractions(self):
+        state = self.build_state()
+        assert state.network_size == 8
+        fractions = state.byzantine_fractions()
+        assert all(value == pytest.approx(0.25) for value in fractions.values())
+        assert state.worst_cluster_fraction() == pytest.approx(0.25)
+
+    def test_compromise_detection_threshold(self):
+        state = self.build_state()
+        assert state.compromised_clusters() == []
+        assert len(state.compromised_clusters(threshold=0.2)) == 2
+
+    def test_overlay_weight_sync(self):
+        state = self.build_state()
+        cluster_ids = state.clusters.cluster_ids()
+        state.overlay.bootstrap(cluster_ids, weights=[1.0, 1.0])
+        state.sync_all_overlay_weights()
+        for cluster_id in cluster_ids:
+            assert state.overlay.graph.weight(cluster_id) == len(
+                state.clusters.get(cluster_id)
+            )
+
+    def test_advance_time(self):
+        state = self.build_state()
+        assert state.advance_time() == 1
+        assert state.advance_time() == 2
+        assert state.time_step == 2

@@ -1,0 +1,216 @@
+"""Unit tests for the Join/Leave/Split/Merge maintenance operations."""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+
+from repro.core.exchange import ExchangeProtocol
+from repro.core.operations import (
+    JoinOperation,
+    LeaveOperation,
+    MergeOperation,
+    SplitOperation,
+)
+from repro.core.randcl import RandCl
+from repro.core.state import SystemState
+from repro.errors import ProtocolViolationError, UnknownClusterError
+from repro.network.node import NodeRole
+from repro.params import ProtocolParameters
+from repro.walks.sampler import WalkMode
+
+
+def build_state(cluster_sizes=(12, 12, 12), seed=5, max_size=1024):
+    params = ProtocolParameters(max_size=max_size, k=2.0, tau=0.1, epsilon=0.05)
+    state = SystemState(parameters=params, rng=random.Random(seed))
+    cluster_ids = []
+    for size in cluster_sizes:
+        members = [state.nodes.register().node_id for _ in range(size)]
+        cluster_ids.append(state.clusters.create_cluster(members).cluster_id)
+    weights = [float(len(state.clusters.get(cid))) for cid in cluster_ids]
+    state.overlay.bootstrap(cluster_ids, weights)
+    return state
+
+
+def make_ops(state):
+    randcl = RandCl(state, walk_mode=WalkMode.ORACLE)
+    exchange = ExchangeProtocol(state, randcl)
+    join = JoinOperation(state, randcl, exchange=exchange)
+    leave = LeaveOperation(state, randcl, exchange=exchange)
+    split = SplitOperation(state, randcl, exchange=exchange)
+    merge = MergeOperation(state, randcl, exchange=exchange)
+    return join, leave, split, merge
+
+
+class TestJoinOperation:
+    def test_join_adds_node_to_some_cluster(self):
+        state = build_state(cluster_sizes=(8, 8, 8))
+        join, _, _, _ = make_ops(state)
+        newcomer = state.nodes.register().node_id
+        contact = state.clusters.cluster_ids()[0]
+        report = join.execute(newcomer, contact)
+        assert state.clusters.contains_node(newcomer)
+        assert report.operation == "join"
+        assert report.primary_cluster in state.clusters
+        assert report.messages > 0
+        assert report.exchanged_nodes > 0  # the host cluster was shuffled
+
+    def test_join_unknown_contact_rejected(self):
+        state = build_state()
+        join, _, _, _ = make_ops(state)
+        newcomer = state.nodes.register().node_id
+        with pytest.raises(UnknownClusterError):
+            join.execute(newcomer, 9999)
+
+    def test_join_already_clustered_node_rejected(self):
+        state = build_state()
+        join, _, _, _ = make_ops(state)
+        existing = state.clusters.get(state.clusters.cluster_ids()[0]).member_list()[0]
+        with pytest.raises(ProtocolViolationError):
+            join.execute(existing, state.clusters.cluster_ids()[0])
+
+    def test_join_triggers_split_above_threshold(self):
+        state = build_state(cluster_sizes=(8,))  # single cluster, will receive the join
+        params = state.parameters
+        # Grow the cluster to just below the split threshold.
+        only_cluster = state.clusters.cluster_ids()[0]
+        while len(state.clusters.get(only_cluster)) <= params.split_threshold:
+            filler = state.nodes.register().node_id
+            state.clusters.add_member(only_cluster, filler)
+        state.sync_all_overlay_weights()
+        join, _, _, _ = make_ops(state)
+        newcomer = state.nodes.register().node_id
+        report = join.execute(newcomer, only_cluster)
+        assert "split" in report.operations_flat()
+        assert len(state.clusters) == 2
+
+    def test_join_without_split_when_disallowed(self):
+        state = build_state(cluster_sizes=(8,))
+        only_cluster = state.clusters.cluster_ids()[0]
+        while len(state.clusters.get(only_cluster)) <= state.parameters.split_threshold:
+            state.clusters.add_member(only_cluster, state.nodes.register().node_id)
+        state.sync_all_overlay_weights()
+        join, _, _, _ = make_ops(state)
+        newcomer = state.nodes.register().node_id
+        report = join.execute(newcomer, only_cluster, allow_split=False)
+        assert "split" not in report.operations_flat()
+        assert len(state.clusters) == 1
+
+
+class TestLeaveOperation:
+    def test_leave_removes_node(self):
+        state = build_state()
+        _, leave, _, _ = make_ops(state)
+        cluster_id = state.clusters.cluster_ids()[0]
+        departing = state.clusters.get(cluster_id).member_list()[0]
+        report = leave.execute(departing)
+        assert not state.clusters.contains_node(departing)
+        assert report.operation == "leave"
+        assert report.primary_cluster == cluster_id
+        assert report.messages > 0
+
+    def test_leave_cascade_exchanges_partner_clusters(self):
+        state = build_state()
+        _, leave, _, _ = make_ops(state)
+        cluster_id = state.clusters.cluster_ids()[0]
+        departing = state.clusters.get(cluster_id).member_list()[0]
+        report = leave.execute(departing)
+        # The exchanged-nodes count includes the cascading partner exchanges,
+        # so it must exceed what a single cluster exchange could produce.
+        assert report.exchanged_nodes >= len(state.clusters.get(cluster_id))
+
+    def test_leave_without_cascade(self):
+        state = build_state()
+        randcl = RandCl(state, walk_mode=WalkMode.ORACLE)
+        leave = LeaveOperation(state, randcl, cascade_exchanges=False)
+        cluster_id = state.clusters.cluster_ids()[0]
+        departing = state.clusters.get(cluster_id).member_list()[0]
+        report = leave.execute(departing)
+        assert report.exchanged_nodes <= len(state.clusters.get(cluster_id)) + 1
+
+    def test_leave_triggers_merge_below_threshold(self):
+        state = build_state(cluster_sizes=(8, 8, 8))
+        merge_threshold = state.parameters.merge_threshold
+        target = state.clusters.cluster_ids()[0]
+        # Shrink the target cluster to exactly the merge threshold.
+        while len(state.clusters.get(target)) > merge_threshold:
+            victim = state.clusters.get(target).member_list()[0]
+            state.clusters.remove_member(target, victim)
+            state.nodes.mark_left(victim, 0)
+        state.sync_all_overlay_weights()
+        _, leave, _, _ = make_ops(state)
+        departing = state.clusters.get(target).member_list()[0]
+        state.nodes.mark_left(departing, 1)
+        report = leave.execute(departing)
+        assert "merge" in report.operations_flat()
+        assert target not in state.clusters
+        # All nodes remain clustered (the merged cluster's members re-joined).
+        for node_id in state.nodes.active_nodes():
+            assert state.clusters.contains_node(node_id)
+
+
+class TestSplitOperation:
+    def test_split_produces_two_clusters_of_half_size(self):
+        state = build_state(cluster_sizes=(20, 8))
+        _, _, split, _ = make_ops(state)
+        target = state.clusters.cluster_ids()[0]
+        report = split.execute(target)
+        assert report.new_cluster is not None
+        assert report.new_cluster in state.clusters
+        old_size = len(state.clusters.get(target))
+        new_size = len(state.clusters.get(report.new_cluster))
+        assert old_size + new_size == 20
+        assert abs(old_size - new_size) <= 1
+        assert report.new_cluster in state.overlay.graph
+        assert state.overlay.graph.is_connected()
+
+    def test_split_tiny_cluster_rejected(self):
+        state = build_state(cluster_sizes=(1, 8))
+        _, _, split, _ = make_ops(state)
+        with pytest.raises(ProtocolViolationError):
+            split.execute(state.clusters.cluster_ids()[0])
+
+
+class TestMergeOperation:
+    def test_merge_dissolves_cluster_and_rehomes_members(self):
+        state = build_state(cluster_sizes=(4, 10, 10))
+        _, _, _, merge = make_ops(state)
+        target = state.clusters.cluster_ids()[0]
+        members = set(state.clusters.get(target).members)
+        report = merge.execute(target)
+        assert target not in state.clusters
+        assert target not in state.overlay.graph
+        for node_id in members:
+            assert state.clusters.contains_node(node_id)
+        # Each re-join is recorded as a triggered operation.
+        assert len([r for r in report.triggered if r.operation == "join"]) == len(members)
+
+    def test_merge_last_cluster_rejected(self):
+        state = build_state(cluster_sizes=(6,))
+        _, _, _, merge = make_ops(state)
+        with pytest.raises(ProtocolViolationError):
+            merge.execute(state.clusters.cluster_ids()[0])
+
+
+class TestOperationReport:
+    def test_operations_flat_nesting(self):
+        from repro.core.operations import OperationReport
+
+        root = OperationReport(operation="leave")
+        child = OperationReport(operation="merge")
+        grandchild = OperationReport(operation="join")
+        child.absorb(grandchild)
+        root.absorb(child)
+        assert root.operations_flat() == ["leave", "merge", "join"]
+
+    def test_absorb_accumulates_costs(self):
+        from repro.core.operations import OperationReport
+
+        root = OperationReport(operation="join", messages=10, rounds=2)
+        child = OperationReport(operation="split", messages=5, rounds=1, walk_hops=3)
+        root.absorb(child)
+        assert root.messages == 15
+        assert root.rounds == 3
+        assert root.walk_hops == 3
+        assert root.triggered == [child]

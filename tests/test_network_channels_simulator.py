@@ -1,0 +1,170 @@
+"""Unit tests for private channels and the synchronous round simulator."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.errors import SimulationError
+from repro.network.channels import ChannelSet
+from repro.network.message import Message, MessageKind
+from repro.network.metrics import CommunicationMetrics
+from repro.network.node import EchoProcess, NodeDescriptor, NodeProcess, SilentProcess
+from repro.network.simulator import RoundSimulator
+from repro.network.topology import KnowledgeGraph
+
+
+def clique_graph(size: int) -> KnowledgeGraph:
+    graph = KnowledgeGraph()
+    graph.connect_clique(range(size))
+    return graph
+
+
+class TestChannelSet:
+    def test_send_requires_knowledge(self):
+        graph = KnowledgeGraph()
+        graph.add_node(1)
+        graph.add_node(2)
+        channels = ChannelSet(graph)
+        with pytest.raises(SimulationError):
+            channels.send(Message(sender=1, receiver=2), round_number=0)
+
+    def test_send_to_self_rejected(self):
+        graph = clique_graph(3)
+        channels = ChannelSet(graph)
+        with pytest.raises(SimulationError):
+            channels.send(Message(sender=1, receiver=1), round_number=0)
+
+    def test_delivery_next_round_only(self):
+        graph = clique_graph(3)
+        channels = ChannelSet(graph)
+        channels.send(Message(sender=0, receiver=1, payload="x"), round_number=0)
+        assert channels.deliver(1) == []  # not yet advanced
+        channels.advance_round()
+        delivered = channels.deliver(1)
+        assert len(delivered) == 1
+        assert delivered[0].payload == "x"
+        # Consuming clears the buffer.
+        assert channels.deliver(1) == []
+
+    def test_metrics_charged_per_message(self):
+        graph = clique_graph(4)
+        metrics = CommunicationMetrics()
+        channels = ChannelSet(graph, metrics=metrics)
+        channels.broadcast(0, [1, 2, 3], MessageKind.CONTROL, "t", None, round_number=0)
+        assert metrics.messages == 3
+
+    def test_broadcast_skips_self(self):
+        graph = clique_graph(3)
+        channels = ChannelSet(graph)
+        sent = channels.broadcast(0, [0, 1, 2], MessageKind.CONTROL, "t", None, round_number=0)
+        assert sent == 2
+
+    def test_drop_node_discards_messages(self):
+        graph = clique_graph(3)
+        channels = ChannelSet(graph)
+        channels.send(Message(sender=0, receiver=1), round_number=0)
+        channels.drop_node(1)
+        channels.advance_round()
+        assert channels.deliver(1) == []
+
+    def test_disable_knowledge_enforcement(self):
+        graph = KnowledgeGraph()
+        graph.add_node(1)
+        graph.add_node(2)
+        channels = ChannelSet(graph, enforce_knowledge=False)
+        channels.send(Message(sender=1, receiver=2), round_number=0)
+        channels.advance_round()
+        assert len(channels.deliver(2)) == 1
+
+
+class CountingProcess(NodeProcess):
+    """Counts rounds and received messages; sends one message per round to node 0."""
+
+    def __init__(self, descriptor, target=0):
+        super().__init__(descriptor)
+        self.rounds_seen = 0
+        self.received = []
+        self._target = target
+
+    def on_round(self, round_number):
+        self.rounds_seen += 1
+        if self.node_id != self._target:
+            return (
+                Message(sender=self.node_id, receiver=self._target, topic="ping", payload=round_number),
+            )
+        return ()
+
+    def on_message(self, message, round_number):
+        self.received.append(message)
+        return ()
+
+
+class TestRoundSimulator:
+    def build(self, count=3):
+        simulator = RoundSimulator(knowledge=clique_graph(count))
+        processes = []
+        for node_id in range(count):
+            process = CountingProcess(NodeDescriptor(node_id=node_id))
+            processes.append(process)
+            simulator.add_process(process)
+        return simulator, processes
+
+    def test_duplicate_process_rejected(self):
+        simulator, _ = self.build(2)
+        with pytest.raises(SimulationError):
+            simulator.add_process(CountingProcess(NodeDescriptor(node_id=0)))
+
+    def test_round_counting_and_metrics(self):
+        simulator, processes = self.build(3)
+        simulator.run(5)
+        assert simulator.current_round == 5
+        assert simulator.metrics.rounds == 5
+        assert all(process.rounds_seen == 5 for process in processes)
+
+    def test_messages_delivered_next_round(self):
+        simulator, processes = self.build(3)
+        simulator.run(1)
+        assert processes[0].received == []  # sent in round 1, delivered in round 2
+        simulator.run(1)
+        assert len(processes[0].received) == 2
+
+    def test_echo_process_round_trip(self):
+        simulator = RoundSimulator(knowledge=clique_graph(2))
+        echo = EchoProcess(NodeDescriptor(node_id=1))
+        counter = CountingProcess(NodeDescriptor(node_id=0), target=1)
+        simulator.add_process(counter)
+        simulator.add_process(echo)
+        # counter is node 0 targeting 1; echo answers back.
+        simulator.run(3)
+        assert any(message.topic.startswith("echo:") for message in counter.received)
+
+    def test_stop_when_predicate(self):
+        simulator, _ = self.build(2)
+        executed = simulator.run(50, stop_when=lambda sim: sim.current_round >= 4)
+        assert executed == 4
+
+    def test_run_until_quiescent_with_silent_processes(self):
+        simulator = RoundSimulator(knowledge=clique_graph(2))
+        simulator.add_process(SilentProcess(NodeDescriptor(node_id=0)))
+        simulator.add_process(SilentProcess(NodeDescriptor(node_id=1)))
+        executed = simulator.run_until_quiescent(max_rounds=10)
+        assert executed == 0
+
+    def test_halted_process_not_invoked(self):
+        simulator, processes = self.build(2)
+        processes[1].halt()
+        simulator.run(3)
+        assert processes[1].rounds_seen == 0
+        assert simulator.all_halted() is False
+
+    def test_remove_process(self):
+        simulator, processes = self.build(3)
+        simulator.remove_process(2)
+        simulator.run(2)
+        senders = {message.sender for message in processes[0].received}
+        assert 2 not in senders
+
+    def test_negative_rounds_rejected(self):
+        simulator, _ = self.build(2)
+        with pytest.raises(SimulationError):
+            simulator.run(-1)

@@ -1,0 +1,184 @@
+"""Unit tests for the knowledge graph and the failure detector."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.errors import UnknownNodeError
+from repro.network.failure import FailureDetector
+from repro.network.node import NodeDescriptor, NodeRole, NodeState
+from repro.network.topology import KnowledgeGraph
+
+
+def ring(size: int) -> KnowledgeGraph:
+    graph = KnowledgeGraph()
+    for index in range(size):
+        graph.connect(index, (index + 1) % size)
+    return graph
+
+
+class TestKnowledgeGraphMutation:
+    def test_add_node_idempotent(self):
+        graph = KnowledgeGraph()
+        graph.add_node(1)
+        graph.add_node(1)
+        assert len(graph) == 1
+
+    def test_connect_adds_missing_nodes(self):
+        graph = KnowledgeGraph()
+        graph.connect(1, 2)
+        assert graph.knows(1, 2)
+        assert graph.knows(2, 1)
+
+    def test_self_connection_ignored(self):
+        graph = KnowledgeGraph()
+        graph.add_node(1)
+        graph.connect(1, 1)
+        assert graph.degree(1) == 0
+
+    def test_disconnect(self):
+        graph = KnowledgeGraph()
+        graph.connect(1, 2)
+        graph.disconnect(1, 2)
+        assert not graph.knows(1, 2)
+
+    def test_remove_node_clears_edges(self):
+        graph = ring(4)
+        graph.remove_node(0)
+        assert 0 not in graph
+        assert not graph.knows(1, 0)
+        assert not graph.knows(3, 0)
+
+    def test_remove_unknown_node_raises(self):
+        with pytest.raises(UnknownNodeError):
+            KnowledgeGraph().remove_node(9)
+
+    def test_connect_clique(self):
+        graph = KnowledgeGraph()
+        graph.connect_clique([1, 2, 3, 4])
+        for first in (1, 2, 3, 4):
+            assert graph.degree(first) == 3
+
+    def test_connect_bipartite(self):
+        graph = KnowledgeGraph()
+        graph.connect_bipartite([1, 2], [3, 4, 5])
+        assert graph.degree(1) == 3
+        assert graph.degree(4) == 2
+        assert not graph.knows(1, 2)
+
+
+class TestKnowledgeGraphQueries:
+    def test_edge_count(self):
+        assert ring(5).edge_count() == 5
+
+    def test_neighbours_are_copies(self):
+        graph = ring(4)
+        neighbours = graph.neighbours(0)
+        neighbours.add(99)
+        assert 99 not in graph.neighbours(0)
+
+    def test_unknown_neighbours_raises(self):
+        with pytest.raises(UnknownNodeError):
+            ring(3).neighbours(7)
+
+    def test_is_connected_true_for_ring(self):
+        assert ring(6).is_connected()
+
+    def test_is_connected_false_for_split_graph(self):
+        graph = KnowledgeGraph()
+        graph.connect(1, 2)
+        graph.connect(3, 4)
+        assert not graph.is_connected()
+
+    def test_empty_graph_is_connected(self):
+        assert KnowledgeGraph().is_connected()
+
+    def test_bfs_distances_on_ring(self):
+        graph = ring(6)
+        distances = graph.bfs_distances(0)
+        assert distances[3] == 3
+        assert distances[5] == 1
+
+    def test_bfs_distances_restricted(self):
+        graph = ring(6)
+        distances = graph.bfs_distances(0, restrict_to={0, 1, 2})
+        assert 3 not in distances
+        assert distances[2] == 2
+
+    def test_edges_iteration_sorted_pairs(self):
+        graph = ring(4)
+        for first, second in graph.edges():
+            assert first < second
+
+    def test_honest_adjacent_diameter_all_honest(self):
+        graph = ring(6)
+        honest = set(range(6))
+        assert graph.honest_adjacent_diameter(honest) == 3
+
+    def test_honest_adjacent_diameter_byzantine_cut(self):
+        """Edges between two Byzantine nodes do not count."""
+        graph = KnowledgeGraph()
+        # path 0 - 1 - 2 - 3 where 1 and 2 are Byzantine: the 1-2 edge is unusable.
+        graph.connect(0, 1)
+        graph.connect(1, 2)
+        graph.connect(2, 3)
+        diameter_all_honest = graph.honest_adjacent_diameter({0, 1, 2, 3})
+        diameter_with_byz = graph.honest_adjacent_diameter({0, 3})
+        assert diameter_all_honest == 3
+        assert diameter_with_byz >= 4  # 0 cannot reach 3 through the 1-2 edge
+
+
+class TestFailureDetector:
+    def make_detector(self):
+        graph = ring(4)
+        detector = FailureDetector(graph)
+        for node_id in range(4):
+            detector.register(NodeDescriptor(node_id=node_id))
+        return graph, detector
+
+    def test_alive_after_register(self):
+        _, detector = self.make_detector()
+        assert detector.is_alive(2)
+
+    def test_mark_left_detected_by_neighbour_once(self):
+        _, detector = self.make_detector()
+        detector.mark_left(1)
+        first_observer = detector.detect_departed_neighbours(0)
+        second_observer = detector.detect_departed_neighbours(2)
+        assert first_observer == [1]
+        assert second_observer == []  # reported only once
+
+    def test_crash_and_leave_both_reported(self):
+        _, detector = self.make_detector()
+        detector.mark_crashed(1)
+        detector.mark_left(3)
+        departed = detector.detect_departed_neighbours(0)
+        assert set(departed) == {1, 3}
+
+    def test_rejoin_clears_report(self):
+        _, detector = self.make_detector()
+        detector.mark_left(1)
+        detector.detect_departed_neighbours(0)
+        detector.mark_active(1)
+        assert detector.is_alive(1)
+        detector.mark_left(1)
+        assert detector.detect_departed_neighbours(2) == [1]
+
+    def test_state_queries(self):
+        _, detector = self.make_detector()
+        detector.mark_left(1)
+        assert detector.state_of(1) is NodeState.LEFT
+        assert 1 in detector.departed_nodes()
+        assert 1 not in detector.active_nodes()
+
+    def test_unknown_node_raises(self):
+        _, detector = self.make_detector()
+        with pytest.raises(UnknownNodeError):
+            detector.mark_left(99)
+
+    def test_forget(self):
+        _, detector = self.make_detector()
+        detector.mark_left(1)
+        detector.forget(1)
+        with pytest.raises(UnknownNodeError):
+            detector.state_of(1)

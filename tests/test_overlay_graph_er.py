@@ -1,0 +1,154 @@
+"""Unit tests for the overlay graph structure and the Erdős–Rényi bootstrap."""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+
+from repro.errors import ConfigurationError, UnknownClusterError
+from repro.overlay.erdos_renyi import connect_if_disconnected, erdos_renyi_overlay
+from repro.overlay.graph import OverlayGraph
+
+
+class TestOverlayGraph:
+    def build(self):
+        graph = OverlayGraph()
+        for cluster_id in range(5):
+            graph.add_vertex(cluster_id, weight=10.0 + cluster_id)
+        graph.add_edge(0, 1)
+        graph.add_edge(1, 2)
+        graph.add_edge(2, 3)
+        graph.add_edge(3, 4)
+        return graph
+
+    def test_duplicate_vertex_rejected(self):
+        graph = OverlayGraph()
+        graph.add_vertex(1)
+        with pytest.raises(UnknownClusterError):
+            graph.add_vertex(1)
+
+    def test_add_edge_returns_flags(self):
+        graph = self.build()
+        assert graph.add_edge(0, 2) is True
+        assert graph.add_edge(0, 2) is False  # already there
+        assert graph.add_edge(3, 3) is False  # loop
+
+    def test_remove_edge(self):
+        graph = self.build()
+        assert graph.remove_edge(0, 1) is True
+        assert graph.remove_edge(0, 1) is False
+        assert not graph.has_edge(0, 1)
+
+    def test_remove_vertex_returns_neighbours(self):
+        graph = self.build()
+        neighbours = graph.remove_vertex(2)
+        assert neighbours == {1, 3}
+        assert 2 not in graph
+        assert not graph.has_edge(1, 2)
+
+    def test_unknown_vertex_operations_raise(self):
+        graph = self.build()
+        with pytest.raises(UnknownClusterError):
+            graph.neighbours(99)
+        with pytest.raises(UnknownClusterError):
+            graph.remove_vertex(99)
+        with pytest.raises(UnknownClusterError):
+            graph.set_weight(99, 1.0)
+
+    def test_weights_and_walkable_interface(self):
+        graph = self.build()
+        assert graph.weight(3) == 13.0
+        graph.set_weight(3, 21.0)
+        assert graph.weight(3) == 21.0
+        assert graph.total_weight() == pytest.approx(10 + 11 + 12 + 21 + 14)
+        assert graph.max_weight() == 21.0
+
+    def test_degree_and_edge_count(self):
+        graph = self.build()
+        assert graph.degree(1) == 2
+        assert graph.max_degree() == 2
+        assert graph.edge_count() == 4
+
+    def test_edges_iteration(self):
+        graph = self.build()
+        edges = set(graph.edges())
+        assert (0, 1) in edges
+        assert all(first < second for first, second in edges)
+        assert len(edges) == 4
+
+    def test_connectivity(self):
+        graph = self.build()
+        assert graph.is_connected()
+        graph.remove_edge(2, 3)
+        assert not graph.is_connected()
+
+    def test_empty_graph_is_connected(self):
+        assert OverlayGraph().is_connected()
+        assert OverlayGraph().max_degree() == 0
+
+    def test_copy_is_independent(self):
+        graph = self.build()
+        clone = graph.copy()
+        clone.remove_vertex(0)
+        assert 0 in graph
+        assert graph.weight(1) == clone.weight(1)
+
+    def test_adjacency_mapping(self):
+        graph = self.build()
+        mapping = graph.adjacency_mapping()
+        assert mapping[1] == [0, 2]
+
+
+class TestErdosRenyi:
+    def test_probability_bounds_validated(self):
+        with pytest.raises(ConfigurationError):
+            erdos_renyi_overlay([1, 2, 3], edge_probability=1.5, rng=random.Random(0))
+
+    def test_duplicate_ids_rejected(self):
+        with pytest.raises(ConfigurationError):
+            erdos_renyi_overlay([1, 1], edge_probability=0.5, rng=random.Random(0))
+
+    def test_weight_length_mismatch_rejected(self):
+        with pytest.raises(ConfigurationError):
+            erdos_renyi_overlay(
+                [1, 2], edge_probability=0.5, rng=random.Random(0), weights=[1.0]
+            )
+
+    def test_probability_one_gives_complete_graph(self):
+        overlay = erdos_renyi_overlay(range(6), edge_probability=1.0, rng=random.Random(0))
+        assert overlay.edge_count() == 15
+        assert overlay.max_degree() == 5
+
+    def test_probability_zero_gives_empty_graph(self):
+        overlay = erdos_renyi_overlay(range(6), edge_probability=0.0, rng=random.Random(0))
+        assert overlay.edge_count() == 0
+
+    def test_expected_density(self):
+        rng = random.Random(42)
+        overlay = erdos_renyi_overlay(range(40), edge_probability=0.3, rng=rng)
+        possible = 40 * 39 // 2
+        density = overlay.edge_count() / possible
+        assert density == pytest.approx(0.3, abs=0.08)
+
+    def test_weights_are_applied(self):
+        overlay = erdos_renyi_overlay(
+            [10, 20], edge_probability=1.0, rng=random.Random(0), weights=[3.0, 4.0]
+        )
+        assert overlay.weight(10) == 3.0
+        assert overlay.weight(20) == 4.0
+
+    def test_connect_if_disconnected_repairs(self):
+        overlay = erdos_renyi_overlay(range(8), edge_probability=0.0, rng=random.Random(1))
+        added = connect_if_disconnected(overlay, random.Random(2))
+        assert overlay.is_connected()
+        assert len(added) == 7  # a spanning set of patch edges
+
+    def test_connect_if_disconnected_noop_when_connected(self):
+        overlay = erdos_renyi_overlay(range(5), edge_probability=1.0, rng=random.Random(1))
+        assert connect_if_disconnected(overlay, random.Random(2)) == []
+
+    def test_single_vertex_graph(self):
+        overlay = erdos_renyi_overlay([7], edge_probability=0.5, rng=random.Random(1))
+        assert connect_if_disconnected(overlay, random.Random(2)) == []
+        assert overlay.is_connected()

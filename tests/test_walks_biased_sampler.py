@@ -1,0 +1,176 @@
+"""Unit tests for the biased CTRW, mixing estimation and the cluster sampler."""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+
+from repro.errors import WalkError
+from repro.walks.biased import BiasedClusterWalk
+from repro.walks.interface import MappingGraph
+from repro.walks.mixing import (
+    empirical_distribution,
+    estimate_mixing_time,
+    total_variation_distance,
+    uniform_distribution,
+)
+from repro.walks.sampler import ClusterSampler, WalkMode
+
+
+def weighted_cycle(size: int, heavy_vertex: int = 0, heavy_weight: float = 4.0) -> MappingGraph:
+    adjacency = {i: [(i - 1) % size, (i + 1) % size] for i in range(size)}
+    weights = {i: (heavy_weight if i == heavy_vertex else 1.0) for i in range(size)}
+    return MappingGraph(adjacency, weights)
+
+
+class TestBiasedWalk:
+    def test_rejects_bad_parameters(self):
+        graph = weighted_cycle(4)
+        with pytest.raises(WalkError):
+            BiasedClusterWalk(graph, random.Random(0), segment_duration=0.0)
+        with pytest.raises(WalkError):
+            BiasedClusterWalk(graph, random.Random(0), segment_duration=1.0, max_restarts=0)
+
+    def test_unknown_start_rejected(self):
+        graph = weighted_cycle(4)
+        walk = BiasedClusterWalk(graph, random.Random(0), segment_duration=1.0)
+        with pytest.raises(WalkError):
+            walk.run(99)
+
+    def test_outcome_bookkeeping(self):
+        graph = weighted_cycle(6)
+        walk = BiasedClusterWalk(graph, random.Random(5), segment_duration=4.0)
+        outcome = walk.run(0)
+        assert outcome.restarts >= 1
+        assert outcome.acceptance_tests == outcome.restarts
+        assert len(outcome.visited) == outcome.restarts
+        assert outcome.cluster in graph.vertices()
+
+    def test_truncation_flag_when_cap_hit(self):
+        """With max_restarts=1 and a tiny acceptance probability the walk truncates."""
+        adjacency = {0: [1], 1: [0]}
+        weights = {0: 1.0, 1: 1000.0}
+        graph = MappingGraph(adjacency, weights)
+        walk = BiasedClusterWalk(graph, random.Random(3), segment_duration=1.0, max_restarts=1)
+        truncated_seen = False
+        for _ in range(50):
+            outcome = walk.run(0)
+            if outcome.truncated:
+                truncated_seen = True
+                break
+        assert truncated_seen
+
+    def test_endpoint_distribution_proportional_to_weight(self):
+        """The accepted endpoint follows |C| / n, the paper's target distribution."""
+        graph = weighted_cycle(5, heavy_vertex=2, heavy_weight=3.0)
+        walk = BiasedClusterWalk(graph, random.Random(17), segment_duration=30.0)
+        counts = {}
+        samples = 3000
+        for _ in range(samples):
+            outcome = walk.run(0)
+            counts[outcome.cluster] = counts.get(outcome.cluster, 0) + 1
+        total_weight = graph.total_weight()
+        for vertex in graph.vertices():
+            expected = graph.weight(vertex) / total_weight
+            observed = counts.get(vertex, 0) / samples
+            assert observed == pytest.approx(expected, abs=0.05)
+
+    def test_expected_restarts(self):
+        graph = weighted_cycle(4, heavy_vertex=0, heavy_weight=7.0)
+        walk = BiasedClusterWalk(graph, random.Random(0), segment_duration=1.0)
+        expected = walk.expected_restarts()
+        assert expected == pytest.approx(7.0 / ((7 + 3) / 4))
+
+
+class TestMixingHelpers:
+    def test_total_variation_of_identical_distributions(self):
+        dist = {0: 0.5, 1: 0.5}
+        assert total_variation_distance(dist, dist) == 0.0
+
+    def test_total_variation_of_disjoint_distributions(self):
+        assert total_variation_distance({0: 1.0}, {1: 1.0}) == pytest.approx(1.0)
+
+    def test_empirical_distribution_normalises(self):
+        dist = empirical_distribution({0: 3, 1: 1})
+        assert dist[0] == pytest.approx(0.75)
+
+    def test_empirical_distribution_rejects_empty(self):
+        with pytest.raises(WalkError):
+            empirical_distribution({})
+
+    def test_uniform_distribution(self):
+        graph = weighted_cycle(4)
+        dist = uniform_distribution(graph)
+        assert all(value == pytest.approx(0.25) for value in dist.values())
+
+    def test_estimate_mixing_time_monotone_graph(self):
+        graph = weighted_cycle(6)
+        duration = estimate_mixing_time(
+            graph,
+            random.Random(2),
+            start=0,
+            threshold=0.25,
+            samples_per_duration=300,
+            initial_duration=1.0,
+            max_duration=64.0,
+        )
+        assert 1.0 <= duration <= 64.0
+
+    def test_estimate_mixing_time_rejects_bad_threshold(self):
+        graph = weighted_cycle(6)
+        with pytest.raises(WalkError):
+            estimate_mixing_time(graph, random.Random(2), start=0, threshold=0.0)
+
+
+class TestClusterSampler:
+    def test_simulated_and_oracle_modes_agree_in_distribution(self):
+        graph = weighted_cycle(5, heavy_vertex=1, heavy_weight=4.0)
+        simulated = ClusterSampler(
+            graph, random.Random(3), segment_duration=25.0, mode=WalkMode.SIMULATED
+        )
+        oracle = ClusterSampler(
+            graph, random.Random(4), segment_duration=25.0, mode=WalkMode.ORACLE
+        )
+        samples = 1500
+        counts_sim = {}
+        counts_ora = {}
+        for _ in range(samples):
+            sim_cluster = simulated.sample(0).cluster
+            ora_cluster = oracle.sample(0).cluster
+            counts_sim[sim_cluster] = counts_sim.get(sim_cluster, 0) + 1
+            counts_ora[ora_cluster] = counts_ora.get(ora_cluster, 0) + 1
+        for vertex in graph.vertices():
+            sim_fraction = counts_sim.get(vertex, 0) / samples
+            ora_fraction = counts_ora.get(vertex, 0) / samples
+            assert sim_fraction == pytest.approx(ora_fraction, abs=0.07)
+
+    def test_oracle_mode_reports_positive_effort(self):
+        graph = weighted_cycle(5)
+        sampler = ClusterSampler(
+            graph, random.Random(3), segment_duration=10.0, mode=WalkMode.ORACLE
+        )
+        outcome = sampler.sample(0)
+        assert outcome.hops >= 1
+        assert outcome.restarts >= 1
+        assert outcome.mode is WalkMode.ORACLE
+
+    def test_simulated_mode_flag(self):
+        graph = weighted_cycle(5)
+        sampler = ClusterSampler(
+            graph, random.Random(3), segment_duration=5.0, mode=WalkMode.SIMULATED
+        )
+        assert sampler.sample(0).mode is WalkMode.SIMULATED
+
+    def test_with_mode_switches(self):
+        graph = weighted_cycle(5)
+        sampler = ClusterSampler(graph, random.Random(3), segment_duration=5.0)
+        assert sampler.with_mode(WalkMode.ORACLE).mode is WalkMode.ORACLE
+
+    def test_oracle_rejects_empty_graph(self):
+        graph = MappingGraph({})
+        sampler = ClusterSampler(
+            graph, random.Random(3), segment_duration=5.0, mode=WalkMode.ORACLE
+        )
+        with pytest.raises(WalkError):
+            sampler.sample(0)

@@ -1,0 +1,130 @@
+"""Unit tests for the continuous random walk machinery."""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+
+from repro.errors import WalkError
+from repro.walks.ctrw import ContinuousRandomWalk
+from repro.walks.interface import MappingGraph
+
+
+def cycle_graph(size: int, weights=None) -> MappingGraph:
+    adjacency = {i: [(i - 1) % size, (i + 1) % size] for i in range(size)}
+    return MappingGraph(adjacency, weights)
+
+
+def star_graph(leaves: int) -> MappingGraph:
+    adjacency = {0: list(range(1, leaves + 1))}
+    for leaf in range(1, leaves + 1):
+        adjacency[leaf] = [0]
+    return MappingGraph(adjacency)
+
+
+class TestMappingGraph:
+    def test_default_weights_are_one(self):
+        graph = cycle_graph(4)
+        assert graph.weight(2) == 1.0
+        assert graph.total_weight() == 4.0
+
+    def test_missing_weights_rejected(self):
+        with pytest.raises(ValueError):
+            MappingGraph({0: [1], 1: [0]}, weights={0: 1.0})
+
+    def test_target_distribution_normalised(self):
+        graph = cycle_graph(4, weights={0: 1, 1: 1, 2: 1, 3: 5})
+        distribution = graph.target_distribution()
+        assert sum(distribution.values()) == pytest.approx(1.0)
+        assert distribution[3] == pytest.approx(5 / 8)
+
+    def test_degree_and_counts(self):
+        graph = star_graph(5)
+        assert graph.degree(0) == 5
+        assert graph.degree(3) == 1
+        assert graph.vertex_count() == 6
+        assert graph.max_weight() == 1.0
+
+
+class TestContinuousWalk:
+    def test_zero_duration_stays_put(self):
+        graph = cycle_graph(5)
+        walk = ContinuousRandomWalk(graph, random.Random(1))
+        result = walk.run(2, duration=0.0)
+        assert result.endpoint == 2
+        assert result.hops == 0
+
+    def test_negative_duration_rejected(self):
+        graph = cycle_graph(5)
+        walk = ContinuousRandomWalk(graph, random.Random(1))
+        with pytest.raises(WalkError):
+            walk.run(0, duration=-1.0)
+
+    def test_unknown_start_rejected(self):
+        graph = cycle_graph(5)
+        walk = ContinuousRandomWalk(graph, random.Random(1))
+        with pytest.raises(WalkError):
+            walk.run(99, duration=1.0)
+
+    def test_isolated_vertex_never_moves(self):
+        graph = MappingGraph({0: [], 1: [2], 2: [1]})
+        walk = ContinuousRandomWalk(graph, random.Random(1))
+        result = walk.run(0, duration=10.0)
+        assert result.endpoint == 0
+        assert result.hops == 0
+
+    def test_hops_grow_with_duration(self):
+        graph = cycle_graph(8)
+        walk = ContinuousRandomWalk(graph, random.Random(7))
+        short = sum(walk.run(0, duration=1.0).hops for _ in range(50))
+        long = sum(walk.run(0, duration=10.0).hops for _ in range(50))
+        assert long > short
+
+    def test_path_recording(self):
+        graph = cycle_graph(6)
+        walk = ContinuousRandomWalk(graph, random.Random(3))
+        result = walk.run(0, duration=5.0, record_path=True)
+        assert result.path[0] == 0
+        assert result.path[-1] == result.endpoint
+        assert len(result.path) == result.hops + 1
+        # Consecutive path entries are neighbours on the cycle.
+        for previous, current in zip(result.path, result.path[1:]):
+            assert current in graph.neighbours(previous)
+
+    def test_discrete_skeleton_steps(self):
+        graph = cycle_graph(6)
+        walk = ContinuousRandomWalk(graph, random.Random(3))
+        result = walk.run_discrete(0, steps=12)
+        assert result.hops == 12
+
+    def test_discrete_negative_steps_rejected(self):
+        graph = cycle_graph(6)
+        walk = ContinuousRandomWalk(graph, random.Random(3))
+        with pytest.raises(WalkError):
+            walk.run_discrete(0, steps=-1)
+
+    def test_stationary_distribution_is_uniform_on_irregular_graph(self):
+        """The CTRW endpoint distribution approaches uniform even on a star.
+
+        This is the reason the paper uses continuous (rather than
+        discrete-time) walks: the discrete walk on a star spends half its
+        time at the hub, the continuous one is uniform.
+        """
+        graph = star_graph(4)  # hub degree 4, leaves degree 1 -- very irregular
+        walk = ContinuousRandomWalk(graph, random.Random(11))
+        distribution = walk.endpoint_distribution(0, duration=50.0, samples=2000)
+        for vertex in graph.vertices():
+            assert distribution.get(vertex, 0.0) == pytest.approx(1.0 / 5.0, abs=0.06)
+
+    def test_expected_hop_rate(self):
+        graph = star_graph(4)
+        walk = ContinuousRandomWalk(graph, random.Random(0))
+        assert walk.expected_hop_rate(0) == 4.0
+        assert walk.expected_hop_rate() == pytest.approx((4 + 1 * 4) / 5)
+
+    def test_endpoint_distribution_requires_samples(self):
+        graph = cycle_graph(4)
+        walk = ContinuousRandomWalk(graph, random.Random(0))
+        with pytest.raises(WalkError):
+            walk.endpoint_distribution(0, duration=1.0, samples=0)
