@@ -18,11 +18,12 @@ from __future__ import annotations
 
 import pytest
 
-from repro.analysis import ExperimentTable, summarize_fractions
+from repro.analysis import ExperimentTable
 from repro.analysis.bounds import exact_binomial_tail, recommended_k
-from repro.workloads import UniformChurn, drive
+from repro.scenarios import CorruptionTrajectoryProbe, CostLedgerProbe
+from repro.workloads import UniformChurn
 
-from common import bootstrap_engine, fresh_rng, run_once, scaled_parameters
+from common import bootstrap_engine, fresh_rng, run_once, run_steps, scaled_parameters
 
 MAX_SIZE = 2048
 TAU = 0.15
@@ -36,17 +37,15 @@ def run_for_k(k: float, seed: int):
     initial = CLUSTERS * params.target_cluster_size
     engine = bootstrap_engine(MAX_SIZE, initial, tau=TAU, k=k, seed=seed)
     workload = UniformChurn(fresh_rng(seed + 1), byzantine_join_fraction=TAU)
-    drive(engine, workload, steps=STEPS)
-
-    worst = [report.worst_byzantine_fraction for report in engine.history]
-    summary = summarize_fractions(worst)
-    operation_messages = [report.operation.messages for report in engine.history]
+    corruption = CorruptionTrajectoryProbe()
+    costs = CostLedgerProbe()
+    run_steps(engine, workload, STEPS, probes=[corruption, costs], name="ablation-k")
     return {
         "k": k,
         "cluster_size": params.target_cluster_size,
-        "summary": summary,
+        "summary": corruption.summary(),
         "tail": exact_binomial_tail(params.target_cluster_size, TAU, 1.0 / 3.0),
-        "mean_operation_cost": sum(operation_messages) / len(operation_messages),
+        "mean_operation_cost": costs.mean_messages_overall(),
     }
 
 

@@ -20,13 +20,13 @@ from __future__ import annotations
 
 import pytest
 
-from repro import EngineConfig, NowEngine
+from repro import EngineConfig
 from repro.adversary import JoinLeaveAttack
-from repro.analysis import ExperimentTable, summarize_fractions
-from repro.baselines import NoShuffleEngine
+from repro.analysis import ExperimentTable
+from repro.scenarios import CorruptionTrajectoryProbe, CostLedgerProbe
 from repro.workloads import MixedDriver, UniformChurn
 
-from common import fresh_rng, run_once, scaled_parameters
+from common import bootstrap_engine, fresh_rng, run_once, run_steps
 
 MAX_SIZE = 4096
 INITIAL = 280
@@ -40,47 +40,28 @@ def drive_variant(engine, seed: int):
     churn = UniformChurn(fresh_rng(seed + 1), byzantine_join_fraction=TAU)
     driver = MixedDriver([(attack, 0.5), (churn, 0.5)], fresh_rng(seed + 2))
 
-    worst = []
-    leave_messages = []
-    leave_count = 0
-    for _ in range(STEPS):
-        event = driver.next_event(engine)
-        if event is None:
-            continue
-        report = engine.apply_event(event)
-        worst.append(report.worst_byzantine_fraction)
-        operation = getattr(report, "operation", None)
-        if operation is not None and operation.operation == "leave":
-            leave_messages.append(operation.messages)
-            leave_count += 1
-        elif operation is None and event.kind.value == "leave":
-            leave_count += 1
-    summary = summarize_fractions(worst)
-    mean_leave_cost = (
-        sum(leave_messages) / len(leave_messages) if leave_messages else 0.0
-    )
-    return summary, mean_leave_cost
+    corruption = CorruptionTrajectoryProbe()
+    costs = CostLedgerProbe()
+    run_steps(engine, driver, STEPS, probes=[corruption, costs], name="ablation-shuffle")
+    return corruption.summary(), costs.mean_messages("leave")
 
 
 def run_experiment():
-    params = scaled_parameters(MAX_SIZE, tau=TAU)
     variants = []
 
-    full = NowEngine.bootstrap(
-        params, initial_size=INITIAL, byzantine_fraction=TAU, seed=81,
+    full = bootstrap_engine(
+        MAX_SIZE, INITIAL, tau=TAU, seed=81,
         config=EngineConfig(cascade_exchanges=True),
     )
     variants.append(("full exchange + cascade", *drive_variant(full, seed=810)))
 
-    no_cascade = NowEngine.bootstrap(
-        params, initial_size=INITIAL, byzantine_fraction=TAU, seed=81,
+    no_cascade = bootstrap_engine(
+        MAX_SIZE, INITIAL, tau=TAU, seed=81,
         config=EngineConfig(cascade_exchanges=False),
     )
     variants.append(("exchange, no cascade", *drive_variant(no_cascade, seed=810)))
 
-    no_shuffle = NoShuffleEngine.bootstrap(
-        params, initial_size=INITIAL, byzantine_fraction=TAU, seed=81
-    )
+    no_shuffle = bootstrap_engine(MAX_SIZE, INITIAL, tau=TAU, seed=81, engine="no_shuffle")
     variants.append(("no shuffling at all", *drive_variant(no_shuffle, seed=810)))
     return variants
 

@@ -1,6 +1,6 @@
 """A3 (ablation) — walk modes: simulated biased CTRW vs the stationary-law oracle.
 
-DESIGN.md §5 documents the one simulation shortcut the long-churn experiments
+The design notes in docs/ARCHITECTURE.md document the one simulation shortcut the long-churn experiments
 take: ``randCl`` can either simulate the biased CTRW hop by hop
 (``WalkMode.SIMULATED``) or draw the cluster directly from the walk's target
 distribution ``|C|/n`` while charging the expected walking cost
@@ -18,16 +18,15 @@ plus the wall-clock ratio, which is the reason the oracle mode exists.
 
 from __future__ import annotations
 
-import time
-
 import pytest
 
 from repro import EngineConfig
-from repro.analysis import ExperimentTable, summarize_fractions
+from repro.analysis import ExperimentTable
+from repro.scenarios import CallbackProbe, CorruptionTrajectoryProbe, CostLedgerProbe
 from repro.walks.sampler import WalkMode
-from repro.workloads import UniformChurn, drive
+from repro.workloads import UniformChurn
 
-from common import bootstrap_engine, fresh_rng, run_once
+from common import bootstrap_engine, fresh_rng, run_once, run_steps
 
 MAX_SIZE = 2048
 INITIAL = 200
@@ -44,19 +43,21 @@ def run_mode(mode: WalkMode, seed: int):
         config=EngineConfig(walk_mode=mode),
     )
     workload = UniformChurn(fresh_rng(seed + 1), byzantine_join_fraction=TAU)
-    started = time.perf_counter()
-    drive(engine, workload, steps=STEPS)
-    elapsed = time.perf_counter() - started
+    corruption = CorruptionTrajectoryProbe()
+    costs = CostLedgerProbe()
+    hops = CallbackProbe(
+        lambda _engine, report, _step: report.operation.walk_hops, name="walk-hops"
+    )
+    result = run_steps(
+        engine, workload, STEPS, probes=[corruption, costs, hops], name=f"walk-{mode.value}"
+    )
 
-    worst = [report.worst_byzantine_fraction for report in engine.history]
-    operation_messages = [report.operation.messages for report in engine.history]
-    walk_hops = [report.operation.walk_hops for report in engine.history]
     return {
         "mode": mode.value,
-        "summary": summarize_fractions(worst),
-        "mean_operation_cost": sum(operation_messages) / len(operation_messages),
-        "mean_walk_hops": sum(walk_hops) / len(walk_hops),
-        "elapsed_seconds": elapsed,
+        "summary": corruption.summary(),
+        "mean_operation_cost": costs.mean_messages_overall(),
+        "mean_walk_hops": sum(hops.values) / len(hops.values),
+        "elapsed_seconds": result.elapsed_seconds,
         "invariants": engine.check_invariants(check_honest_majority=False).holds,
     }
 
@@ -97,7 +98,7 @@ def test_ablation_walk_mode(benchmark):
         "The oracle mode draws from the walk's stationary law and charges its expected "
         "cost; it must reproduce the simulated mode's safety behaviour and cost scale "
         "(E10 checks the distributions directly), while running substantially faster - "
-        "that speed is why the long-churn benchmarks use it (DESIGN.md §5)."
+        "that speed is why the long-churn benchmarks use it (docs/ARCHITECTURE.md design notes)."
     )
     table.print()
 

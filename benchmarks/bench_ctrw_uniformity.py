@@ -13,7 +13,7 @@ What we run:
    distribution of the *simulated* biased CTRW against the target ``|C|/n``
    distribution and against the oracle sampler (total-variation distances).
    This is also the experiment justifying the oracle walk mode used by the
-   long-churn benchmarks (DESIGN.md §5).
+   long-churn benchmarks (docs/ARCHITECTURE.md design notes).
 2. **Lemma 1** — repeatedly force a full exchange of one cluster and compare
    the post-exchange Byzantine fraction distribution against the binomial
    model ``Bin(|C|, tau)`` (mean and exceedance rate of ``tau (1 + eps)``

@@ -1,0 +1,109 @@
+"""T1 — Engine throughput: steady-state churn events per second.
+
+This benchmark seeds the performance trajectory of the engine stack: it
+drives a size-stable :class:`~repro.workloads.churn.UniformChurn` scenario
+through the shared :class:`~repro.scenarios.runner.SimulationRunner` and
+records the steady-state event rate into ``BENCH_throughput.json`` at the
+repository root, so successive PRs can compare like for like.
+
+It also verifies the incremental-accounting contract behind the rate: the
+node and cluster registries count every full population sweep
+(``full_scan_count``), and a churn event must complete with (far) fewer than
+``LEGACY_SCANS_PER_EVENT / 2`` sweeps.  Before the incremental counters, one
+event cost at least three full sweeps — ``random_member`` rebuilt the active
+list and the per-step snapshot recomputed ``byzantine_fractions`` and
+``compromised_clusters`` from scratch — so the assertion pins the >= 2x
+reduction in per-event full-population scans.
+
+Run standalone (CI writes the JSON artifact this way)::
+
+    PYTHONPATH=src python benchmarks/bench_engine_throughput.py [--steps N]
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import time
+
+import pytest
+
+from repro.scenarios import SimulationRunner
+from repro.workloads import UniformChurn
+
+from common import fresh_rng, run_once, scenario_for
+
+MAX_SIZE = 4096
+INITIAL = 300
+TAU = 0.15
+STEPS = 1200
+#: Full population sweeps one churn event cost before incremental accounting:
+#: one ``active_nodes`` rebuild in ``random_member`` plus two full
+#: ``byzantine_fractions`` / ``compromised_clusters`` recomputations in the
+#: per-step snapshot.
+LEGACY_SCANS_PER_EVENT = 3.0
+
+RESULT_PATH = os.path.join(os.path.dirname(os.path.dirname(os.path.abspath(__file__))), "BENCH_throughput.json")
+
+
+def run_experiment(steps: int = STEPS):
+    scenario = scenario_for(MAX_SIZE, INITIAL, tau=TAU, seed=29, name="throughput")
+    engine = scenario.build_engine()
+    workload = UniformChurn(fresh_rng(30), byzantine_join_fraction=TAU)
+    runner = SimulationRunner(engine, workload, name="throughput")
+
+    # Warm-up out of the post-initialization transient, then measure.
+    runner.run(min(100, steps // 10))
+    scans_before = engine.state.nodes.full_scan_count + engine.state.clusters.full_scan_count
+    result = runner.run(steps)
+    scans_after = engine.state.nodes.full_scan_count + engine.state.clusters.full_scan_count
+
+    scans_per_event = (scans_after - scans_before) / max(1, result.events)
+    return {
+        "steps": result.steps,
+        "events": result.events,
+        "elapsed_seconds": result.elapsed_seconds,
+        "events_per_second": result.events_per_second,
+        "scans_per_event": scans_per_event,
+        "legacy_scans_per_event": LEGACY_SCANS_PER_EVENT,
+        "final_network_size": result.final_size,
+        "final_cluster_count": result.final_cluster_count,
+        "max_size": MAX_SIZE,
+        "tau": TAU,
+        "measured_at": time.strftime("%Y-%m-%dT%H:%M:%SZ", time.gmtime()),
+    }
+
+
+def save_result(result, path: str = RESULT_PATH) -> None:
+    with open(path, "w", encoding="utf-8") as handle:
+        json.dump(result, handle, indent=2, sort_keys=True)
+        handle.write("\n")
+
+
+@pytest.mark.experiment("T1")
+def test_engine_throughput(benchmark):
+    result = run_once(benchmark, lambda: run_experiment(steps=STEPS))
+    print(
+        f"T1 throughput: {result['events']} events in {result['elapsed_seconds']:.2f}s "
+        f"= {result['events_per_second']:.0f} events/s; "
+        f"{result['scans_per_event']:.3f} full-population scans per event "
+        f"(legacy floor {LEGACY_SCANS_PER_EVENT})"
+    )
+    save_result(result)
+
+    assert result["events"] > 0
+    assert result["events_per_second"] > 0
+    # The tentpole claim: at least 2x fewer full-population scans per event
+    # than the pre-incremental engine (which needed >= 3 per event).
+    assert result["scans_per_event"] <= LEGACY_SCANS_PER_EVENT / 2.0
+
+
+if __name__ == "__main__":
+    parser = argparse.ArgumentParser(description="engine throughput benchmark")
+    parser.add_argument("--steps", type=int, default=STEPS)
+    parser.add_argument("--out", type=str, default=RESULT_PATH)
+    args = parser.parse_args()
+    outcome = run_experiment(steps=args.steps)
+    save_result(outcome, args.out)
+    print(json.dumps(outcome, indent=2, sort_keys=True))

@@ -18,9 +18,10 @@ import pytest
 
 from repro.analysis import ExperimentTable, fit_polylog, fit_power_law
 from repro.analysis.complexity import is_consistent_with_polylog
-from repro.network.node import NodeRole
+from repro.scenarios import CostLedgerProbe
+from repro.workloads import GrowthWorkload, ShrinkWorkload
 
-from common import bootstrap_engine, fresh_rng, run_once, sqrt_scaled_size
+from common import bootstrap_engine, fresh_rng, run_once, run_steps, sqrt_scaled_size
 
 SWEEP = [256, 1024, 4096, 16384, 65536]
 JOINS_PER_SIZE = 25
@@ -31,26 +32,27 @@ def run_for_size(max_size: int, seed: int):
     engine = bootstrap_engine(
         max_size, sqrt_scaled_size(max_size), tau=0.1, seed=seed
     )
-    rng = fresh_rng(seed + 1)
-    join_costs = []
-    join_rounds = []
-    for _ in range(JOINS_PER_SIZE):
-        role = NodeRole.BYZANTINE if rng.random() < 0.1 else NodeRole.HONEST
-        report = engine.join(role=role)
-        join_costs.append(report.operation.messages)
-        join_rounds.append(report.operation.rounds)
-    leave_costs = []
-    leave_rounds = []
-    for _ in range(LEAVES_PER_SIZE):
-        report = engine.leave(engine.random_member())
-        leave_costs.append(report.operation.messages)
-        leave_rounds.append(report.operation.rounds)
+    # A growth phase of exactly JOINS_PER_SIZE joins (roles corrupted at 10%),
+    # then a shrink phase of exactly LEAVES_PER_SIZE leaves, each measured by
+    # a fresh cost ledger probe through the shared runner.
+    join_probe = CostLedgerProbe()
+    growth = GrowthWorkload(
+        fresh_rng(seed + 1),
+        target_size=engine.network_size + JOINS_PER_SIZE,
+        byzantine_join_fraction=0.1,
+    )
+    run_steps(engine, growth, JOINS_PER_SIZE, probes=[join_probe], name="fig2-joins")
+    leave_probe = CostLedgerProbe()
+    shrink = ShrinkWorkload(
+        fresh_rng(seed + 2), target_size=engine.network_size - LEAVES_PER_SIZE
+    )
+    run_steps(engine, shrink, LEAVES_PER_SIZE, probes=[leave_probe], name="fig2-leaves")
     return {
         "max_size": max_size,
-        "join_messages": sum(join_costs) / len(join_costs),
-        "join_rounds": sum(join_rounds) / len(join_rounds),
-        "leave_messages": sum(leave_costs) / len(leave_costs),
-        "leave_rounds": sum(leave_rounds) / len(leave_rounds),
+        "join_messages": join_probe.mean_messages("join"),
+        "join_rounds": join_probe.mean_rounds("join"),
+        "leave_messages": leave_probe.mean_messages("leave"),
+        "leave_rounds": leave_probe.mean_rounds("leave"),
         "cluster_size": engine.parameters.target_cluster_size,
     }
 

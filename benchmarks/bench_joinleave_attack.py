@@ -19,10 +19,10 @@ import pytest
 
 from repro.adversary import JoinLeaveAttack
 from repro.analysis import ExperimentTable
-from repro.baselines import CuckooRuleEngine, NoShuffleEngine
+from repro.scenarios import CorruptionTrajectoryProbe
 from repro.workloads import MixedDriver, UniformChurn
 
-from common import bootstrap_engine, fresh_rng, run_once, scaled_parameters
+from common import bootstrap_engine, fresh_rng, run_once, run_steps
 
 MAX_SIZE = 4096
 INITIAL = 300
@@ -36,34 +36,22 @@ def attack_scheme(engine, label: str, seed: int):
     churn = UniformChurn(fresh_rng(seed + 1), byzantine_join_fraction=TAU)
     driver = MixedDriver([(attack, 0.6), (churn, 0.4)], fresh_rng(seed + 2))
 
-    peak_target_fraction = 0.0
-    capture_step = None
-    for step in range(STEPS):
-        event = driver.next_event(engine)
-        if event is None:
-            continue
-        engine.apply_event(event)
-        if target in engine.state.clusters:
-            fraction = engine.state.cluster_byzantine_fraction(target)
-        else:
-            fraction = engine.worst_cluster_fraction()
-        peak_target_fraction = max(peak_target_fraction, fraction)
-        if capture_step is None and fraction >= 1.0 / 3.0:
-            capture_step = step + 1
+    probe = CorruptionTrajectoryProbe(target_cluster=target)
+    run_steps(engine, driver, STEPS, probes=[probe], name=label)
+    capture_step = probe.first_step_at_threshold
     return {
         "scheme": label,
-        "peak_target_fraction": peak_target_fraction,
+        "peak_target_fraction": probe.peak,
         "capture_step": capture_step if capture_step is not None else "never",
-        "captured": capture_step is not None,
+        "captured": probe.captured,
         "final_worst": engine.worst_cluster_fraction(),
     }
 
 
 def run_experiment():
-    params = scaled_parameters(MAX_SIZE, tau=TAU)
     now_engine = bootstrap_engine(MAX_SIZE, INITIAL, tau=TAU, seed=71)
-    no_shuffle = NoShuffleEngine.bootstrap(params, initial_size=INITIAL, byzantine_fraction=TAU, seed=71)
-    cuckoo = CuckooRuleEngine.bootstrap(params, initial_size=INITIAL, byzantine_fraction=TAU, seed=71)
+    no_shuffle = bootstrap_engine(MAX_SIZE, INITIAL, tau=TAU, seed=71, engine="no_shuffle")
+    cuckoo = bootstrap_engine(MAX_SIZE, INITIAL, tau=TAU, seed=71, engine="cuckoo_rule")
     return [
         attack_scheme(now_engine, "NOW (full exchange)", seed=710),
         attack_scheme(cuckoo, "cuckoo rule (constant eviction)", seed=710),

@@ -18,9 +18,10 @@ import pytest
 
 from repro.analysis import ExperimentTable
 from repro.overlay.expansion import analyse_expansion
-from repro.workloads import OscillatingWorkload, drive
+from repro.scenarios import CallbackProbe
+from repro.workloads import OscillatingWorkload
 
-from common import bootstrap_engine, fresh_rng, run_once, sqrt_scaled_size
+from common import bootstrap_engine, fresh_rng, run_once, run_steps, sqrt_scaled_size
 
 SWEEP = [1024, 4096, 16384]
 STEPS = 260
@@ -36,21 +37,18 @@ def run_for_size(max_size: int, seed: int):
         high_size=int(1.5 * initial),
         byzantine_join_fraction=0.1,
     )
-    worst_degree = 0
-    worst_gap = float("inf")
-    worst_sweep = float("inf")
-    samples = 0
-    for step in range(STEPS):
-        event = workload.next_event(engine)
-        if event is None:
-            continue
-        engine.apply_event(event)
-        if step % SAMPLE_EVERY == 0:
-            report = analyse_expansion(engine.state.overlay.graph)
-            worst_degree = max(worst_degree, report.max_degree)
-            worst_gap = min(worst_gap, report.spectral_gap)
-            worst_sweep = min(worst_sweep, report.sweep_cut_expansion)
-            samples += 1
+    expansion = CallbackProbe(
+        lambda _engine, _report, _step: analyse_expansion(_engine.state.overlay.graph),
+        every=SAMPLE_EVERY,
+        name="expansion",
+    )
+    run_steps(engine, workload, STEPS, probes=[expansion], name="over-expander")
+    worst_degree = max((sample.max_degree for sample in expansion.values), default=0)
+    worst_gap = min((sample.spectral_gap for sample in expansion.values), default=float("inf"))
+    worst_sweep = min(
+        (sample.sweep_cut_expansion for sample in expansion.values), default=float("inf")
+    )
+    samples = len(expansion.values)
     final = analyse_expansion(engine.state.overlay.graph)
     return {
         "max_size": max_size,

@@ -19,10 +19,10 @@ from __future__ import annotations
 import pytest
 
 from repro.analysis import ExperimentTable
-from repro.baselines import StaticClusterEngine
-from repro.workloads import GrowthWorkload, drive
+from repro.scenarios import SimulationRunner
+from repro.workloads import GrowthWorkload
 
-from common import bootstrap_engine, fresh_rng, run_once, scaled_parameters
+from common import bootstrap_engine, fresh_rng, run_once
 
 MAX_SIZE = 16384
 START = 256          # ~ 2 sqrt(N)
@@ -31,28 +31,23 @@ CHECKPOINTS = [256, 420, 700, 1100]
 
 
 def run_experiment():
-    params = scaled_parameters(MAX_SIZE, tau=0.1)
     now_engine = bootstrap_engine(MAX_SIZE, START, tau=0.1, seed=61)
-    static = StaticClusterEngine.bootstrap(
-        params, initial_size=START, byzantine_fraction=0.1, seed=61
-    )
+    static = bootstrap_engine(MAX_SIZE, START, tau=0.1, seed=61, engine="static_clusters")
     now_workload = GrowthWorkload(fresh_rng(62), target_size=TARGET, byzantine_join_fraction=0.1)
     static_workload = GrowthWorkload(
         fresh_rng(62), target_size=TARGET, byzantine_join_fraction=0.1
     )
+    now_runner = SimulationRunner(
+        now_engine, now_workload, max_idle_streak=2, name="poly-now"
+    )
+    static_runner = SimulationRunner(
+        static, static_workload, max_idle_streak=2, name="poly-static"
+    )
 
     checkpoints = []
     for target in CHECKPOINTS:
-        while now_engine.network_size < target:
-            event = now_workload.next_event(now_engine)
-            if event is None:
-                break
-            now_engine.apply_event(event)
-        while static.network_size < target:
-            event = static_workload.next_event(static)
-            if event is None:
-                break
-            static.apply_event(event)
+        now_runner.run_until_size(target, max_steps=4 * TARGET)
+        static_runner.run_until_size(target, max_steps=4 * TARGET)
         checkpoints.append(
             {
                 "size": target,

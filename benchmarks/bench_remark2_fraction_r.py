@@ -21,9 +21,10 @@ import pytest
 
 from repro.analysis import ExperimentTable, summarize_values
 from repro.analysis.bounds import exact_binomial_tail
+from repro.scenarios import CallbackProbe, CorruptionTrajectoryProbe
 from repro.workloads import UniformChurn
 
-from common import bootstrap_engine, fresh_rng, run_once, scaled_parameters
+from common import bootstrap_engine, fresh_rng, run_once, run_steps, scaled_parameters
 
 MAX_SIZE = 2048
 STEPS = 200
@@ -40,18 +41,16 @@ def run_for_r(r: int, seed: int):
     engine = bootstrap_engine(MAX_SIZE, initial, tau=tau, k=K_SECURITY, seed=seed)
     workload = UniformChurn(fresh_rng(seed + 1), byzantine_join_fraction=tau)
 
-    worst_series = []
-    mean_series = []
-    for _ in range(STEPS):
-        event = workload.next_event(engine)
-        if event is None:
-            continue
-        engine.apply_event(event)
-        fractions = engine.byzantine_fractions()
-        worst_series.append(max(fractions.values()))
-        mean_series.append(sum(fractions.values()) / len(fractions))
-
-    worst_summary = summarize_values(worst_series, threshold=1.0 / r)
+    worst_probe = CorruptionTrajectoryProbe(threshold=1.0 / r)
+    mean_probe = CallbackProbe(
+        lambda _engine, _report, _step: (
+            sum(_engine.byzantine_fractions().values()) / _engine.cluster_count
+        ),
+        name="mean-fraction",
+    )
+    run_steps(engine, workload, STEPS, probes=[worst_probe, mean_probe], name="remark2")
+    mean_series = mean_probe.values
+    worst_summary = summarize_values(worst_probe.series, threshold=1.0 / r)
     return {
         "r": r,
         "tau": tau,

@@ -17,11 +17,12 @@ from __future__ import annotations
 
 import pytest
 
-from repro.analysis import ExperimentTable, chernoff_cluster_tail, summarize_fractions
+from repro.analysis import ExperimentTable, chernoff_cluster_tail
 from repro.analysis.bounds import exact_binomial_tail
-from repro.workloads import UniformChurn, drive
+from repro.scenarios import CorruptionTrajectoryProbe
+from repro.workloads import UniformChurn
 
-from common import bootstrap_engine, fresh_rng, initial_size_for, run_once
+from common import bootstrap_engine, fresh_rng, initial_size_for, run_once, run_steps
 
 MAX_SIZE = 2048
 STEPS = 400
@@ -32,9 +33,9 @@ def run_experiment(tau: float, seed: int):
         MAX_SIZE, initial_size_for(MAX_SIZE, clusters=7), tau=tau, seed=seed
     )
     workload = UniformChurn(fresh_rng(seed + 1), byzantine_join_fraction=tau)
-    drive(engine, workload, steps=STEPS)
-    worst = [report.worst_byzantine_fraction for report in engine.history]
-    summary = summarize_fractions(worst)
+    corruption = CorruptionTrajectoryProbe()
+    run_steps(engine, workload, STEPS, probes=[corruption], name="theorem3")
+    summary = corruption.summary()
     cluster_size = engine.parameters.target_cluster_size
     return {
         "tau": tau,

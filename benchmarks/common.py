@@ -1,10 +1,16 @@
 """Shared helpers for the benchmark/experiment harness.
 
-Every benchmark module reproduces one experiment row of EXPERIMENTS.md
-(mapped to a figure or quantitative claim of the paper in DESIGN.md §4).
-The helpers here keep the scenario construction consistent across benchmarks:
-the same parameter scaling, the same seeding discipline, and the same
-plain-text table output.
+Every benchmark module reproduces one experiment row (mapped to a figure or
+quantitative claim of the paper — see ``docs/ARCHITECTURE.md`` for the
+experiment inventory and the system layering).  The helpers here keep the
+scenario construction consistent across benchmarks: the same parameter
+scaling, the same seeding discipline, and the same plain-text table output.
+
+Engine construction and every churn loop are routed through the
+:mod:`repro.scenarios` subsystem (:class:`~repro.scenarios.scenario.Scenario`
+builds the engine, :class:`~repro.scenarios.runner.SimulationRunner` owns the
+step loop), so the benchmarks exercise exactly the machinery the CLI and the
+examples use.
 
 Benchmarks are executed through pytest-benchmark (``pytest benchmarks/
 --benchmark-only``); each test wraps its experiment in ``benchmark.pedantic``
@@ -14,16 +20,51 @@ to stdout plus the shape assertions, not a micro-benchmark timing.
 
 from __future__ import annotations
 
+import dataclasses
 import random
-from typing import Optional
+from typing import Optional, Sequence
 
-from repro import EngineConfig, NowEngine, default_parameters
+from repro import EngineConfig, Scenario, SimulationRunner, WalkMode, default_parameters
 from repro.params import ProtocolParameters
+from repro.scenarios.probes import Probe
+from repro.scenarios.runner import RunResult, StopCondition
 
 
 def scaled_parameters(max_size: int, tau: float = 0.15, k: float = 3.0) -> ProtocolParameters:
     """Protocol parameters used across benchmarks, scaled to ``max_size``."""
     return default_parameters(max_size=max_size, k=k, l=2.0, alpha=0.1, tau=tau, epsilon=0.05)
+
+
+def scenario_for(
+    max_size: int,
+    initial_size: int,
+    tau: float = 0.15,
+    k: float = 3.0,
+    seed: int = 1,
+    engine: str = "now",
+    config: Optional[EngineConfig] = None,
+    **fields,
+) -> Scenario:
+    """A benchmark-scaled :class:`Scenario` (the shared construction path)."""
+    if config is not None and engine != "now":
+        raise ValueError("EngineConfig only applies to the NOW engine")
+    options = {} if config is None else dataclasses.asdict(config)
+    if isinstance(options.get("walk_mode"), WalkMode):
+        options["walk_mode"] = options["walk_mode"].value  # keep the spec JSON-able
+    return Scenario(
+        name=fields.pop("name", "benchmark"),
+        engine=engine,
+        max_size=max_size,
+        initial_size=initial_size,
+        tau=tau,
+        k=k,
+        l=2.0,
+        alpha=0.1,
+        epsilon=0.05,
+        seed=seed,
+        engine_options=options,
+        **fields,
+    )
 
 
 def bootstrap_engine(
@@ -33,16 +74,33 @@ def bootstrap_engine(
     k: float = 3.0,
     seed: int = 1,
     config: Optional[EngineConfig] = None,
-) -> NowEngine:
-    """A NOW engine bootstrapped with the benchmark parameter scaling."""
-    params = scaled_parameters(max_size, tau=tau, k=k)
-    return NowEngine.bootstrap(
-        params,
-        initial_size=initial_size,
-        byzantine_fraction=tau,
-        seed=seed,
-        config=config,
+    engine: str = "now",
+):
+    """An engine bootstrapped through the scenario subsystem."""
+    return scenario_for(
+        max_size, initial_size, tau=tau, k=k, seed=seed, engine=engine, config=config
+    ).build_engine()
+
+
+def run_steps(
+    engine,
+    source,
+    steps: int,
+    probes: Sequence[Probe] = (),
+    stop_conditions: Sequence[StopCondition] = (),
+    max_idle_streak: Optional[int] = None,
+    name: str = "benchmark",
+) -> RunResult:
+    """Drive ``engine`` with ``source`` through the shared simulation runner."""
+    runner = SimulationRunner(
+        engine,
+        source,
+        probes=probes,
+        stop_conditions=stop_conditions,
+        max_idle_streak=max_idle_streak,
+        name=name,
     )
+    return runner.run(steps)
 
 
 def initial_size_for(max_size: int, k: float = 3.0, clusters: int = 8) -> int:

@@ -15,5 +15,5 @@ sys.path.insert(0, os.path.dirname(__file__))
 
 def pytest_configure(config):
     config.addinivalue_line(
-        "markers", "experiment(id): maps a benchmark to an experiment row in EXPERIMENTS.md"
+        "markers", "experiment(id): maps a benchmark to an experiment row in docs/ARCHITECTURE.md"
     )

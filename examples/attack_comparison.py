@@ -22,10 +22,11 @@ from __future__ import annotations
 
 import random
 
-from repro import NowEngine, default_parameters
+from repro import NowEngine, SimulationRunner, default_parameters
 from repro.adversary import JoinLeaveAttack
 from repro.analysis import format_table
 from repro.baselines import CuckooRuleEngine, NoShuffleEngine
+from repro.scenarios import CallbackProbe
 from repro.workloads import MixedDriver, UniformChurn
 
 MAX_SIZE = 4096
@@ -42,18 +43,14 @@ def run_attack(engine, label: str, seed: int):
     background = UniformChurn(random.Random(seed + 1), byzantine_join_fraction=TAU)
     driver = MixedDriver([(attack, 0.6), (background, 0.4)], random.Random(seed + 2))
 
-    trajectory = []
-    for step in range(1, STEPS + 1):
-        event = driver.next_event(engine)
-        if event is not None:
-            engine.apply_event(event)
-        if step % REPORT_EVERY == 0:
-            if target in engine.state.clusters:
-                fraction = engine.state.cluster_byzantine_fraction(target)
-            else:
-                fraction = engine.worst_cluster_fraction()
-            trajectory.append(fraction)
-    return label, trajectory
+    def target_fraction(_engine, _report, _step):
+        if target in _engine.state.clusters:
+            return _engine.state.cluster_byzantine_fraction(target)
+        return _engine.worst_cluster_fraction()
+
+    probe = CallbackProbe(target_fraction, every=REPORT_EVERY, name="target-fraction")
+    SimulationRunner(engine, driver, probes=[probe], name=label).run(STEPS)
+    return label, probe.values
 
 
 def main() -> None:
@@ -69,9 +66,12 @@ def main() -> None:
         run_attack(plain, "no shuffling", seed=100),
     ]
 
-    headers = ["scheme"] + [f"step {step}" for step in range(REPORT_EVERY, STEPS + 1, REPORT_EVERY)]
+    samples = min(len(trajectory) for _, trajectory in results)
+    headers = ["scheme"] + [
+        f"event {(index + 1) * REPORT_EVERY}" for index in range(samples)
+    ]
     rows = [
-        [label] + [f"{fraction:.2f}" for fraction in trajectory]
+        [label] + [f"{fraction:.2f}" for fraction in trajectory[:samples]]
         for label, trajectory in results
     ]
     print(f"Corruption of the targeted cluster under a join-leave attack (tau={TAU})")

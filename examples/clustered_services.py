@@ -17,7 +17,7 @@ from __future__ import annotations
 
 import random
 
-from repro import NowEngine, default_parameters
+from repro import NowEngine, SimulationRunner, default_parameters
 from repro.analysis import format_table
 from repro.apps import (
     AggregationService,
@@ -26,7 +26,7 @@ from repro.apps import (
     SamplingService,
 )
 from repro.baselines import SingleClusterBaseline
-from repro.workloads import UniformChurn, drive
+from repro.workloads import UniformChurn
 
 
 def main() -> None:
@@ -35,7 +35,8 @@ def main() -> None:
 
     # Some background churn first: the services run on a *maintained* system,
     # not a freshly initialized one.
-    drive(engine, UniformChurn(random.Random(18), byzantine_join_fraction=0.1), steps=80)
+    churn = UniformChurn(random.Random(18), byzantine_join_fraction=0.1)
+    SimulationRunner(engine, churn, name="clustered-services").run(80)
     n = engine.network_size
     naive = SingleClusterBaseline()
 

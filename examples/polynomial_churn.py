@@ -19,11 +19,11 @@ from __future__ import annotations
 
 import random
 
-from repro import NowEngine, default_parameters
+from repro import NowEngine, SimulationRunner, default_parameters
 from repro.analysis import format_table
 from repro.baselines import StaticClusterEngine
 from repro.overlay.expansion import analyse_expansion
-from repro.workloads import GrowthWorkload, ShrinkWorkload, drive
+from repro.workloads import GrowthWorkload, ShrinkWorkload
 
 MAX_SIZE = 16384
 START = 256
@@ -52,14 +52,20 @@ def main() -> None:
 
     rows = [snapshot("start", engine, static)]
 
+    def run_phase(target_engine, workload):
+        runner = SimulationRunner(
+            target_engine, workload, max_idle_streak=2, name="polynomial-churn"
+        )
+        return runner.run(PEAK)
+
     # Grow to the peak size (one join per time step, adversary corrupting 10%).
-    drive(engine, GrowthWorkload(random.Random(12), target_size=PEAK, byzantine_join_fraction=0.1), steps=PEAK)
-    drive(static, GrowthWorkload(random.Random(12), target_size=PEAK, byzantine_join_fraction=0.1), steps=PEAK)
+    run_phase(engine, GrowthWorkload(random.Random(12), target_size=PEAK, byzantine_join_fraction=0.1))
+    run_phase(static, GrowthWorkload(random.Random(12), target_size=PEAK, byzantine_join_fraction=0.1))
     rows.append(snapshot(f"after growth to {PEAK}", engine, static))
 
     # Shrink back down towards the starting size.
-    drive(engine, ShrinkWorkload(random.Random(13), target_size=START + 50), steps=PEAK)
-    drive(static, ShrinkWorkload(random.Random(13), target_size=START + 50), steps=PEAK)
+    run_phase(engine, ShrinkWorkload(random.Random(13), target_size=START + 50))
+    run_phase(static, ShrinkWorkload(random.Random(13), target_size=START + 50))
     rows.append(snapshot("after shrinking back", engine, static))
 
     print("NOW vs static cluster count under polynomial size variation")

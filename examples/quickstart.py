@@ -6,7 +6,8 @@ This is the smallest end-to-end tour of the library's public API:
 1. choose protocol parameters (``N``, cluster security parameter ``k``,
    adversary fraction ``tau``),
 2. bootstrap an engine (initialization phase: discovery + clusterization),
-3. drive a few joins and leaves (maintenance phase),
+3. drive a few joins and leaves (maintenance phase), then a short churn
+   scenario through the shared ``SimulationRunner``,
 4. inspect the quantities the paper's theorems are about — per-cluster
    Byzantine fractions, cluster sizes, communication cost — and run the
    invariant checker.
@@ -18,9 +19,12 @@ Run with::
 
 from __future__ import annotations
 
-from repro import NowEngine, default_parameters
+import random
+
+from repro import NowEngine, SimulationRunner, default_parameters
 from repro.analysis import format_table
 from repro.network.node import NodeRole
+from repro.workloads import UniformChurn
 
 
 def main() -> None:
@@ -51,12 +55,16 @@ def main() -> None:
 
     # ------------------------------------------------------------------
     # 3. Maintenance phase (Section 3.3): joins and leaves, one per time step.
+    #    Single events go through the engine directly; sustained churn goes
+    #    through the SimulationRunner, the step loop every experiment shares.
     # ------------------------------------------------------------------
     engine.join()                                    # an honest node joins
     engine.join(role=NodeRole.BYZANTINE)             # the adversary corrupts a joiner
     engine.leave(engine.random_member())             # somebody leaves
-    for _ in range(20):
-        engine.join()
+    churn = UniformChurn(random.Random(8), byzantine_join_fraction=0.15)
+    result = SimulationRunner(engine, churn, name="quickstart").run(20)
+    print(f"Churn scenario: {result.events} events at {result.events_per_second:.0f} events/s")
+    print()
 
     # ------------------------------------------------------------------
     # 4. Observe the maintained guarantees.

@@ -19,8 +19,9 @@ Quick start::
     print(engine.worst_cluster_fraction())
     print(engine.check_invariants().summary())
 
-See ``DESIGN.md`` for the system inventory and ``EXPERIMENTS.md`` for the
-reproduced claims.
+See ``docs/ARCHITECTURE.md`` for the system layering (including the scenario
+runner that drives every benchmark and example) and ``PAPER.md`` for the
+source paper's abstract.
 """
 
 from .params import ProtocolParameters, default_parameters
@@ -40,6 +41,7 @@ from .core import (
     ChurnEvent,
     ChurnKind,
     EngineConfig,
+    EngineProtocol,
     InitializationReport,
     InvariantReport,
     MaintenanceReport,
@@ -47,6 +49,12 @@ from .core import (
     NowInitializer,
     SystemState,
     check_invariants,
+)
+from .scenarios import (
+    RunResult,
+    Scenario,
+    SimulationRunner,
+    named_scenario,
 )
 from .walks.sampler import WalkMode
 
@@ -68,6 +76,7 @@ __all__ = [
     "ChurnEvent",
     "ChurnKind",
     "EngineConfig",
+    "EngineProtocol",
     "InitializationReport",
     "InvariantReport",
     "MaintenanceReport",
@@ -75,6 +84,10 @@ __all__ = [
     "NowInitializer",
     "SystemState",
     "check_invariants",
+    "RunResult",
+    "Scenario",
+    "SimulationRunner",
+    "named_scenario",
     "WalkMode",
     "__version__",
 ]

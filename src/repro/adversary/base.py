@@ -96,14 +96,10 @@ class Adversary(abc.ABC):
 
     def run(self, engine: NowEngine, steps: int) -> List:
         """Drive ``engine`` for ``steps`` time steps and return the reports."""
-        reports = []
-        context = AdversaryContext(engine)
-        for _ in range(steps):
-            event = self.next_event(context)
-            if event is None:
-                continue
-            reports.append(engine.apply_event(event))
-        return reports
+        from ..scenarios.runner import SimulationRunner  # local import: avoids a cycle
+
+        runner = SimulationRunner(engine, self, keep_reports=True, name=self.name())
+        return runner.run(steps).reports
 
     def name(self) -> str:
         """Human-readable adversary name (used in experiment tables)."""

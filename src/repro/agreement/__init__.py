@@ -13,7 +13,7 @@ partitions the network.  This package provides:
   (message-level, synchronous, tolerates ``f < n/4``),
 * :mod:`repro.agreement.scalable`    — a calibrated model of the scalable
   agreement of [19] (tolerates ``f < n/3``), used when the Byzantine fraction
-  exceeds Phase-King's threshold; see DESIGN.md §5 for the substitution note,
+  exceeds Phase-King's threshold; see the design notes in docs/ARCHITECTURE.md for the substitution,
 * :mod:`repro.agreement.committee`   — representative-cluster election built
   on either protocol.
 """

@@ -5,7 +5,7 @@ with ``f + 1`` phases of two rounds each and ``O(f * n^2)`` messages of
 constant size.  Its guarantees hold when ``n > 4f`` (Byzantine fraction below
 one quarter); above that, and up to the paper's ``1/3 - eps``, the
 initialization phase falls back to the calibrated model of King et al. [19]
-in :mod:`repro.agreement.scalable` (see DESIGN.md §5).
+in :mod:`repro.agreement.scalable` (see the design notes in docs/ARCHITECTURE.md).
 
 The protocol, per phase ``k`` with designated king ``king_k``:
 

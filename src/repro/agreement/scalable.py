@@ -9,7 +9,7 @@ agreement via quorum towers, followed by almost-everywhere-to-everywhere
 amplification) is a paper-sized project of its own; this module provides a
 **calibrated model** with the same interface, guarantees and asymptotic cost
 so the initialization phase can run end to end (substitution documented in
-DESIGN.md §5):
+the design notes of docs/ARCHITECTURE.md):
 
 * **Correctness model** — when the Byzantine fraction is below the tolerance
   (``1/3``), every honest node decides the plurality value of the honest

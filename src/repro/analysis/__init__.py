@@ -12,7 +12,7 @@ predict; this package holds the machinery for both sides of that comparison:
 * :mod:`repro.analysis.statistics` — summaries of corruption trajectories
   (time above a threshold, exceedance counts, quantiles),
 * :mod:`repro.analysis.reporting`  — plain-text experiment tables for
-  EXPERIMENTS.md and the benchmark output.
+  the benchmark output (experiment inventory in docs/ARCHITECTURE.md).
 """
 
 from .bounds import (

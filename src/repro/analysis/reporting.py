@@ -4,7 +4,7 @@ Benchmarks print the rows they measured in the same shape the paper states
 its claims (one row per system size, per operation, per scheme...).  The
 helpers here render aligned ASCII tables and accumulate rows into an
 :class:`ExperimentTable` that the benchmark harness prints at the end of a
-run and that EXPERIMENTS.md quotes.
+run and that the experiment tables quote.
 """
 
 from __future__ import annotations

@@ -4,9 +4,12 @@ Every baseline maintains the same kind of state as NOW (a
 :class:`~repro.core.state.SystemState` with a node registry, a cluster
 registry and an overlay used only as a neighbourhood structure) and is driven
 by the same :class:`~repro.core.events.ChurnEvent` stream, so experiments can
-swap NOW and a baseline without touching the workload or adversary code.
-What differs is how joins and leaves are handled — that is what each concrete
-baseline overrides.
+swap NOW and a baseline without touching the workload or adversary code:
+both implement the shared :class:`~repro.core.interface.EngineProtocol`
+surface, including the O(1) incremental statistics (sampling, per-cluster
+corruption, compromised set) maintained by the state layer.  What differs is
+how joins and leaves are handled — that is what each concrete baseline
+overrides.
 """
 
 from __future__ import annotations
@@ -125,22 +128,26 @@ class BaselineEngine(abc.ABC):
         """Clusters at or above the one-third threshold."""
         return self.state.compromised_clusters()
 
+    def active_nodes(self) -> List[NodeId]:
+        """Identifiers of the nodes currently in the system."""
+        return self.state.nodes.active_nodes()
+
+    @property
+    def metrics(self):
+        """Per-operation communication ledgers (baselines charge nothing by default)."""
+        return self.state.metrics
+
     def random_member(self, honest_only: bool = False) -> NodeId:
-        """A uniformly random active node."""
-        candidates = self.state.nodes.active_nodes()
+        """A uniformly random active node in O(1)."""
         if honest_only:
-            byzantine = self.state.nodes.active_byzantine()
-            candidates = [node_id for node_id in candidates if node_id not in byzantine]
-        if not candidates:
-            raise ConfigurationError("no active nodes to choose from")
-        return candidates[self.state.rng.randrange(len(candidates))]
+            return self.state.nodes.sample_active_honest(self.state.rng)
+        return self.state.nodes.sample_active(self.state.rng)
 
     def random_cluster(self) -> ClusterId:
-        """A uniformly random live cluster id."""
-        cluster_ids = self.state.clusters.cluster_ids()
-        if not cluster_ids:
+        """A uniformly random live cluster id in O(1)."""
+        if not len(self.state.clusters):
             raise ConfigurationError("no live clusters")
-        return cluster_ids[self.state.rng.randrange(len(cluster_ids))]
+        return self.state.clusters.sample_id(self.state.rng)
 
     # ------------------------------------------------------------------
     # Churn driving
@@ -195,13 +202,13 @@ class BaselineEngine(abc.ABC):
     # Shared helpers
     # ------------------------------------------------------------------
     def _snapshot(self, event: ChurnEvent) -> BaselineStepReport:
-        fractions = self.byzantine_fractions()
+        # All O(1): read the incrementally maintained corruption statistics.
         return BaselineStepReport(
             time_step=self.state.time_step,
             event=event,
             network_size=self.network_size,
             cluster_count=self.cluster_count,
-            worst_byzantine_fraction=max(fractions.values()) if fractions else 0.0,
+            worst_byzantine_fraction=self.worst_cluster_fraction(),
             compromised_clusters=self.compromised_clusters(),
         )
 
@@ -213,5 +220,4 @@ class BaselineEngine(abc.ABC):
     def _remove_from_cluster(self, node_id: NodeId) -> ClusterId:
         cluster_id = self.state.clusters.cluster_of(node_id)
         self.state.clusters.remove_member(cluster_id, node_id)
-        self.state.sync_overlay_weight(cluster_id)
         return cluster_id

@@ -41,7 +41,6 @@ class CuckooRuleEngine(BaselineEngine):
         # it contacted (random placement is the rule's first half)...
         host = self.random_cluster()
         self.state.clusters.add_member(host, node_id)
-        self.state.sync_overlay_weight(host)
         # ...and a handful of incumbents of that cluster are cuckooed out.
         self._evict_members(host, exclude=node_id)
         if len(self.state.clusters.get(host)) > self.parameters.split_threshold:
@@ -73,8 +72,6 @@ class CuckooRuleEngine(BaselineEngine):
         for member in evicted:
             destination = other_clusters[self.state.rng.randrange(len(other_clusters))]
             self.state.clusters.move_member(member, destination)
-            self.state.sync_overlay_weight(destination)
-        self.state.sync_overlay_weight(cluster_id)
 
     # ------------------------------------------------------------------
     # Size regulation (same thresholds as NOW, without walks)
@@ -86,7 +83,6 @@ class CuckooRuleEngine(BaselineEngine):
         new_cluster = self.state.clusters.create_cluster([], created_at=self.state.time_step)
         for member in ordering[half:]:
             self.state.clusters.move_member(member, new_cluster.cluster_id)
-        self.state.sync_overlay_weight(cluster_id)
         anchor = cluster_id if cluster_id in self.state.overlay.graph else None
         self.state.overlay.add_vertex(
             new_cluster.cluster_id, weight=float(len(new_cluster)), anchor=anchor
@@ -100,4 +96,3 @@ class CuckooRuleEngine(BaselineEngine):
         for member in sorted(cluster.members):
             host = survivors[self.state.rng.randrange(len(survivors))]
             self.state.clusters.add_member(host, member)
-            self.state.sync_overlay_weight(host)

@@ -27,7 +27,6 @@ class NoShuffleEngine(BaselineEngine):
     def handle_join(self, node_id: NodeId, contact_cluster: Optional[ClusterId]) -> None:
         host = self._resolve_contact(contact_cluster)
         self.state.clusters.add_member(host, node_id)
-        self.state.sync_overlay_weight(host)
         if len(self.state.clusters.get(host)) > self.parameters.split_threshold:
             self._split(host)
 
@@ -49,7 +48,6 @@ class NoShuffleEngine(BaselineEngine):
         new_cluster = self.state.clusters.create_cluster([], created_at=self.state.time_step)
         for node_id in ordering[half:]:
             self.state.clusters.move_member(node_id, new_cluster.cluster_id)
-        self.state.sync_overlay_weight(cluster_id)
         anchor = cluster_id if cluster_id in self.state.overlay.graph else None
         self.state.overlay.add_vertex(
             new_cluster.cluster_id, weight=float(len(new_cluster)), anchor=anchor
@@ -63,4 +61,3 @@ class NoShuffleEngine(BaselineEngine):
         for node_id in sorted(cluster.members):
             host = survivors[self.state.rng.randrange(len(survivors))]
             self.state.clusters.add_member(host, node_id)
-            self.state.sync_overlay_weight(host)

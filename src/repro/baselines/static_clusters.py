@@ -33,13 +33,11 @@ class StaticClusterEngine(BaselineEngine):
         # shuffles placements), but the number of clusters never changes.
         host = self.random_cluster()
         self.state.clusters.add_member(host, node_id)
-        self.state.sync_overlay_weight(host)
 
     def handle_leave(self, node_id: NodeId) -> None:
         cluster_id = self._remove_from_cluster(node_id)
         # If a cluster empties completely it stays in place (size 0 clusters
         # are a visible failure of the static scheme, not hidden by merging).
-        self.state.sync_overlay_weight(cluster_id)
 
     def max_cluster_size(self) -> int:
         """Largest cluster size (the quantity that blows up under growth)."""

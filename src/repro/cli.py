@@ -10,6 +10,10 @@ prints its table — useful for kicking the tyres without writing a script:
   baseline and report who gets captured.
 * ``costs``   — sweep the maximum size ``N`` and report the measured cost of
   join/leave operations with their fitted growth exponents.
+* ``run-scenario`` — execute a named preset or JSON-spec
+  :class:`~repro.scenarios.scenario.Scenario` through the
+  :class:`~repro.scenarios.runner.SimulationRunner` and print the result
+  table (``--list`` shows the presets).
 
 Every command accepts ``--seed`` for reproducibility; defaults are sized to
 finish in seconds.
@@ -24,8 +28,17 @@ from typing import List, Optional, Sequence
 
 from . import NowEngine, default_parameters
 from .adversary import JoinLeaveAttack
+from .errors import ConfigurationError
 from .analysis import fit_power_law, format_table, summarize_fractions
 from .baselines import NoShuffleEngine
+from .scenarios import (
+    NAMED_SCENARIOS,
+    CorruptionTrajectoryProbe,
+    CostLedgerProbe,
+    Scenario,
+    SimulationRunner,
+    named_scenario,
+)
 from .workloads import MixedDriver, UniformChurn, drive
 from .workloads.record import RunRecord
 
@@ -62,6 +75,18 @@ def build_parser() -> argparse.ArgumentParser:
         help="values of N to sweep",
     )
     costs.add_argument("--operations", type=int, default=15, help="joins and leaves per size")
+
+    scenario = subparsers.add_parser(
+        "run-scenario", help="run a named or JSON-spec scenario through the SimulationRunner"
+    )
+    scenario.add_argument(
+        "--name", type=str, default=None, help="named preset (see --list); --seed overrides its seed"
+    )
+    scenario.add_argument(
+        "--spec", type=str, default=None, help="path to a Scenario JSON file (its own seed is kept)"
+    )
+    scenario.add_argument("--steps", type=int, default=None, help="override the scenario's step budget")
+    scenario.add_argument("--list", action="store_true", help="list the named presets and exit")
     return parser
 
 
@@ -132,23 +157,11 @@ def run_attack(args: argparse.Namespace) -> int:
         attack = JoinLeaveAttack(random.Random(args.seed + 2), target_cluster=target)
         background = UniformChurn(random.Random(args.seed + 3), byzantine_join_fraction=args.tau)
         driver = MixedDriver([(attack, 0.6), (background, 0.4)], random.Random(args.seed + 4))
-        captured_at: Optional[int] = None
-        peak = 0.0
-        for step in range(1, args.steps + 1):
-            event = driver.next_event(engine)
-            if event is None:
-                continue
-            engine.apply_event(event)
-            fraction = (
-                engine.state.cluster_byzantine_fraction(target)
-                if target in engine.state.clusters
-                else engine.worst_cluster_fraction()
-            )
-            peak = max(peak, fraction)
-            if captured_at is None and fraction >= 1.0 / 3.0:
-                captured_at = step
+        probe = CorruptionTrajectoryProbe(target_cluster=target)
+        SimulationRunner(engine, driver, probes=[probe], name=label).run(args.steps)
+        captured_at = probe.first_step_at_threshold
         rows.append(
-            [label, f"{peak:.3f}", captured_at if captured_at is not None else "never"]
+            [label, f"{probe.peak:.3f}", captured_at if captured_at is not None else "never"]
         )
     print(f"Join-leave attack on one target cluster ({args.steps} steps, tau={args.tau})")
     print(format_table(["scheme", "peak target corruption", "first step >= 1/3"], rows))
@@ -187,6 +200,57 @@ def run_costs(args: argparse.Namespace) -> int:
     return 0
 
 
+def run_scenario_command(args: argparse.Namespace) -> int:
+    if args.list:
+        rows = [
+            [name, NAMED_SCENARIOS[name].get("engine", "now"), NAMED_SCENARIOS[name].get("steps", "-")]
+            for name in sorted(NAMED_SCENARIOS)
+        ]
+        print(format_table(["scenario", "engine", "steps"], rows))
+        return 0
+    if args.spec and args.name:
+        print("run-scenario takes --name or --spec, not both", file=sys.stderr)
+        return 2
+    try:
+        if args.spec:
+            with open(args.spec, "r", encoding="utf-8") as handle:
+                scenario = Scenario.from_json(handle.read())
+        elif args.name:
+            scenario = named_scenario(args.name, seed=args.seed)
+        else:
+            print("run-scenario needs --name, --spec or --list", file=sys.stderr)
+            return 2
+    except (ConfigurationError, OSError, ValueError) as error:
+        # ValueError covers malformed JSON (json.JSONDecodeError subclasses it).
+        print(f"run-scenario: {error}", file=sys.stderr)
+        return 2
+    if args.steps is not None:
+        scenario.steps = args.steps
+
+    corruption = CorruptionTrajectoryProbe()
+    costs = CostLedgerProbe()
+    result = scenario.run(probes=[corruption, costs])
+
+    print(f"scenario {scenario.name!r}: engine={scenario.engine}, N={scenario.max_size}, "
+          f"tau={scenario.tau}, seed={scenario.seed}")
+    print(result.summary_table())
+    summary = corruption.summary()
+    print(
+        format_table(
+            ["mean worst corruption", "p99 worst", "max worst", "steps >= 1/3"],
+            [[f"{summary.mean:.3f}", f"{summary.p99:.3f}", f"{summary.maximum:.3f}",
+              summary.steps_above_threshold]],
+        )
+    )
+    cost_rows = [
+        [name, costs.count(name), f"{costs.mean_messages(name):.0f}"]
+        for name in sorted(costs.messages_by_operation)
+    ]
+    if cost_rows:
+        print(format_table(["operation", "count", "mean messages"], cost_rows))
+    return 0
+
+
 def main(argv: Optional[Sequence[str]] = None) -> int:
     """CLI entry point; returns the process exit code."""
     parser = build_parser()
@@ -197,6 +261,8 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         return run_attack(args)
     if args.command == "costs":
         return run_costs(args)
+    if args.command == "run-scenario":
+        return run_scenario_command(args)
     parser.error(f"unknown command {args.command!r}")  # pragma: no cover - argparse guards this
     return 2  # pragma: no cover
 

@@ -23,7 +23,8 @@ Public entry points:
 
 from .cluster import Cluster, ClusterRegistry
 from .events import ChurnEvent, ChurnKind
-from .state import NodeRegistry, SystemState
+from .interface import EngineProtocol
+from .state import CorruptionTracker, NodeRegistry, SystemState
 from .randnum import RandNum, RandNumResult
 from .randcl import RandCl, RandClResult
 from .exchange import ExchangeProtocol, ExchangeReport
@@ -44,6 +45,8 @@ __all__ = [
     "ClusterRegistry",
     "ChurnEvent",
     "ChurnKind",
+    "CorruptionTracker",
+    "EngineProtocol",
     "NodeRegistry",
     "SystemState",
     "RandNum",

@@ -92,12 +92,43 @@ class Cluster:
 
 
 class ClusterRegistry:
-    """All live clusters, indexed by cluster id and by member node."""
+    """All live clusters, indexed by cluster id and by member node.
+
+    Every membership mutation goes through the registry, so it can (a) keep an
+    O(1)-samplable array of live cluster ids (swap-delete on dissolve) and
+    (b) notify listeners — e.g. the corruption tracker in
+    :mod:`repro.core.state` — so per-cluster statistics stay incremental
+    instead of being recomputed by full sweeps.
+    """
 
     def __init__(self) -> None:
         self._clusters: dict = {}
         self._node_to_cluster: dict = {}
         self._next_id: int = 0
+        self._id_list: List[ClusterId] = []
+        self._id_pos: dict = {}
+        self._listeners: List[object] = []
+        #: Diagnostic: number of full sweeps over the cluster population
+        #: (used by the throughput benchmark to verify O(1) accounting).
+        self.full_scan_count: int = 0
+
+    # ------------------------------------------------------------------
+    # Listeners
+    # ------------------------------------------------------------------
+    def add_listener(self, listener: object) -> None:
+        """Register a membership listener.
+
+        A listener may implement any of ``cluster_created(cluster)``,
+        ``cluster_dissolved(cluster)``, ``member_added(cluster_id, node_id)``
+        and ``member_removed(cluster_id, node_id)``; missing hooks are skipped.
+        """
+        self._listeners.append(listener)
+
+    def _notify(self, hook: str, *args) -> None:
+        for listener in self._listeners:
+            method = getattr(listener, hook, None)
+            if method is not None:
+                method(*args)
 
     # ------------------------------------------------------------------
     # Creation / removal
@@ -127,6 +158,9 @@ class ClusterRegistry:
                 )
             self._node_to_cluster[node_id] = cluster_id
         self._clusters[cluster_id] = cluster
+        self._id_pos[cluster_id] = len(self._id_list)
+        self._id_list.append(cluster_id)
+        self._notify("cluster_created", cluster)
         return cluster
 
     def dissolve_cluster(self, cluster_id: ClusterId) -> Cluster:
@@ -135,6 +169,12 @@ class ClusterRegistry:
         for node_id in cluster.members:
             self._node_to_cluster.pop(node_id, None)
         del self._clusters[cluster_id]
+        index = self._id_pos.pop(cluster_id)
+        last = self._id_list.pop()
+        if last != cluster_id:
+            self._id_list[index] = last
+            self._id_pos[last] = index
+        self._notify("cluster_dissolved", cluster)
         return cluster
 
     # ------------------------------------------------------------------
@@ -148,11 +188,13 @@ class ClusterRegistry:
             )
         self.get(cluster_id).add_member(node_id)
         self._node_to_cluster[node_id] = cluster_id
+        self._notify("member_added", cluster_id, node_id)
 
     def remove_member(self, cluster_id: ClusterId, node_id: NodeId) -> None:
         """Remove ``node_id`` from ``cluster_id``."""
         self.get(cluster_id).remove_member(node_id)
         self._node_to_cluster.pop(node_id, None)
+        self._notify("member_removed", cluster_id, node_id)
 
     def move_member(self, node_id: NodeId, target_cluster_id: ClusterId) -> None:
         """Move ``node_id`` from its current cluster to ``target_cluster_id``."""
@@ -162,6 +204,8 @@ class ClusterRegistry:
         self.get(source_id).remove_member(node_id)
         self.get(target_cluster_id).add_member(node_id)
         self._node_to_cluster[node_id] = target_cluster_id
+        self._notify("member_removed", source_id, node_id)
+        self._notify("member_added", target_cluster_id, node_id)
 
     def swap_members(
         self, first_cluster: ClusterId, first_node: NodeId, second_cluster: ClusterId, second_node: NodeId
@@ -173,6 +217,10 @@ class ClusterRegistry:
         self.get(second_cluster).swap_member(second_node, first_node)
         self._node_to_cluster[first_node] = second_cluster
         self._node_to_cluster[second_node] = first_cluster
+        self._notify("member_removed", first_cluster, first_node)
+        self._notify("member_added", first_cluster, second_node)
+        self._notify("member_removed", second_cluster, second_node)
+        self._notify("member_added", second_cluster, first_node)
 
     # ------------------------------------------------------------------
     # Queries
@@ -201,11 +249,19 @@ class ClusterRegistry:
 
     def clusters(self) -> Iterator[Cluster]:
         """Iterate over all live clusters."""
+        self.full_scan_count += 1
         return iter(list(self._clusters.values()))
 
     def cluster_ids(self) -> List[ClusterId]:
         """Sorted list of live cluster ids."""
+        self.full_scan_count += 1
         return sorted(self._clusters)
+
+    def sample_id(self, rng) -> ClusterId:
+        """A uniformly random live cluster id in O(1) (error when empty)."""
+        if not self._id_list:
+            raise UnknownClusterError("no live clusters to sample from")
+        return self._id_list[rng.randrange(len(self._id_list))]
 
     def total_nodes(self) -> int:
         """Total number of nodes across all clusters."""
@@ -213,4 +269,5 @@ class ClusterRegistry:
 
     def sizes(self) -> dict:
         """Mapping cluster id -> size."""
+        self.full_scan_count += 1
         return {cluster_id: len(cluster) for cluster_id, cluster in self._clusters.items()}

@@ -9,13 +9,21 @@ downstream user (or an experiment harness) needs:
 * ``byzantine_fractions`` / ``worst_cluster_fraction`` / ``cluster_sizes`` —
   observe the quantities Theorem 3 and Lemmas 1–3 are about,
 * ``metrics`` — the per-operation communication/round ledgers behind every
-  cost figure in EXPERIMENTS.md,
+  cost figure produced by the benchmarks under ``benchmarks/``,
 * ``history`` — optional per-time-step records for plotting corruption and
   size trajectories.
 
 Construction: either :meth:`NowEngine.bootstrap` (convenience: builds the
 population, runs initialization, returns the engine) or by passing an already
 initialized :class:`SystemState`.
+
+The engine implements the :class:`~repro.core.interface.EngineProtocol`
+surface shared with the baseline schemes, so workloads, adversaries and the
+:class:`~repro.scenarios.runner.SimulationRunner` drive either interchangeably.
+Per-step snapshots read the incremental counters maintained by
+:class:`~repro.core.state.CorruptionTracker`, so one churn event costs O(1)
+statistics work instead of a full population sweep (see
+``docs/ARCHITECTURE.md``).
 """
 
 from __future__ import annotations
@@ -161,21 +169,16 @@ class NowEngine:
         return self.state.nodes.active_nodes()
 
     def random_member(self, honest_only: bool = False) -> NodeId:
-        """A uniformly random active node (used by workload generators)."""
-        candidates = self.active_nodes()
+        """A uniformly random active node in O(1) (used by workload generators)."""
         if honest_only:
-            byzantine = self.state.nodes.active_byzantine()
-            candidates = [node_id for node_id in candidates if node_id not in byzantine]
-        if not candidates:
-            raise ConfigurationError("no active nodes to choose from")
-        return candidates[self.state.rng.randrange(len(candidates))]
+            return self.state.nodes.sample_active_honest(self.state.rng)
+        return self.state.nodes.sample_active(self.state.rng)
 
     def random_cluster(self) -> ClusterId:
-        """A uniformly random live cluster id."""
-        cluster_ids = self.state.clusters.cluster_ids()
-        if not cluster_ids:
+        """A uniformly random live cluster id in O(1)."""
+        if not len(self.state.clusters):
             raise ConfigurationError("no live clusters")
-        return cluster_ids[self.state.rng.randrange(len(cluster_ids))]
+        return self.state.clusters.sample_id(self.state.rng)
 
     def check_invariants(self, **kwargs) -> InvariantReport:
         """Run the invariant sweep on the current state."""
@@ -211,7 +214,7 @@ class NowEngine:
         if self.config.record_history:
             self.history.append(report)
         if self.config.strict_compromise and report.compromised_clusters:
-            worst = max(self.byzantine_fractions().values())
+            worst = self.worst_cluster_fraction()
             raise ClusterCompromisedError(
                 report.compromised_clusters[0], worst, self.state.time_step
             )
@@ -256,14 +259,13 @@ class NowEngine:
             )
 
     def _snapshot(self, event: ChurnEvent, operation: OperationReport) -> MaintenanceReport:
-        fractions = self.byzantine_fractions()
-        worst = max(fractions.values()) if fractions else 0.0
+        # All O(1): the corruption tracker maintains these incrementally.
         return MaintenanceReport(
             time_step=self.state.time_step,
             event=event,
             operation=operation,
             network_size=self.network_size,
             cluster_count=self.cluster_count,
-            worst_byzantine_fraction=worst,
+            worst_byzantine_fraction=self.state.worst_cluster_fraction(),
             compromised_clusters=self.state.compromised_clusters(),
         )

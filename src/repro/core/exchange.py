@@ -113,14 +113,12 @@ class ExchangeProtocol:
             self._state.clusters.swap_members(cluster_id, node_id, partner_id, replacement)
             report.swaps.append((node_id, partner_id, replacement))
             report.partner_clusters.add(partner_id)
-            self._state.sync_overlay_weight(partner_id)
 
         cluster.exchanges_performed += 1
         cluster.last_full_exchange = self._state.time_step
-        self._state.sync_overlay_weight(cluster_id)
 
         # Inform neighbouring clusters of the new compositions (batched at the
-        # end of the operation; see DESIGN.md §5 note 3).
+        # end of the operation; see design note 2 in docs/ARCHITECTURE.md).
         notify = self._notify_neighbours(
             [cluster_id, *sorted(report.partner_clusters)], ledger, label
         )

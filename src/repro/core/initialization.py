@@ -11,7 +11,7 @@ The protocol starts while the network is still "small" (``n_t0`` between
    populations, where simulating ``n * e`` individual messages is pointless,
    the measured cost is charged from the graph's size instead
    (``discovery_mode="model"``), which preserves the ``O(N^{3/2} log N)``
-   overall figure of Figure 1 (see DESIGN.md §5 note 3).
+   overall figure of Figure 1 (see design note 2 in docs/ARCHITECTURE.md).
 2. **Clusterization** — a Byzantine agreement (King et al. [19], modelled by
    :class:`~repro.agreement.scalable.ScalableAgreementModel`, or the executed
    Phase-King for small Byzantine fractions) elects a representative cluster,

@@ -173,7 +173,6 @@ class JoinOperation(_BaseOperation):
         report.primary_cluster = host_id
 
         self._state.clusters.add_member(host_id, node_id)
-        self._state.sync_overlay_weight(host_id)
 
         # The host informs its neighbours and sends the newcomer its local view
         # (membership of the host and of every adjacent cluster).
@@ -227,7 +226,6 @@ class LeaveOperation(_BaseOperation):
         report = OperationReport(operation="leave", node_id=node_id, primary_cluster=cluster_id)
 
         self._state.clusters.remove_member(cluster_id, node_id)
-        self._state.sync_overlay_weight(cluster_id)
         notify_messages, notify_rounds = self._charge_neighbour_notification(
             cluster_id, ledger, label
         )
@@ -296,7 +294,6 @@ class SplitOperation(_BaseOperation):
         )
         for node in move_members:
             self._state.clusters.move_member(node, new_cluster.cluster_id)
-        self._state.sync_overlay_weight(cluster_id)
 
         change = self._state.overlay.add_vertex(
             new_cluster.cluster_id,

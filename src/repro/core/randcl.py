@@ -11,7 +11,7 @@ previous cluster's members.  The expected cost reported by the paper is
 
 The implementation layers :class:`~repro.walks.sampler.ClusterSampler` (which
 produces the endpoint and the hop count, either by actually walking or from
-the walk's stationary law — see DESIGN.md §5 on walk modes) with a cost model
+the walk's stationary law — see the design notes in docs/ARCHITECTURE.md on walk modes) with a cost model
 derived from the actual cluster population at call time:
 
 * per hop: one ``randNum`` inside the current cluster (``2 m (m-1)``
@@ -92,7 +92,8 @@ class RandCl:
         overlay_graph = self._state.overlay.graph
         if start_cluster not in overlay_graph:
             raise WalkError(f"cluster {start_cluster} is not an overlay vertex")
-        self._state.sync_all_overlay_weights()
+        # Overlay weights are kept in sync incrementally by the membership
+        # listener in SystemState, so no full resynchronisation is needed here.
 
         current_size = max(2, self._state.network_size)
         # The paper measures a CTRW segment by the number of clusters it
@@ -100,12 +101,7 @@ class RandCl:
         # rate equal to the current vertex degree, so the equivalent
         # continuous duration is the hop budget divided by the average
         # overlay degree.
-        vertices = list(overlay_graph.vertices())
-        average_degree = (
-            sum(overlay_graph.degree(vertex) for vertex in vertices) / len(vertices)
-            if vertices
-            else 1.0
-        )
+        average_degree = overlay_graph.average_degree() if len(overlay_graph) else 1.0
         hop_budget = float(self._state.parameters.walk_length(current_size))
         segment_duration = max(2.0, hop_budget / max(1.0, average_degree))
         sampler = ClusterSampler(
@@ -139,9 +135,10 @@ class RandCl:
         label: str,
     ) -> tuple:
         """Charge the walk's communication derived from the current cluster sizes."""
-        sizes = [len(cluster) for cluster in self._state.clusters.clusters()]
-        if sizes:
-            average_size = sum(sizes) / len(sizes)
+        cluster_count = len(self._state.clusters)
+        if cluster_count:
+            # Mean cluster size in O(1): total assigned nodes / cluster count.
+            average_size = self._state.clusters.total_nodes() / cluster_count
         else:
             average_size = 1.0
         # Per hop: randNum in the current cluster (2 m (m-1) messages, 2 rounds)

@@ -14,6 +14,14 @@ The separation mirrors the paper's layering: protocols only see cluster
 membership and overlay structure; the Byzantine ground truth is consulted
 exclusively by measurement code (invariants, experiments) and by the
 adversary.
+
+Statistics are maintained *incrementally*: the node registry keeps
+O(1)-samplable swap-delete arrays of the active (and active honest)
+population, and a :class:`CorruptionTracker` listens to cluster membership
+and role changes so per-cluster Byzantine counts, the compromised-cluster
+set and the worst corruption fraction are updated per event instead of
+recomputed by O(n) sweeps.  ``docs/ARCHITECTURE.md`` describes the listener
+wiring.
 """
 
 from __future__ import annotations
@@ -22,20 +30,40 @@ import random
 from dataclasses import dataclass, field
 from typing import Dict, Iterable, Iterator, List, Optional, Set
 
-from ..errors import UnknownNodeError
+from ..errors import ConfigurationError, UnknownNodeError
 from ..network.metrics import MetricsRegistry
 from ..network.node import NodeDescriptor, NodeId, NodeRole, NodeState
 from ..overlay.over import OverOverlay
 from ..params import ProtocolParameters
+from ..structures import LazyMaxTracker
 from .cluster import ClusterId, ClusterRegistry
 
 
 class NodeRegistry:
-    """Ground-truth registry of every node that ever joined the system."""
+    """Ground-truth registry of every node that ever joined the system.
+
+    Alongside the descriptor map, the registry maintains swap-delete arrays
+    of the active and active-honest populations plus the active-Byzantine
+    set, updated through a lifecycle listener attached to every descriptor.
+    This makes ``active_count``, ``byzantine_fraction`` and uniform sampling
+    (:meth:`sample_active`, :meth:`sample_active_honest`) O(1) per call, and
+    it keeps working even when callers mutate ``descriptor.role`` or
+    ``descriptor.state`` directly.
+    """
 
     def __init__(self) -> None:
         self._descriptors: Dict[NodeId, NodeDescriptor] = {}
         self._next_id: int = 0
+        # Incremental accounting: swap-delete arrays + positions.
+        self._active_list: List[NodeId] = []
+        self._active_pos: Dict[NodeId, int] = {}
+        self._honest_list: List[NodeId] = []
+        self._honest_pos: Dict[NodeId, int] = {}
+        self._active_byz: Set[NodeId] = set()
+        self._role_listeners: List[object] = []
+        #: Diagnostic: number of full sweeps over the node population
+        #: (used by the throughput benchmark to verify O(1) accounting).
+        self.full_scan_count: int = 0
 
     # ------------------------------------------------------------------
     # Creation and lifecycle
@@ -61,6 +89,9 @@ class NodeRegistry:
             self._next_id = max(self._next_id, node_id + 1)
         descriptor = NodeDescriptor(node_id=node_id, role=role, joined_at=joined_at)
         self._descriptors[node_id] = descriptor
+        descriptor.attach_lifecycle_listener(self._descriptor_changed)
+        if descriptor.is_active:
+            self._index_activate(descriptor)
         return descriptor
 
     def mark_left(self, node_id: NodeId, time_step: int) -> NodeDescriptor:
@@ -76,6 +107,64 @@ class NodeRegistry:
         descriptor.joined_at = time_step
         descriptor.left_at = None
         return descriptor
+
+    # ------------------------------------------------------------------
+    # Incremental index maintenance
+    # ------------------------------------------------------------------
+    def add_role_listener(self, listener) -> None:
+        """Register ``listener(descriptor, old_role, new_role)`` for role flips."""
+        self._role_listeners.append(listener)
+
+    @staticmethod
+    def _swap_delete(array: List[NodeId], positions: Dict[NodeId, int], node_id: NodeId) -> None:
+        index = positions.pop(node_id)
+        last = array.pop()
+        if last != node_id:
+            array[index] = last
+            positions[last] = index
+
+    def _index_activate(self, descriptor: NodeDescriptor) -> None:
+        node_id = descriptor.node_id
+        if node_id in self._active_pos:
+            return
+        self._active_pos[node_id] = len(self._active_list)
+        self._active_list.append(node_id)
+        if descriptor.is_byzantine:
+            self._active_byz.add(node_id)
+        else:
+            self._honest_pos[node_id] = len(self._honest_list)
+            self._honest_list.append(node_id)
+
+    def _index_deactivate(self, descriptor: NodeDescriptor) -> None:
+        node_id = descriptor.node_id
+        if node_id not in self._active_pos:
+            return
+        self._swap_delete(self._active_list, self._active_pos, node_id)
+        if node_id in self._active_byz:
+            self._active_byz.discard(node_id)
+        else:
+            self._swap_delete(self._honest_list, self._honest_pos, node_id)
+
+    def _descriptor_changed(self, descriptor: NodeDescriptor, name: str, old, new) -> None:
+        if name == "state":
+            was_active = old is NodeState.ACTIVE
+            now_active = new is NodeState.ACTIVE
+            if now_active and not was_active:
+                self._index_activate(descriptor)
+            elif was_active and not now_active:
+                self._index_deactivate(descriptor)
+        elif name == "role":
+            node_id = descriptor.node_id
+            if node_id in self._active_pos:
+                if new is NodeRole.BYZANTINE:
+                    self._swap_delete(self._honest_list, self._honest_pos, node_id)
+                    self._active_byz.add(node_id)
+                else:
+                    self._active_byz.discard(node_id)
+                    self._honest_pos[node_id] = len(self._honest_list)
+                    self._honest_list.append(node_id)
+            for listener in self._role_listeners:
+                listener(descriptor, old, new)
 
     # ------------------------------------------------------------------
     # Queries
@@ -101,33 +190,171 @@ class NodeRegistry:
         return self.get(node_id).is_active
 
     def active_nodes(self) -> List[NodeId]:
-        """Sorted ids of all currently active nodes."""
-        return sorted(
-            node_id for node_id, descr in self._descriptors.items() if descr.is_active
-        )
+        """Sorted ids of all currently active nodes (an O(n log n) sweep)."""
+        self.full_scan_count += 1
+        return sorted(self._active_list)
 
     def active_byzantine(self) -> Set[NodeId]:
-        """Ids of active adversary-controlled nodes."""
-        return {
-            node_id
-            for node_id, descr in self._descriptors.items()
-            if descr.is_active and descr.is_byzantine
-        }
+        """Ids of active adversary-controlled nodes (O(B) copy)."""
+        return set(self._active_byz)
 
     def active_count(self) -> int:
-        """Number of active nodes."""
-        return sum(1 for descr in self._descriptors.values() if descr.is_active)
+        """Number of active nodes (O(1))."""
+        return len(self._active_list)
 
     def byzantine_fraction(self) -> float:
-        """Fraction of active nodes controlled by the adversary."""
-        active = [descr for descr in self._descriptors.values() if descr.is_active]
-        if not active:
+        """Fraction of active nodes controlled by the adversary (O(1))."""
+        if not self._active_list:
             return 0.0
-        return sum(1 for descr in active if descr.is_byzantine) / len(active)
+        return len(self._active_byz) / len(self._active_list)
+
+    def sample_active(self, rng: random.Random) -> NodeId:
+        """A uniformly random active node in O(1) (error when none exist)."""
+        if not self._active_list:
+            raise ConfigurationError("no active nodes to choose from")
+        return self._active_list[rng.randrange(len(self._active_list))]
+
+    def sample_active_honest(self, rng: random.Random) -> NodeId:
+        """A uniformly random active honest node in O(1) (error when none exist)."""
+        if not self._honest_list:
+            raise ConfigurationError("no active nodes to choose from")
+        return self._honest_list[rng.randrange(len(self._honest_list))]
 
     def descriptors(self) -> Iterator[NodeDescriptor]:
         """Iterate over every registered descriptor (active or not)."""
+        self.full_scan_count += 1
         return iter(list(self._descriptors.values()))
+
+
+class CorruptionTracker:
+    """Incremental per-cluster corruption accounting.
+
+    Subscribes to cluster membership events and node role flips, and
+    maintains per-cluster Byzantine counts, the set of clusters at or above
+    the alarm threshold and (via a lazy max-heap) the worst corruption
+    fraction — each update is O(log #clusters) amortised, each query O(1),
+    replacing the previous O(n) full-population sweep per time step.
+    """
+
+    def __init__(
+        self,
+        nodes: NodeRegistry,
+        clusters: ClusterRegistry,
+        alarm_fraction: float,
+    ) -> None:
+        self._nodes = nodes
+        self._clusters = clusters
+        self._alarm = alarm_fraction
+        self._byz_count: Dict[ClusterId, int] = {}
+        self._fractions = LazyMaxTracker()
+        self._compromised: Set[ClusterId] = set()
+        clusters.add_listener(self)
+        nodes.add_role_listener(self._role_changed)
+        self.rebuild()
+
+    # ------------------------------------------------------------------
+    # Full recomputation (used at attach time and by parity tests)
+    # ------------------------------------------------------------------
+    def _member_is_byzantine(self, node_id: NodeId) -> bool:
+        # Raises UnknownNodeError for members missing from the registry —
+        # placing an unregistered node is a bug, surfaced at mutation time.
+        return self._nodes.is_byzantine(node_id)
+
+    def rebuild(self) -> None:
+        """Recompute every counter from scratch (one O(n) sweep)."""
+        self._byz_count.clear()
+        self._fractions.clear()
+        self._compromised.clear()
+        for cluster in self._clusters.clusters():
+            count = sum(
+                1 for node_id in cluster.members if self._member_is_byzantine(node_id)
+            )
+            self._byz_count[cluster.cluster_id] = count
+            self._refresh(cluster.cluster_id)
+
+    # ------------------------------------------------------------------
+    # Listener hooks
+    # ------------------------------------------------------------------
+    def cluster_created(self, cluster) -> None:
+        self._byz_count[cluster.cluster_id] = sum(
+            1 for node_id in cluster.members if self._member_is_byzantine(node_id)
+        )
+        self._refresh(cluster.cluster_id)
+
+    def cluster_dissolved(self, cluster) -> None:
+        self._byz_count.pop(cluster.cluster_id, None)
+        self._fractions.discard(cluster.cluster_id)
+        self._compromised.discard(cluster.cluster_id)
+
+    def member_added(self, cluster_id: ClusterId, node_id: NodeId) -> None:
+        if self._member_is_byzantine(node_id):
+            self._byz_count[cluster_id] = self._byz_count.get(cluster_id, 0) + 1
+        self._refresh(cluster_id)
+
+    def member_removed(self, cluster_id: ClusterId, node_id: NodeId) -> None:
+        if self._member_is_byzantine(node_id):
+            self._byz_count[cluster_id] = self._byz_count.get(cluster_id, 0) - 1
+        self._refresh(cluster_id)
+
+    def _role_changed(self, descriptor: NodeDescriptor, old, new) -> None:
+        node_id = descriptor.node_id
+        if not self._clusters.contains_node(node_id):
+            return
+        cluster_id = self._clusters.cluster_of(node_id)
+        delta = 1 if new is NodeRole.BYZANTINE else -1
+        self._byz_count[cluster_id] = self._byz_count.get(cluster_id, 0) + delta
+        self._refresh(cluster_id)
+
+    # ------------------------------------------------------------------
+    # Internal upkeep
+    # ------------------------------------------------------------------
+    def _refresh(self, cluster_id: ClusterId) -> None:
+        size = len(self._clusters.get(cluster_id))
+        count = self._byz_count.get(cluster_id, 0)
+        fraction = count / size if size else 0.0
+        self._fractions.set(cluster_id, fraction)
+        if fraction >= self._alarm:
+            self._compromised.add(cluster_id)
+        else:
+            self._compromised.discard(cluster_id)
+
+    # ------------------------------------------------------------------
+    # Queries (all O(1) / O(#compromised))
+    # ------------------------------------------------------------------
+    def fraction(self, cluster_id: ClusterId) -> float:
+        """Current corruption fraction of a live cluster."""
+        return self._fractions[cluster_id]
+
+    def fractions(self) -> Dict[ClusterId, float]:
+        """Corruption fraction of every live cluster (O(#clusters) copy)."""
+        return dict(self._fractions.items())
+
+    def worst_fraction(self) -> float:
+        """Largest per-cluster corruption fraction (amortised O(1))."""
+        return self._fractions.max()
+
+    def compromised(self, threshold: Optional[float] = None) -> List[ClusterId]:
+        """Sorted clusters at or above ``threshold`` (default: the alarm line)."""
+        if threshold is None or threshold == self._alarm:
+            return sorted(self._compromised)
+        return sorted(
+            cluster_id
+            for cluster_id, fraction in self._fractions.items()
+            if fraction >= threshold
+        )
+
+
+class _OverlayWeightSync:
+    """Cluster-membership listener that mirrors sizes into overlay weights."""
+
+    def __init__(self, state: "SystemState") -> None:
+        self._state = state
+
+    def member_added(self, cluster_id: ClusterId, node_id: NodeId) -> None:
+        self._state.sync_overlay_weight(cluster_id)
+
+    def member_removed(self, cluster_id: ClusterId, node_id: NodeId) -> None:
+        self._state.sync_overlay_weight(cluster_id)
 
 
 @dataclass
@@ -145,6 +372,12 @@ class SystemState:
     def __post_init__(self) -> None:
         if self.overlay is None:
             self.overlay = OverOverlay(self.parameters, self.rng)
+        self.corruption = CorruptionTracker(
+            self.nodes, self.clusters, self.parameters.byzantine_alarm_fraction
+        )
+        # Keep overlay vertex weights (cluster sizes) in sync event-by-event,
+        # so the walk machinery never needs a full resynchronisation sweep.
+        self.clusters.add_listener(_OverlayWeightSync(self))
 
     # ------------------------------------------------------------------
     # Size and corruption
@@ -156,32 +389,20 @@ class SystemState:
 
     def cluster_byzantine_fraction(self, cluster_id: ClusterId) -> float:
         """Ground-truth fraction of adversary-controlled members of a cluster."""
-        cluster = self.clusters.get(cluster_id)
-        if not cluster.members:
-            return 0.0
-        corrupt = sum(1 for node_id in cluster.members if self.nodes.is_byzantine(node_id))
-        return corrupt / len(cluster.members)
+        self.clusters.get(cluster_id)  # raises UnknownClusterError when absent
+        return self.corruption.fraction(cluster_id)
 
     def byzantine_fractions(self) -> Dict[ClusterId, float]:
         """Per-cluster corruption fractions, keyed by cluster id."""
-        return {
-            cluster.cluster_id: self.cluster_byzantine_fraction(cluster.cluster_id)
-            for cluster in self.clusters.clusters()
-        }
+        return self.corruption.fractions()
 
     def worst_cluster_fraction(self) -> float:
         """Largest per-cluster Byzantine fraction (0 when there are no clusters)."""
-        fractions = self.byzantine_fractions()
-        return max(fractions.values()) if fractions else 0.0
+        return self.corruption.worst_fraction()
 
     def compromised_clusters(self, threshold: Optional[float] = None) -> List[ClusterId]:
         """Clusters whose corruption fraction reaches ``threshold`` (default one third)."""
-        limit = threshold if threshold is not None else self.parameters.byzantine_alarm_fraction
-        return sorted(
-            cluster_id
-            for cluster_id, fraction in self.byzantine_fractions().items()
-            if fraction >= limit
-        )
+        return self.corruption.compromised(threshold)
 
     # ------------------------------------------------------------------
     # Overlay synchronisation

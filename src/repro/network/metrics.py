@@ -10,7 +10,7 @@ message kind and by operation label.  Every primitive in the library charges
 its traffic to such a ledger, whether the traffic is actually simulated
 message by message (agreement, initialization) or metered from the cluster
 sizes involved (maintenance operations).  Benchmarks read these ledgers to
-produce the measured-cost tables in ``EXPERIMENTS.md``.
+produce the measured-cost tables of the benchmarks (docs/ARCHITECTURE.md).
 """
 
 from __future__ import annotations

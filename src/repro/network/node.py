@@ -50,6 +50,21 @@ class NodeDescriptor:
     left_at: Optional[int] = None
     attributes: Dict[str, Any] = field(default_factory=dict)
 
+    def __setattr__(self, name: str, value: Any) -> None:
+        # Role and liveness changes feed the registry's incremental counters.
+        # A plain attribute write (``descriptor.role = ...``) must reach the
+        # listener too, so the hook lives here rather than in setter methods.
+        old = getattr(self, name, None)
+        object.__setattr__(self, name, value)
+        if name in ("role", "state") and old is not value:
+            listener = getattr(self, "_lifecycle_listener", None)
+            if listener is not None:
+                listener(self, name, old, value)
+
+    def attach_lifecycle_listener(self, listener) -> None:
+        """Register ``listener(descriptor, field, old, new)`` for role/state changes."""
+        object.__setattr__(self, "_lifecycle_listener", listener)
+
     @property
     def is_honest(self) -> bool:
         """``True`` when the node is not controlled by the adversary."""

@@ -15,7 +15,7 @@ The detailed OVER algorithms live in the paper's long version, which is not
 available; :mod:`repro.overlay.over` reconstructs them from the short paper
 (Erdős–Rényi bootstrap with ``p = log^(1+alpha) N / sqrt N``, ``Add`` /
 ``Remove`` of vertices with randomly chosen replacement edges, degree
-regulation) — see DESIGN.md §5 for the substitution note.  The expansion and
+regulation) — see the design notes in docs/ARCHITECTURE.md for the substitution.  The expansion and
 degree targets are verified empirically by experiment E4.
 """
 

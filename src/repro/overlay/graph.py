@@ -12,17 +12,26 @@ from __future__ import annotations
 from typing import Dict, Iterable, Iterator, List, Sequence, Set, Tuple
 
 from ..errors import UnknownClusterError
+from ..structures import LazyMaxTracker
 from ..walks.interface import WalkableGraph
 
 ClusterId = int
 
 
 class OverlayGraph(WalkableGraph):
-    """Undirected graph over cluster identifiers with mutable vertex weights."""
+    """Undirected graph over cluster identifiers with mutable vertex weights.
+
+    Aggregates the walk machinery reads on every sample — edge count, total
+    weight, maximum weight, average degree — are maintained incrementally
+    (the maximum via a lazy max-heap), so a ``randCl`` draw costs O(1)
+    aggregate work instead of a sweep over all vertices.
+    """
 
     def __init__(self) -> None:
         self._adjacency: Dict[ClusterId, Set[ClusterId]] = {}
-        self._weights: Dict[ClusterId, float] = {}
+        self._weights = LazyMaxTracker()
+        self._edge_count: int = 0
+        self._total_weight: float = 0.0
 
     # ------------------------------------------------------------------
     # Mutation
@@ -32,7 +41,9 @@ class OverlayGraph(WalkableGraph):
         if cluster_id in self._adjacency:
             raise UnknownClusterError(f"cluster {cluster_id} already present in the overlay")
         self._adjacency[cluster_id] = set()
-        self._weights[cluster_id] = float(weight)
+        weight = float(weight)
+        self._weights.set(cluster_id, weight)
+        self._total_weight += weight
 
     def remove_vertex(self, cluster_id: ClusterId) -> Set[ClusterId]:
         """Remove ``cluster_id``; returns its former neighbours."""
@@ -40,7 +51,9 @@ class OverlayGraph(WalkableGraph):
         neighbours = self._adjacency.pop(cluster_id)
         for other in neighbours:
             self._adjacency[other].discard(cluster_id)
-        self._weights.pop(cluster_id, None)
+        self._edge_count -= len(neighbours)
+        self._total_weight -= self._weights.get(cluster_id, 0.0)
+        self._weights.discard(cluster_id)
         return neighbours
 
     def add_edge(self, first: ClusterId, second: ClusterId) -> bool:
@@ -53,6 +66,7 @@ class OverlayGraph(WalkableGraph):
             return False
         self._adjacency[first].add(second)
         self._adjacency[second].add(first)
+        self._edge_count += 1
         return True
 
     def remove_edge(self, first: ClusterId, second: ClusterId) -> bool:
@@ -63,12 +77,15 @@ class OverlayGraph(WalkableGraph):
             return False
         self._adjacency[first].discard(second)
         self._adjacency[second].discard(first)
+        self._edge_count -= 1
         return True
 
     def set_weight(self, cluster_id: ClusterId, weight: float) -> None:
         """Update the weight (cluster size) of ``cluster_id``."""
         self._require(cluster_id)
-        self._weights[cluster_id] = float(weight)
+        weight = float(weight)
+        self._total_weight += weight - self._weights[cluster_id]
+        self._weights.set(cluster_id, weight)
 
     # ------------------------------------------------------------------
     # WalkableGraph interface
@@ -108,8 +125,26 @@ class OverlayGraph(WalkableGraph):
         return max(len(neigh) for neigh in self._adjacency.values())
 
     def edge_count(self) -> int:
-        """Number of undirected edges."""
-        return sum(len(neigh) for neigh in self._adjacency.values()) // 2
+        """Number of undirected edges (O(1), maintained incrementally)."""
+        return self._edge_count
+
+    def vertex_count(self) -> int:
+        """Number of vertices (O(1))."""
+        return len(self._adjacency)
+
+    def average_degree(self) -> float:
+        """Mean vertex degree (O(1); 0 for an empty overlay)."""
+        if not self._adjacency:
+            return 0.0
+        return 2.0 * self._edge_count / len(self._adjacency)
+
+    def total_weight(self) -> float:
+        """Sum of all vertex weights (O(1), maintained incrementally)."""
+        return float(self._total_weight)
+
+    def max_weight(self) -> float:
+        """Largest vertex weight (amortised O(1) via a lazy max-heap)."""
+        return self._weights.max()
 
     def edges(self) -> Iterator[Tuple[ClusterId, ClusterId]]:
         """Iterate over undirected edges as ``(small_id, large_id)`` pairs."""

@@ -5,7 +5,7 @@ The short paper specifies *what* OVER guarantees (Properties 1 and 2) and
 cluster a new neighbourhood, ``Remove`` takes a merged-away cluster out of
 the overlay and patches the hole with ``2 log^2 N`` edges chosen through
 ``randCl``.  The exact edge-regulation rules are in the unavailable long
-version, so :class:`OverOverlay` reconstructs them as follows (DESIGN.md §5):
+version, so :class:`OverOverlay` reconstructs them as follows (docs/ARCHITECTURE.md design notes):
 
 * **Bootstrap** — Erdős–Rényi graph with ``p = log^(1+alpha) N / sqrt N``.
 * **Add(C)** — the new vertex draws ``overlay_degree_target`` neighbours; each

@@ -1,0 +1,48 @@
+"""The scenario subsystem: one shared run loop for every experiment.
+
+Three layers, smallest on top:
+
+* :mod:`repro.scenarios.scenario` — :class:`Scenario`, a declarative
+  description of one experiment (parameters, engine flavour, workload and
+  adversary specs, seed discipline), JSON-serialisable and available as named
+  presets for the CLI,
+* :mod:`repro.scenarios.runner` — :class:`SimulationRunner`, the step loop
+  (workload/adversary → engine → probes → stop conditions) shared by every
+  benchmark, example and the CLI, returning a :class:`RunResult`,
+* :mod:`repro.scenarios.probes` — the pluggable :class:`Probe` API
+  (corruption trajectory, size trajectory, cost ledgers, custom callbacks).
+
+See ``docs/ARCHITECTURE.md`` for how this layer sits on the engine stack.
+"""
+
+from .probes import (
+    CallbackProbe,
+    CorruptionTrajectoryProbe,
+    CostLedgerProbe,
+    Probe,
+    SizeTrajectoryProbe,
+)
+from .runner import (
+    RunResult,
+    SimulationRunner,
+    stop_when_compromised,
+    stop_when_size_at_least,
+    stop_when_size_at_most,
+)
+from .scenario import NAMED_SCENARIOS, Scenario, named_scenario
+
+__all__ = [
+    "Probe",
+    "CallbackProbe",
+    "CorruptionTrajectoryProbe",
+    "CostLedgerProbe",
+    "SizeTrajectoryProbe",
+    "RunResult",
+    "SimulationRunner",
+    "stop_when_compromised",
+    "stop_when_size_at_least",
+    "stop_when_size_at_most",
+    "Scenario",
+    "NAMED_SCENARIOS",
+    "named_scenario",
+]

@@ -1,0 +1,203 @@
+"""Probes: pluggable per-step observers for :class:`~repro.scenarios.runner.SimulationRunner`.
+
+A probe watches a run without owning the loop: the runner calls
+:meth:`Probe.on_step` after every applied churn event and collects
+:meth:`Probe.result` into the :class:`~repro.scenarios.runner.RunResult`.
+Probes only read the per-step report and the engine's O(1) observation
+surface, so adding probes does not change a run's trajectory (they draw no
+randomness) and adds only constant work per event.
+
+The built-ins cover what the benchmarks and examples measure:
+
+* :class:`CorruptionTrajectoryProbe` — worst (or targeted) cluster corruption
+  per step, peak, and the first step a threshold was reached,
+* :class:`SizeTrajectoryProbe`       — network size / cluster count per step,
+* :class:`CostLedgerProbe`           — per-operation message/round costs
+  (NOW reports carry an ``operation``; baseline reports charge nothing),
+* :class:`CallbackProbe`             — arbitrary measurement hooks, optionally
+  sampled every ``every`` steps.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable, Dict, List, Optional
+
+from ..analysis.statistics import summarize_fractions
+from ..core.cluster import ClusterId
+
+
+class Probe:
+    """Base class of run observers (all hooks optional)."""
+
+    name = "probe"
+
+    def on_start(self, engine) -> None:
+        """Called once before the first step the probe observes."""
+
+    def on_step(self, engine, report, step_index: int) -> None:
+        """Called after each applied event with the engine's per-step report."""
+
+    def result(self) -> Any:
+        """The probe's accumulated measurement (stored in the run result)."""
+        return None
+
+
+class CorruptionTrajectoryProbe(Probe):
+    """Tracks cluster corruption per step.
+
+    Without a target, the tracked series is the worst per-cluster fraction
+    (an O(1) read of the incremental tracker).  With ``target_cluster`` set,
+    the probe follows that cluster specifically — the join–leave-attack
+    measurements — falling back to the worst fraction once the target is
+    dissolved.
+    """
+
+    name = "corruption"
+
+    def __init__(
+        self,
+        threshold: float = 1.0 / 3.0,
+        target_cluster: Optional[ClusterId] = None,
+    ) -> None:
+        self.threshold = threshold
+        self.target_cluster = target_cluster
+        self.series: List[float] = []
+        self.peak: float = 0.0
+        self.first_step_at_threshold: Optional[int] = None
+
+    def on_step(self, engine, report, step_index: int) -> None:
+        if self.target_cluster is not None and self.target_cluster in engine.state.clusters:
+            fraction = engine.state.cluster_byzantine_fraction(self.target_cluster)
+        else:
+            fraction = report.worst_byzantine_fraction
+        self.series.append(fraction)
+        if fraction > self.peak:
+            self.peak = fraction
+        if self.first_step_at_threshold is None and fraction >= self.threshold:
+            self.first_step_at_threshold = step_index
+
+    @property
+    def captured(self) -> bool:
+        """Whether the tracked fraction ever reached the threshold."""
+        return self.first_step_at_threshold is not None
+
+    def summary(self):
+        """Trajectory summary statistics (mean / quantiles / exceedances)."""
+        return summarize_fractions(self.series, threshold=self.threshold)
+
+    def result(self) -> Dict[str, Any]:
+        return {
+            "series": self.series,
+            "peak": self.peak,
+            "first_step_at_threshold": self.first_step_at_threshold,
+            "captured": self.captured,
+        }
+
+
+class SizeTrajectoryProbe(Probe):
+    """Records network size and cluster count after every event."""
+
+    name = "size"
+
+    def __init__(self) -> None:
+        self.sizes: List[int] = []
+        self.cluster_counts: List[int] = []
+
+    def on_step(self, engine, report, step_index: int) -> None:
+        self.sizes.append(report.network_size)
+        self.cluster_counts.append(report.cluster_count)
+
+    def result(self) -> Dict[str, Any]:
+        return {
+            "sizes": self.sizes,
+            "cluster_counts": self.cluster_counts,
+            "final_size": self.sizes[-1] if self.sizes else None,
+            "max_size": max(self.sizes) if self.sizes else None,
+            "min_size": min(self.sizes) if self.sizes else None,
+        }
+
+
+class CostLedgerProbe(Probe):
+    """Accumulates per-operation communication costs from the step reports.
+
+    NOW's :class:`~repro.core.engine.MaintenanceReport` carries an
+    ``operation`` report; baseline steps do not (their maintenance is free by
+    construction), so the probe records zero-cost entries keyed by the event
+    kind instead — keeping cost tables comparable across engines.
+    """
+
+    name = "costs"
+
+    def __init__(self) -> None:
+        self.messages_by_operation: Dict[str, List[int]] = {}
+        self.rounds_by_operation: Dict[str, List[int]] = {}
+
+    def on_step(self, engine, report, step_index: int) -> None:
+        operation = getattr(report, "operation", None)
+        if operation is not None:
+            name, messages, rounds = operation.operation, operation.messages, operation.rounds
+        else:
+            name, messages, rounds = report.event.kind.value, 0, 0
+        self.messages_by_operation.setdefault(name, []).append(messages)
+        self.rounds_by_operation.setdefault(name, []).append(rounds)
+
+    def count(self, operation: str) -> int:
+        """Number of recorded steps whose primary operation was ``operation``."""
+        return len(self.messages_by_operation.get(operation, []))
+
+    def mean_messages(self, operation: str) -> float:
+        """Mean message cost of ``operation`` steps (0.0 when none occurred)."""
+        costs = self.messages_by_operation.get(operation, [])
+        return sum(costs) / len(costs) if costs else 0.0
+
+    def mean_rounds(self, operation: str) -> float:
+        """Mean round cost of ``operation`` steps (0.0 when none occurred)."""
+        rounds = self.rounds_by_operation.get(operation, [])
+        return sum(rounds) / len(rounds) if rounds else 0.0
+
+    def mean_messages_overall(self) -> float:
+        """Mean message cost across every recorded step (0.0 when empty)."""
+        total_steps = sum(len(costs) for costs in self.messages_by_operation.values())
+        return self.total_messages() / total_steps if total_steps else 0.0
+
+    def total_messages(self) -> int:
+        """Total messages across every recorded operation."""
+        return sum(sum(costs) for costs in self.messages_by_operation.values())
+
+    def result(self) -> Dict[str, Any]:
+        return {
+            "mean_messages": {
+                name: self.mean_messages(name) for name in self.messages_by_operation
+            },
+            "counts": {name: self.count(name) for name in self.messages_by_operation},
+            "total_messages": self.total_messages(),
+        }
+
+
+class CallbackProbe(Probe):
+    """Runs a measurement callable every ``every`` applied events.
+
+    ``fn(engine, report, step_index)`` may return a value to collect (``None``
+    results are collected too, so the callback can be used purely for side
+    effects such as sampling the overlay).
+    """
+
+    name = "callback"
+
+    def __init__(self, fn: Callable, every: int = 1, name: Optional[str] = None) -> None:
+        if every < 1:
+            raise ValueError("every must be >= 1")
+        self._fn = fn
+        self._every = every
+        self._calls = 0
+        self.values: List[Any] = []
+        if name is not None:
+            self.name = name
+
+    def on_step(self, engine, report, step_index: int) -> None:
+        self._calls += 1
+        if self._calls % self._every == 0:
+            self.values.append(self._fn(engine, report, step_index))
+
+    def result(self) -> List[Any]:
+        return self.values

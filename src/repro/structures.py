@@ -1,0 +1,67 @@
+"""Small incremental data structures shared across the engine stack."""
+
+from __future__ import annotations
+
+import heapq
+from typing import Dict, Hashable, List, Tuple
+
+
+class LazyMaxTracker:
+    """Maximum of a mutable ``key -> value`` mapping in amortised O(1).
+
+    Every update pushes a ``(-value, key)`` entry onto a heap; reads pop
+    entries whose value no longer matches the live mapping.  The heap is
+    compacted when stale entries outnumber live keys 4:1, bounding memory at
+    O(live keys) over arbitrarily long update streams.  Used for the worst
+    per-cluster corruption fraction and the maximum overlay vertex weight.
+    """
+
+    def __init__(self) -> None:
+        self._values: Dict[Hashable, float] = {}
+        self._heap: List[Tuple[float, Hashable]] = []
+
+    def __contains__(self, key: Hashable) -> bool:
+        return key in self._values
+
+    def __len__(self) -> int:
+        return len(self._values)
+
+    def get(self, key: Hashable, default: float = 0.0) -> float:
+        """Current value of ``key`` (``default`` when absent)."""
+        return self._values.get(key, default)
+
+    def __getitem__(self, key: Hashable) -> float:
+        return self._values[key]
+
+    def set(self, key: Hashable, value: float) -> None:
+        """Insert or update ``key``'s value."""
+        self._values[key] = value
+        heapq.heappush(self._heap, (-value, key))
+        if len(self._heap) > 4 * max(8, len(self._values)):
+            self._compact()
+
+    def discard(self, key: Hashable) -> None:
+        """Remove ``key`` (no-op when absent); its heap entries go stale."""
+        self._values.pop(key, None)
+
+    def clear(self) -> None:
+        """Drop every entry."""
+        self._values.clear()
+        self._heap = []
+
+    def max(self, default: float = 0.0) -> float:
+        """Largest live value (``default`` for an empty mapping)."""
+        while self._heap:
+            negative, key = self._heap[0]
+            if self._values.get(key) == -negative:
+                return -negative
+            heapq.heappop(self._heap)
+        return default
+
+    def items(self):
+        """Live ``(key, value)`` pairs."""
+        return self._values.items()
+
+    def _compact(self) -> None:
+        self._heap = [(-value, key) for key, value in self._values.items()]
+        heapq.heapify(self._heap)

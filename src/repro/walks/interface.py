@@ -41,6 +41,13 @@ class WalkableGraph(abc.ABC):
         """Number of vertices."""
         return len(self.vertices())
 
+    def average_degree(self) -> float:
+        """Mean vertex degree (0 for an empty graph)."""
+        vertices = self.vertices()
+        if not vertices:
+            return 0.0
+        return sum(self.degree(vertex) for vertex in vertices) / len(vertices)
+
     def total_weight(self) -> float:
         """Sum of all vertex weights (for NOW: the number of nodes ``n``)."""
         return float(sum(self.weight(vertex) for vertex in self.vertices()))

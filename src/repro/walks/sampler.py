@@ -124,11 +124,12 @@ class ClusterSampler:
         duration times the average vertex degree; the number of segments is
         the geometric restart count of the biased walk.
         """
-        vertices = list(self._graph.vertices())
-        if not vertices:
+        vertex_count = self._graph.vertex_count()
+        if not vertex_count:
             return (0, 1)
-        average_degree = sum(self._graph.degree(v) for v in vertices) / len(vertices)
-        mean_weight = self._graph.total_weight() / len(vertices)
+        # All O(1) on OverlayGraph: aggregates are maintained incrementally.
+        average_degree = self._graph.average_degree()
+        mean_weight = self._graph.total_weight() / vertex_count
         max_weight = self._graph.max_weight()
         expected_restarts = max(1.0, max_weight / mean_weight) if mean_weight > 0 else 1.0
         expected_hops = self._segment_duration * average_degree * expected_restarts

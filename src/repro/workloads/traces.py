@@ -35,16 +35,16 @@ def drive(engine, source, steps: int) -> List:
     Steps on which the source returns ``None`` are skipped (no event, no time
     advance), matching the paper's "or nothing occurs" case.
     Returns the per-step reports produced by the engine.
+
+    This is a thin convenience wrapper over
+    :class:`~repro.scenarios.runner.SimulationRunner`, which owns the step
+    loop (and supports probes and stop conditions for anything beyond a
+    fixed-step drive).
     """
-    if steps < 0:
-        raise ConfigurationError("steps must be non-negative")
-    reports = []
-    for _ in range(steps):
-        event = _next_event(source, engine)
-        if event is None:
-            continue
-        reports.append(engine.apply_event(event))
-    return reports
+    from ..scenarios.runner import SimulationRunner  # local import: avoids a cycle
+
+    runner = SimulationRunner(engine, source, keep_reports=True, name="drive")
+    return runner.run(steps).reports
 
 
 class MixedDriver:

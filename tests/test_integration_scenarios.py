@@ -1,6 +1,6 @@
 """Integration tests: end-to-end scenarios reproducing the paper's claims at small scale.
 
-Each test is a miniature version of one of the experiments in EXPERIMENTS.md,
+Each test is a miniature version of one of the experiments in docs/ARCHITECTURE.md,
 small enough to run in seconds but still exercising the full stack
 (initialization, maintenance, adversary, applications) together.
 """
