@@ -6,110 +6,127 @@ take: ``randCl`` can either simulate the biased CTRW hop by hop
 distribution ``|C|/n`` while charging the expected walking cost
 (``WalkMode.ORACLE``).  E10 already shows the two endpoint distributions are
 statistically indistinguishable; this ablation closes the loop at the *system*
-level: it runs the same churn workload under both modes and compares
+level.  It runs the same churn workload under both modes — as one multi-seed
+:class:`~repro.experiments.sweep.SweepSpec` whose grid axis is the nested
+``engine_options.walk_mode`` field, fanned out across worker processes — and
+compares
 
 * the corruption trajectories (they must agree statistically — the protocol's
   safety cannot depend on which mode produced the samples), and
 * the charged communication costs (the oracle's expected-cost model must
   track the simulated walk's measured cost),
 
-plus the wall-clock ratio, which is the reason the oracle mode exists.
+with the simulated mode now running on the cached-transition-table walk fast
+path (``run_buffered`` segments over the overlay's neighbour tables).
 """
 
 from __future__ import annotations
 
 import pytest
 
-from repro import EngineConfig
 from repro.analysis import ExperimentTable
-from repro.scenarios import CallbackProbe, CorruptionTrajectoryProbe, CostLedgerProbe
-from repro.walks.sampler import WalkMode
-from repro.workloads import UniformChurn
+from repro.experiments import SweepSpec, run_sweep
 
-from common import bootstrap_engine, fresh_rng, run_once, run_steps
+from common import run_once
 
 MAX_SIZE = 2048
 INITIAL = 200
 TAU = 0.15
 STEPS = 150
+SEEDS = [970, 971]
 
 
-def run_mode(mode: WalkMode, seed: int):
-    engine = bootstrap_engine(
-        MAX_SIZE,
-        INITIAL,
-        tau=TAU,
-        seed=seed,
-        config=EngineConfig(walk_mode=mode),
+def build_spec() -> SweepSpec:
+    return SweepSpec(
+        name="ablation-walk-mode",
+        scenario=dict(
+            name="walk-mode",
+            max_size=MAX_SIZE,
+            initial_size=INITIAL,
+            tau=TAU,
+            steps=STEPS,
+            workload={"kind": "uniform"},
+        ),
+        grid={"engine_options.walk_mode": ["simulated", "oracle"]},
+        seeds=SEEDS,
+        workers=2,
     )
-    workload = UniformChurn(fresh_rng(seed + 1), byzantine_join_fraction=TAU)
-    corruption = CorruptionTrajectoryProbe()
-    costs = CostLedgerProbe()
-    hops = CallbackProbe(
-        lambda _engine, report, _step: report.operation.walk_hops, name="walk-hops"
-    )
-    result = run_steps(
-        engine, workload, STEPS, probes=[corruption, costs, hops], name=f"walk-{mode.value}"
-    )
-
-    return {
-        "mode": mode.value,
-        "summary": corruption.summary(),
-        "mean_operation_cost": costs.mean_messages_overall(),
-        "mean_walk_hops": sum(hops.values) / len(hops.values),
-        "elapsed_seconds": result.elapsed_seconds,
-        "invariants": engine.check_invariants(check_honest_majority=False).holds,
-    }
 
 
 def run_experiment():
-    return {
-        "simulated": run_mode(WalkMode.SIMULATED, seed=970),
-        "oracle": run_mode(WalkMode.ORACLE, seed=970),
-    }
+    result = run_sweep(build_spec())
+    rows = {}
+    for point in result.points():
+        records = result.records_for(point)
+        aggregates = result.aggregate(point)
+        events = aggregates["events"].mean
+        rows[point["engine_options.walk_mode"]] = {
+            "mode": point["engine_options.walk_mode"],
+            "mean_worst": aggregates["mean_worst_fraction"],
+            "peak_worst": aggregates["peak_worst_fraction"],
+            "mean_operation_cost": aggregates["mean_messages_per_event"],
+            "mean_walk_hops": aggregates["walk_hops"].mean / max(1.0, events),
+            "events_per_second": aggregates["events_per_second"],
+            "invariants": all(record["invariants_ok"] for record in records),
+            "completed": all(
+                record["stop_reason"] == "steps exhausted" for record in records
+            ),
+        }
+    return rows
 
 
 @pytest.mark.experiment("A3")
 def test_ablation_walk_mode(benchmark):
-    result = run_once(benchmark, run_experiment)
+    rows = run_once(benchmark, run_experiment)
     table = ExperimentTable(
-        title=f"A3 ablation - simulated CTRW vs oracle sampling ({STEPS} churn steps)",
+        title=(
+            f"A3 ablation - simulated CTRW vs oracle sampling "
+            f"({STEPS} churn steps, {len(SEEDS)} seeds per mode)"
+        ),
         headers=[
             "walk mode",
-            "mean worst corruption",
-            "max worst corruption",
+            "mean worst corruption (± ci95)",
+            "peak worst corruption (± ci95)",
             "mean msgs per operation",
             "mean walk hops per operation",
-            "wall-clock seconds",
+            "events per second",
         ],
     )
     for key in ("simulated", "oracle"):
-        row = result[key]
-        summary = row["summary"]
+        row = rows[key]
         table.add_row(
             row["mode"],
-            summary.mean,
-            summary.maximum,
-            row["mean_operation_cost"],
+            str(row["mean_worst"]),
+            str(row["peak_worst"]),
+            row["mean_operation_cost"].mean,
             row["mean_walk_hops"],
-            row["elapsed_seconds"],
+            row["events_per_second"].mean,
         )
     table.add_note(
         "The oracle mode draws from the walk's stationary law and charges its expected "
         "cost; it must reproduce the simulated mode's safety behaviour and cost scale "
-        "(E10 checks the distributions directly), while running substantially faster - "
-        "that speed is why the long-churn benchmarks use it (docs/ARCHITECTURE.md design notes)."
+        "(E10 checks the distributions directly).  Both columns aggregate a multi-seed "
+        "sweep run through repro.experiments; the simulated mode rides the cached "
+        "transition-table fast path (docs/ARCHITECTURE.md)."
     )
     table.print()
 
-    simulated = result["simulated"]
-    oracle = result["oracle"]
+    simulated = rows["simulated"]
+    oracle = rows["oracle"]
+    # Every run must finish its step budget with the structural invariants
+    # intact — a stale transition-table cache would surface here first.
     assert simulated["invariants"] and oracle["invariants"]
-    # Safety statistics agree within the Monte-Carlo noise of a 150-step run.
-    assert abs(simulated["summary"].mean - oracle["summary"].mean) < 0.06
-    assert abs(simulated["summary"].maximum - oracle["summary"].maximum) < 0.15
+    assert simulated["completed"] and oracle["completed"]
+    # Safety statistics agree within the Monte-Carlo noise of 150-step runs.
+    assert abs(simulated["mean_worst"].mean - oracle["mean_worst"].mean) < 0.06
+    assert abs(simulated["peak_worst"].mean - oracle["peak_worst"].mean) < 0.15
     # The charged costs agree within a factor of two (same model, measured vs expected hops).
-    ratio = simulated["mean_operation_cost"] / max(1.0, oracle["mean_operation_cost"])
+    ratio = simulated["mean_operation_cost"].mean / max(1.0, oracle["mean_operation_cost"].mean)
     assert 0.5 < ratio < 2.0
     hop_ratio = simulated["mean_walk_hops"] / max(1.0, oracle["mean_walk_hops"])
     assert 0.4 < hop_ratio < 2.5
+
+
+if __name__ == "__main__":
+    for mode, row in run_experiment().items():
+        print(mode, row)

@@ -5,11 +5,12 @@ cluster by repeatedly re-inserting its nodes until they land there; the
 exchange-based shuffling of NOW (and, to a lesser degree, cuckoo-style
 limited shuffling) prevents this.
 
-What we run: the same targeted join–leave attack (mixed with background
-honest churn) against NOW, the no-shuffle baseline and the cuckoo-rule
-baseline, all starting from identical populations.  The table reports, for
-each scheme, the peak corruption of the targeted cluster, the number of time
-steps until it first reached one third (if ever), and the global worst
+What we run: one :class:`~repro.experiments.sweep.SweepSpec` — the targeted
+join–leave attack (mixed with background honest churn) as the base scenario,
+a grid over the engine (NOW, cuckoo rule, no shuffling) and a multi-seed
+list — fanned out across worker processes by the sweep runner.  The table
+reports, per scheme, the seed-averaged peak corruption of the targeted
+cluster (± 95% CI), how often the target was captured, and the global worst
 cluster corruption at the end.
 """
 
@@ -17,81 +18,102 @@ from __future__ import annotations
 
 import pytest
 
-from repro.adversary import JoinLeaveAttack
 from repro.analysis import ExperimentTable
-from repro.scenarios import CorruptionTrajectoryProbe
-from repro.workloads import MixedDriver, UniformChurn
+from repro.experiments import SweepSpec, run_sweep
 
-from common import bootstrap_engine, fresh_rng, run_once, run_steps
+from common import run_once
 
 MAX_SIZE = 4096
 INITIAL = 300
 TAU = 0.2
 STEPS = 350
+SEEDS = [71, 72]
 
 
-def attack_scheme(engine, label: str, seed: int):
-    target = engine.state.clusters.cluster_ids()[0]
-    attack = JoinLeaveAttack(fresh_rng(seed), target_cluster=target)
-    churn = UniformChurn(fresh_rng(seed + 1), byzantine_join_fraction=TAU)
-    driver = MixedDriver([(attack, 0.6), (churn, 0.4)], fresh_rng(seed + 2))
+def build_spec() -> SweepSpec:
+    return SweepSpec(
+        name="joinleave-attack",
+        scenario=dict(
+            name="joinleave-attack",
+            max_size=MAX_SIZE,
+            initial_size=INITIAL,
+            tau=TAU,
+            steps=STEPS,
+            workload={"kind": "uniform"},
+            adversary={"kind": "join_leave", "target_cluster": "first"},
+            adversary_weight=0.6,
+        ),
+        grid={"engine": ["now", "cuckoo_rule", "no_shuffle"]},
+        seeds=SEEDS,
+        workers=2,
+        track_target_cluster=True,
+    )
 
-    probe = CorruptionTrajectoryProbe(target_cluster=target)
-    run_steps(engine, driver, STEPS, probes=[probe], name=label)
-    capture_step = probe.first_step_at_threshold
-    return {
-        "scheme": label,
-        "peak_target_fraction": probe.peak,
-        "capture_step": capture_step if capture_step is not None else "never",
-        "captured": probe.captured,
-        "final_worst": engine.worst_cluster_fraction(),
-    }
+
+SCHEME_LABELS = {
+    "now": "NOW (full exchange)",
+    "cuckoo_rule": "cuckoo rule (constant eviction)",
+    "no_shuffle": "no shuffling",
+}
 
 
 def run_experiment():
-    now_engine = bootstrap_engine(MAX_SIZE, INITIAL, tau=TAU, seed=71)
-    no_shuffle = bootstrap_engine(MAX_SIZE, INITIAL, tau=TAU, seed=71, engine="no_shuffle")
-    cuckoo = bootstrap_engine(MAX_SIZE, INITIAL, tau=TAU, seed=71, engine="cuckoo_rule")
-    return [
-        attack_scheme(now_engine, "NOW (full exchange)", seed=710),
-        attack_scheme(cuckoo, "cuckoo rule (constant eviction)", seed=710),
-        attack_scheme(no_shuffle, "no shuffling", seed=710),
-    ]
+    result = run_sweep(build_spec())
+    rows = {}
+    for point in result.points():
+        records = result.records_for(point)
+        aggregates = result.aggregate(point)
+        rows[point["engine"]] = {
+            "scheme": SCHEME_LABELS[point["engine"]],
+            "target_peak": aggregates["target_peak_fraction"],
+            "captured_runs": sum(1 for record in records if record["target_captured"]),
+            "runs": len(records),
+            "final_worst": aggregates["final_worst_fraction"],
+        }
+    return rows
 
 
 @pytest.mark.experiment("E7")
 def test_joinleave_attack_comparison(benchmark):
     rows = run_once(benchmark, run_experiment)
     table = ExperimentTable(
-        title=f"E7 join-leave attack on one target cluster ({STEPS} steps, tau={TAU})",
+        title=(
+            f"E7 join-leave attack on one target cluster "
+            f"({STEPS} steps, tau={TAU}, {len(SEEDS)} seeds per scheme)"
+        ),
         headers=[
             "scheme",
-            "peak target corruption",
-            "first step >= 1/3",
-            "captured",
-            "final worst cluster corruption",
+            "peak target corruption (mean ± ci95)",
+            "captured (runs)",
+            "final worst cluster corruption (mean)",
         ],
     )
-    for row in rows:
+    for engine in ("now", "cuckoo_rule", "no_shuffle"):
+        row = rows[engine]
         table.add_row(
             row["scheme"],
-            row["peak_target_fraction"],
-            row["capture_step"],
-            row["captured"],
-            row["final_worst"],
+            str(row["target_peak"]),
+            f"{row['captured_runs']}/{row['runs']}",
+            row["final_worst"].mean,
         )
     table.add_note(
         "Paper: the adversary 'chooses a specific cluster and keeps adding and removing "
         "the Byzantine nodes until they fall into that cluster' - shuffling on every join "
-        "and leave is what defeats this."
+        "and leave is what defeats this.  Rows aggregate a multi-seed sweep run through "
+        "repro.experiments (one process per worker)."
     )
     table.print()
 
-    by_scheme = {row["scheme"]: row for row in rows}
-    now_row = by_scheme["NOW (full exchange)"]
-    plain_row = by_scheme["no shuffling"]
-    # The unshuffled target must be captured; NOW's peak stays strictly lower.
-    assert plain_row["captured"]
-    assert now_row["peak_target_fraction"] < plain_row["peak_target_fraction"]
+    now_row = rows["now"]
+    plain_row = rows["no_shuffle"]
+    # The unshuffled target must be captured in every seed; NOW's peak stays
+    # strictly lower on average.
+    assert plain_row["captured_runs"] == plain_row["runs"]
+    assert now_row["target_peak"].mean < plain_row["target_peak"].mean
     # NOW's typical corruption stays in the vicinity of tau rather than 1/2+.
-    assert now_row["final_worst"] < 0.5
+    assert now_row["final_worst"].mean < 0.5
+
+
+if __name__ == "__main__":
+    for engine, row in run_experiment().items():
+        print(engine, row)

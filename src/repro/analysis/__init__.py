@@ -22,7 +22,13 @@ from .bounds import (
     recommended_k,
 )
 from .complexity import FitResult, fit_power_law, fit_polylog, polylog_exponent
-from .statistics import TrajectorySummary, summarize_fractions, summarize_values
+from .statistics import (
+    MeanConfidence,
+    TrajectorySummary,
+    mean_confidence,
+    summarize_fractions,
+    summarize_values,
+)
 from .reporting import format_table, ExperimentTable
 
 __all__ = [
@@ -34,6 +40,8 @@ __all__ = [
     "fit_power_law",
     "fit_polylog",
     "polylog_exponent",
+    "MeanConfidence",
+    "mean_confidence",
     "TrajectorySummary",
     "summarize_fractions",
     "summarize_values",

@@ -99,6 +99,68 @@ def summarize_fractions(
     return summarize_values(fractions, threshold=threshold)
 
 
+@dataclass(frozen=True)
+class MeanConfidence:
+    """Mean of independent replicates with a normal-approximation CI.
+
+    The experiment sweeps aggregate per-seed run metrics; with the usual
+    handful of seeds the half-width uses the sample standard deviation and a
+    fixed z (1.96 for 95%) — a deliberate normal approximation, documented in
+    the sweep output, rather than a t-quantile (no scipy dependency).
+    """
+
+    count: int
+    mean: float
+    std: float
+    half_width: float
+    minimum: float
+    maximum: float
+
+    @property
+    def lower(self) -> float:
+        """Lower edge of the confidence interval."""
+        return self.mean - self.half_width
+
+    @property
+    def upper(self) -> float:
+        """Upper edge of the confidence interval."""
+        return self.mean + self.half_width
+
+    def as_dict(self) -> Dict[str, float]:
+        """Plain-dict view (used when rendering sweep tables)."""
+        return {
+            "count": self.count,
+            "mean": self.mean,
+            "std": self.std,
+            "half_width": self.half_width,
+            "lower": self.lower,
+            "upper": self.upper,
+            "min": self.minimum,
+            "max": self.maximum,
+        }
+
+    def __str__(self) -> str:
+        return f"{self.mean:.3f} ± {self.half_width:.3f}"
+
+
+def mean_confidence(values: Iterable[float], z: float = 1.96) -> MeanConfidence:
+    """Mean, sample std and ``z``-score confidence half-width of replicates.
+
+    A single replicate (or none) yields a zero half-width — there is no
+    spread to estimate — so callers can render every aggregate uniformly.
+    """
+    series = [float(value) for value in values]
+    if not series:
+        return MeanConfidence(0, 0.0, 0.0, 0.0, 0.0, 0.0)
+    mean = sum(series) / len(series)
+    if len(series) == 1:
+        return MeanConfidence(1, mean, 0.0, 0.0, series[0], series[0])
+    variance = sum((value - mean) ** 2 for value in series) / (len(series) - 1)
+    std = math.sqrt(variance)
+    half_width = z * std / math.sqrt(len(series))
+    return MeanConfidence(len(series), mean, std, half_width, min(series), max(series))
+
+
 def longest_run_above(values: Iterable[float], threshold: float) -> int:
     """Length of the longest consecutive stretch at or above ``threshold``.
 

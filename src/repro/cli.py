@@ -14,6 +14,9 @@ prints its table — useful for kicking the tyres without writing a script:
   :class:`~repro.scenarios.scenario.Scenario` through the
   :class:`~repro.scenarios.runner.SimulationRunner` and print the result
   table (``--list`` shows the presets).
+* ``run-sweep`` — expand a parameter grid x seed list over a preset (or a
+  JSON :class:`~repro.experiments.sweep.SweepSpec`), fan the runs out across
+  worker processes and print per-grid-point aggregates (mean ± 95% CI).
 
 Every command accepts ``--seed`` for reproducibility; defaults are sized to
 finish in seconds.
@@ -31,6 +34,7 @@ from .adversary import JoinLeaveAttack
 from .errors import ConfigurationError
 from .analysis import fit_power_law, format_table, summarize_fractions
 from .baselines import NoShuffleEngine
+from .experiments import AGGREGATED_METRICS, SweepSpec, run_sweep
 from .scenarios import (
     NAMED_SCENARIOS,
     CorruptionTrajectoryProbe,
@@ -87,7 +91,54 @@ def build_parser() -> argparse.ArgumentParser:
     )
     scenario.add_argument("--steps", type=int, default=None, help="override the scenario's step budget")
     scenario.add_argument("--list", action="store_true", help="list the named presets and exit")
+
+    sweep = subparsers.add_parser(
+        "run-sweep", help="run a multi-seed parameter grid over a preset across worker processes"
+    )
+    sweep.add_argument("--name", type=str, default=None, help="named scenario preset to sweep")
+    sweep.add_argument(
+        "--spec", type=str, default=None, help="path to a SweepSpec JSON file (overrides --name)"
+    )
+    sweep.add_argument(
+        "--grid",
+        action="append",
+        default=[],
+        metavar="FIELD=V1,V2",
+        help="grid axis, e.g. 'tau=0.1,0.2' or 'engine_options.walk_mode=simulated,oracle' (repeatable)",
+    )
+    sweep.add_argument(
+        "--seeds", type=str, default=None, help="comma-separated seed list (e.g. '1,2,3')"
+    )
+    sweep.add_argument(
+        "--num-seeds",
+        type=int,
+        default=None,
+        help="run seeds --seed .. --seed+N-1 (ignored when --seeds is given)",
+    )
+    sweep.add_argument(
+        "--workers",
+        type=int,
+        default=None,
+        help="worker processes (default: 2, or the spec file's own setting)",
+    )
+    sweep.add_argument("--steps", type=int, default=None, help="override the step budget")
+    sweep.add_argument(
+        "--metrics",
+        type=str,
+        default="events_per_second,peak_worst_fraction,mean_worst_fraction",
+        help=f"comma-separated aggregate columns (choices: {', '.join(AGGREGATED_METRICS)})",
+    )
     return parser
+
+
+def _parse_grid_value(text: str):
+    """Interpret one grid value: int, then float, then bare string."""
+    for cast in (int, float):
+        try:
+            return cast(text)
+        except ValueError:
+            continue
+    return text
 
 
 # ----------------------------------------------------------------------
@@ -251,6 +302,50 @@ def run_scenario_command(args: argparse.Namespace) -> int:
     return 0
 
 
+def run_sweep_command(args: argparse.Namespace) -> int:
+    try:
+        if args.spec:
+            with open(args.spec, "r", encoding="utf-8") as handle:
+                spec = SweepSpec.from_json(handle.read())
+        elif args.name:
+            spec = SweepSpec(name=f"sweep-{args.name}", preset=args.name)
+        else:
+            print("run-sweep needs --name or --spec", file=sys.stderr)
+            return 2
+        for axis in args.grid:
+            if "=" not in axis:
+                print(f"run-sweep: malformed --grid {axis!r} (expected FIELD=V1,V2)", file=sys.stderr)
+                return 2
+            key, _, values = axis.partition("=")
+            spec.grid[key] = [_parse_grid_value(value) for value in values.split(",") if value]
+        if args.seeds:
+            spec.seeds = [int(seed) for seed in args.seeds.split(",") if seed]
+        elif args.num_seeds:
+            spec.seeds = [args.seed + offset for offset in range(args.num_seeds)]
+        if args.steps is not None:
+            spec.steps = args.steps
+        if args.workers is not None:
+            spec.workers = args.workers
+        metrics = [metric for metric in args.metrics.split(",") if metric]
+        unknown = [metric for metric in metrics if metric not in AGGREGATED_METRICS]
+        if unknown:
+            print(f"run-sweep: unknown metrics {unknown}", file=sys.stderr)
+            return 2
+        result = run_sweep(spec)
+    except (ConfigurationError, OSError, ValueError) as error:
+        print(f"run-sweep: {error}", file=sys.stderr)
+        return 2
+
+    print(
+        f"sweep {spec.name!r}: {len(result.points())} grid point(s) x "
+        f"{len(spec.seeds)} seed(s) = {len(result.records)} runs "
+        f"across {result.workers_used} worker process(es)"
+    )
+    print(result.summary_table(metrics=metrics))
+    print("cells are mean ± 95% CI half-width over seeds (normal approximation)")
+    return 0
+
+
 def main(argv: Optional[Sequence[str]] = None) -> int:
     """CLI entry point; returns the process exit code."""
     parser = build_parser()
@@ -263,6 +358,8 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         return run_costs(args)
     if args.command == "run-scenario":
         return run_scenario_command(args)
+    if args.command == "run-sweep":
+        return run_sweep_command(args)
     parser.error(f"unknown command {args.command!r}")  # pragma: no cover - argparse guards this
     return 2  # pragma: no cover
 

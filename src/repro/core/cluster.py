@@ -15,6 +15,7 @@ accidentally "cheat" by reading the adversary's hand.
 
 from __future__ import annotations
 
+from bisect import insort
 from dataclasses import dataclass, field
 from typing import FrozenSet, Iterable, Iterator, List, Optional, Set
 
@@ -36,6 +37,11 @@ class Cluster:
 
     def __post_init__(self) -> None:
         self.members = set(self.members)
+        # Cached sorted membership, maintained incrementally by every
+        # mutation (bisect insert / linear remove); randNum sorts the members
+        # of the receiving cluster once per exchange swap, so the cache turns
+        # that from an O(m log m) sort into an O(m) copy.
+        self._sorted_members: Optional[List[NodeId]] = None
 
     # ------------------------------------------------------------------
     # Membership
@@ -58,6 +64,8 @@ class Cluster:
                 f"node {node_id} is already a member of cluster {self.cluster_id}"
             )
         self.members.add(node_id)
+        if self._sorted_members is not None:
+            insort(self._sorted_members, node_id)
 
     def remove_member(self, node_id: NodeId) -> None:
         """Remove ``node_id``; error if it is not a member."""
@@ -66,6 +74,8 @@ class Cluster:
                 f"node {node_id} is not a member of cluster {self.cluster_id}"
             )
         self.members.discard(node_id)
+        if self._sorted_members is not None:
+            self._sorted_members.remove(node_id)
 
     def swap_member(self, outgoing: NodeId, incoming: NodeId) -> None:
         """Atomically replace ``outgoing`` with ``incoming`` (an exchange step)."""
@@ -81,10 +91,25 @@ class Cluster:
             )
         self.members.discard(outgoing)
         self.members.add(incoming)
+        cached = self._sorted_members
+        if cached is not None:
+            cached.remove(outgoing)
+            insort(cached, incoming)
 
     def member_list(self) -> List[NodeId]:
-        """Sorted list of members (deterministic iteration order for sampling)."""
-        return sorted(self.members)
+        """Sorted list of members (deterministic iteration order for sampling).
+
+        The sorted order is cached and maintained incrementally by the
+        mutators on this class; callers always get a fresh list copy and may
+        mutate it freely.  Note: a caller writing to ``cluster.members``
+        directly (the registry never does) bypasses that maintenance and
+        must not rely on a previously cached order.
+        """
+        cached = self._sorted_members
+        if cached is None:
+            cached = sorted(self.members)
+            self._sorted_members = cached
+        return list(cached)
 
     def snapshot(self) -> FrozenSet[NodeId]:
         """Immutable copy of the membership."""
@@ -108,6 +133,9 @@ class ClusterRegistry:
         self._id_list: List[ClusterId] = []
         self._id_pos: dict = {}
         self._listeners: List[object] = []
+        # Per-hook bound-method lists, resolved once per listener set; the
+        # getattr resolution would otherwise run on every membership event.
+        self._hook_cache: dict = {}
         #: Diagnostic: number of full sweeps over the cluster population
         #: (used by the throughput benchmark to verify O(1) accounting).
         self.full_scan_count: int = 0
@@ -119,16 +147,32 @@ class ClusterRegistry:
         """Register a membership listener.
 
         A listener may implement any of ``cluster_created(cluster)``,
-        ``cluster_dissolved(cluster)``, ``member_added(cluster_id, node_id)``
-        and ``member_removed(cluster_id, node_id)``; missing hooks are skipped.
+        ``cluster_dissolved(cluster)``, ``member_added(cluster_id, node_id)``,
+        ``member_removed(cluster_id, node_id)`` and
+        ``members_swapped(first_cluster, first_node, second_cluster,
+        second_node)``; missing hooks are skipped.  ``members_swapped`` is a
+        fast-path event: a swap leaves both cluster sizes unchanged, so a
+        listener implementing it receives one call per exchange swap instead
+        of the equivalent remove/add pairs (listeners without the hook still
+        get the four-event sequence).
         """
         self._listeners.append(listener)
+        self._hook_cache.clear()
+
+    def _hooks(self, hook: str) -> list:
+        methods = self._hook_cache.get(hook)
+        if methods is None:
+            methods = [
+                method
+                for listener in self._listeners
+                if (method := getattr(listener, hook, None)) is not None
+            ]
+            self._hook_cache[hook] = methods
+        return methods
 
     def _notify(self, hook: str, *args) -> None:
-        for listener in self._listeners:
-            method = getattr(listener, hook, None)
-            if method is not None:
-                method(*args)
+        for method in self._hooks(hook):
+            method(*args)
 
     # ------------------------------------------------------------------
     # Creation / removal
@@ -217,10 +261,42 @@ class ClusterRegistry:
         self.get(second_cluster).swap_member(second_node, first_node)
         self._node_to_cluster[first_node] = second_cluster
         self._node_to_cluster[second_node] = first_cluster
-        self._notify("member_removed", first_cluster, first_node)
-        self._notify("member_added", first_cluster, second_node)
-        self._notify("member_removed", second_cluster, second_node)
-        self._notify("member_added", second_cluster, first_node)
+        for method in self._hooks("members_swapped"):
+            method(first_cluster, first_node, second_cluster, second_node)
+        fallback_removed, fallback_added = self._swap_fallback_hooks()
+        if fallback_removed or fallback_added:
+            for method in fallback_removed:
+                method(first_cluster, first_node)
+            for method in fallback_added:
+                method(first_cluster, second_node)
+            for method in fallback_removed:
+                method(second_cluster, second_node)
+            for method in fallback_added:
+                method(second_cluster, first_node)
+
+    def _swap_fallback_hooks(self) -> tuple:
+        """``(member_removed, member_added)`` methods of swap-unaware listeners."""
+        cached = self._hook_cache.get("_swap_fallback")
+        if cached is None:
+            unaware = [
+                listener
+                for listener in self._listeners
+                if getattr(listener, "members_swapped", None) is None
+            ]
+            cached = (
+                [
+                    method
+                    for listener in unaware
+                    if (method := getattr(listener, "member_removed", None)) is not None
+                ],
+                [
+                    method
+                    for listener in unaware
+                    if (method := getattr(listener, "member_added", None)) is not None
+                ],
+            )
+            self._hook_cache["_swap_fallback"] = cached
+        return cached
 
     # ------------------------------------------------------------------
     # Queries
@@ -233,9 +309,10 @@ class ClusterRegistry:
 
     def get(self, cluster_id: ClusterId) -> Cluster:
         """Return the cluster with the given id (error if absent)."""
-        if cluster_id not in self._clusters:
+        cluster = self._clusters.get(cluster_id)
+        if cluster is None:
             raise UnknownClusterError(f"cluster {cluster_id} does not exist")
-        return self._clusters[cluster_id]
+        return cluster
 
     def cluster_of(self, node_id: NodeId) -> ClusterId:
         """Return the id of the cluster containing ``node_id``."""

@@ -81,36 +81,42 @@ class ExchangeProtocol:
         """
         ledger = metrics if metrics is not None else self._state.metrics.scope(label)
         report = ExchangeReport(cluster_id=cluster_id)
-        cluster = self._state.clusters.get(cluster_id)
+        clusters = self._state.clusters
+        cluster = clusters.get(cluster_id)
         byzantine = self._state.nodes.active_byzantine()
+        select = self._randcl.select
+        members = cluster.members
 
         original_members = cluster.member_list()
         for node_id in original_members:
-            if node_id not in cluster.members:
+            if node_id not in members:
                 # Already swapped out by a previous iteration's partner choice.
                 continue
-            walk = self._randcl.select(cluster_id, metrics=ledger, label=label)
+            walk = select(cluster_id, metrics=ledger, label=label)
             report.walk_hops += walk.hops
             report.messages += walk.messages
             report.rounds += walk.rounds
             partner_id = walk.cluster_id
             if partner_id == cluster_id:
                 continue
-            partner = self._state.clusters.get(partner_id)
+            partner = clusters.get(partner_id)
             if not partner.members:
                 continue
             # The partner cluster is informed it will receive ``node_id`` and
-            # chooses a replacement uniformly via randNum.
+            # chooses a replacement uniformly via randNum.  ``member_list``
+            # serves the cached sorted membership, so randNum's deterministic
+            # ordering costs an O(m) copy instead of a fresh sort per swap.
             pick = self._randnum.pick_member(
-                partner.members,
+                partner.member_list(),
                 byzantine_members=byzantine,
                 metrics=ledger,
                 label=label,
+                presorted=True,
             )
             report.messages += pick.messages
             report.rounds += pick.rounds
             replacement = pick.value
-            self._state.clusters.swap_members(cluster_id, node_id, partner_id, replacement)
+            clusters.swap_members(cluster_id, node_id, partner_id, replacement)
             report.swaps.append((node_id, partner_id, replacement))
             report.partner_clusters.add(partner_id)
 
@@ -143,15 +149,15 @@ class ExchangeProtocol:
         pattern).
         """
         overlay_graph = self._state.overlay.graph
+        clusters = self._state.clusters
         total_messages = 0
         for cluster_id in cluster_ids:
             if cluster_id not in overlay_graph:
                 continue
-            size = len(self._state.clusters.get(cluster_id))
-            for neighbour_id in overlay_graph.neighbours(cluster_id):
-                if neighbour_id in self._state.clusters:
-                    neighbour_size = len(self._state.clusters.get(neighbour_id))
-                    total_messages += size * neighbour_size
+            size = len(clusters.get(cluster_id))
+            for neighbour_id in overlay_graph.neighbour_table(cluster_id):
+                if neighbour_id in clusters:
+                    total_messages += size * len(clusters.get(neighbour_id))
         rounds = 1 if total_messages else 0
         if total_messages:
             metrics.charge_messages(total_messages, kind=MessageKind.MEMBERSHIP, label=label)

@@ -112,7 +112,7 @@ class _BaseOperation:
             return (0, 0)
         size = self._cluster_size(cluster_id)
         messages = 0
-        for neighbour_id in overlay_graph.neighbours(cluster_id):
+        for neighbour_id in overlay_graph.neighbour_table(cluster_id):
             messages += size * self._cluster_size(neighbour_id)
         if messages:
             ledger.charge_messages(messages, kind=MessageKind.MEMBERSHIP, label=label)
@@ -124,8 +124,9 @@ class _BaseOperation:
     ) -> Tuple[int, int]:
         """Cost of establishing/tearing down the full bipartite links of overlay edges."""
         messages = 0
-        for first, second in list(change.edges_added) + list(change.edges_removed):
-            messages += self._cluster_size(first) * self._cluster_size(second)
+        for edges in (change.edges_added, change.edges_removed):
+            for first, second in edges:
+                messages += self._cluster_size(first) * self._cluster_size(second)
         if messages:
             ledger.charge_messages(messages, kind=MessageKind.MEMBERSHIP, label=label)
             ledger.charge_rounds(1, label=label)

@@ -38,8 +38,11 @@ from .cluster import ClusterId
 from .randnum import RandNum
 from .state import SystemState
 
+#: Hoisted enum member: the per-walk cost charge runs once per randCl call.
+_WALK_KIND = MessageKind.WALK
 
-@dataclass
+
+@dataclass(slots=True)
 class RandClResult:
     """Outcome of one ``randCl`` invocation."""
 
@@ -65,6 +68,18 @@ class RandCl:
         self._state = state
         self._randnum = randnum if randnum is not None else RandNum(state.rng)
         self._walk_mode = walk_mode
+        # One sampler is reused across selections (it owns the cached biased
+        # walk and its bulk exponential buffer); rebuilt only when the overlay
+        # graph object or the walk mode changes.
+        self._sampler: Optional[ClusterSampler] = None
+        # Derived-parameter caches.  An exchange issues one selection per
+        # member while neither the population nor the overlay changes, so the
+        # walk parameters and the per-hop cost model are recomputed only when
+        # their inputs move.
+        self._walk_param_key: Optional[tuple] = None
+        self._walk_params: tuple = (0.0, 0)
+        self._cost_key: Optional[tuple] = None
+        self._cost_model: tuple = (0.0, 0.0)
 
     @property
     def walk_mode(self) -> WalkMode:
@@ -74,6 +89,7 @@ class RandCl:
     def set_walk_mode(self, mode: WalkMode) -> None:
         """Switch between simulated and oracle walk modes."""
         self._walk_mode = mode
+        self._sampler = None
 
     # ------------------------------------------------------------------
     # Selection
@@ -101,16 +117,28 @@ class RandCl:
         # rate equal to the current vertex degree, so the equivalent
         # continuous duration is the hop budget divided by the average
         # overlay degree.
-        average_degree = overlay_graph.average_degree() if len(overlay_graph) else 1.0
-        hop_budget = float(self._state.parameters.walk_length(current_size))
-        segment_duration = max(2.0, hop_budget / max(1.0, average_degree))
-        sampler = ClusterSampler(
-            overlay_graph,
-            self._state.rng,
-            segment_duration=segment_duration,
-            mode=self._walk_mode,
-            max_restarts=max(4, self._state.parameters.walk_repeats(current_size) * 4),
-        )
+        param_key = (current_size, overlay_graph.version)
+        if param_key != self._walk_param_key:
+            average_degree = overlay_graph.average_degree() if len(overlay_graph) else 1.0
+            hop_budget = float(self._state.parameters.walk_length(current_size))
+            self._walk_params = (
+                max(2.0, hop_budget / max(1.0, average_degree)),
+                max(4, self._state.parameters.walk_repeats(current_size) * 4),
+            )
+            self._walk_param_key = param_key
+        segment_duration, max_restarts = self._walk_params
+        sampler = self._sampler
+        if sampler is None or sampler.graph is not overlay_graph:
+            sampler = ClusterSampler(
+                overlay_graph,
+                self._state.rng,
+                segment_duration=segment_duration,
+                mode=self._walk_mode,
+                max_restarts=max_restarts,
+            )
+            self._sampler = sampler
+        else:
+            sampler.configure(segment_duration=segment_duration, max_restarts=max_restarts)
         outcome = sampler.sample(start_cluster)
         messages, rounds = self._charge_costs(outcome.hops, outcome.restarts, metrics, label)
         return RandClResult(
@@ -136,24 +164,25 @@ class RandCl:
     ) -> tuple:
         """Charge the walk's communication derived from the current cluster sizes."""
         cluster_count = len(self._state.clusters)
-        if cluster_count:
+        total_nodes = self._state.clusters.total_nodes()
+        cost_key = (cluster_count, total_nodes)
+        if cost_key != self._cost_key:
             # Mean cluster size in O(1): total assigned nodes / cluster count.
-            average_size = self._state.clusters.total_nodes() / cluster_count
-        else:
-            average_size = 1.0
-        # Per hop: randNum in the current cluster (2 m (m-1) messages, 2 rounds)
-        # plus the bipartite hand-off to the next cluster (m * m' messages, 1 round).
-        randnum_messages = 2.0 * average_size * max(0.0, average_size - 1.0)
-        handoff_messages = average_size * average_size
-        per_hop_messages = randnum_messages + handoff_messages
+            average_size = total_nodes / cluster_count if cluster_count else 1.0
+            # Per hop: randNum in the current cluster (2 m (m-1) messages, 2
+            # rounds) plus the bipartite hand-off to the next cluster
+            # (m * m' messages, 1 round).
+            randnum_messages = 2.0 * average_size * max(0.0, average_size - 1.0)
+            handoff_messages = average_size * average_size
+            self._cost_model = (randnum_messages + handoff_messages, randnum_messages)
+            self._cost_key = cost_key
+        per_hop_messages, per_restart_messages = self._cost_model
         per_hop_rounds = 3
         # Per restart: one acceptance coin flip via randNum.
-        per_restart_messages = randnum_messages
         per_restart_rounds = 2
 
         messages = int(round(hops * per_hop_messages + restarts * per_restart_messages))
         rounds = int(hops * per_hop_rounds + restarts * per_restart_rounds)
         if metrics is not None:
-            metrics.charge_messages(messages, kind=MessageKind.WALK, label=label)
-            metrics.charge_rounds(rounds, label=label)
+            metrics.charge(messages, rounds, kind=_WALK_KIND, label=label)
         return messages, rounds

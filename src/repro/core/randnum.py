@@ -37,8 +37,11 @@ AdversaryOverride = Callable[[Sequence[NodeId], int], int]
 
 RANDNUM_SECURITY_THRESHOLD = 2.0 / 3.0
 
+#: Hoisted enum member: the cost charge runs once per randNum invocation.
+_RANDNUM_KIND = MessageKind.RANDNUM
 
-@dataclass
+
+@dataclass(slots=True)
 class RandNumResult:
     """Outcome of one ``randNum`` invocation."""
 
@@ -75,20 +78,32 @@ class RandNum:
         subset; it determines whether the security threshold is crossed but is
         never used to bias the honest output.
         """
-        member_list = sorted(set(members))
+        return self._generate_sorted(
+            sorted(set(members)), upper_bound, byzantine_members, metrics, label
+        )
+
+    def _generate_sorted(
+        self,
+        member_list: Sequence[NodeId],
+        upper_bound: int,
+        byzantine_members: Iterable[NodeId],
+        metrics: Optional[CommunicationMetrics],
+        label: str,
+    ) -> RandNumResult:
+        """The commit–reveal computation on an already deduplicated, sorted list."""
         if not member_list:
             raise ProtocolViolationError("randNum requires at least one participant")
         if upper_bound < 1:
             raise ProtocolViolationError("randNum upper bound must be at least 1")
-        byzantine_set = set(byzantine_members) & set(member_list)
-        byzantine_fraction = len(byzantine_set) / len(member_list)
+        if not isinstance(byzantine_members, (set, frozenset)):
+            byzantine_members = set(byzantine_members)
+        byzantine_fraction = len(byzantine_members.intersection(member_list)) / len(member_list)
 
         # Commit round + reveal round: each member sends to every other member.
         message_count = 2 * len(member_list) * max(0, len(member_list) - 1)
         round_count = 2
         if metrics is not None:
-            metrics.charge_messages(message_count, kind=MessageKind.RANDNUM, label=label)
-            metrics.charge_rounds(round_count, label=label)
+            metrics.charge(message_count, round_count, kind=_RANDNUM_KIND, label=label)
 
         adversary_controlled = byzantine_fraction >= RANDNUM_SECURITY_THRESHOLD
         if adversary_controlled and self._adversary_override is not None:
@@ -112,29 +127,30 @@ class RandNum:
         byzantine_members: Iterable[NodeId],
         metrics: Optional[CommunicationMetrics] = None,
         label: str = "randnum",
+        presorted: bool = False,
     ) -> RandNumResult:
         """Use ``randNum`` to select one member uniformly at random.
 
         Returns a :class:`RandNumResult` whose ``value`` is the *node id* of
         the selected member (this is how ``exchange`` picks the replacement
-        node inside the receiving cluster).
+        node inside the receiving cluster).  Callers holding an already
+        deduplicated, sorted member list (e.g. ``Cluster.member_list``) pass
+        ``presorted=True`` to skip the defensive re-sort.
         """
-        member_list = sorted(set(members))
+        if presorted:
+            member_list = members if isinstance(members, list) else list(members)
+        else:
+            member_list = sorted(set(members))
         if not member_list:
             raise ProtocolViolationError("cannot pick a member of an empty cluster")
-        result = self.generate(
+        result = self._generate_sorted(
             member_list,
             upper_bound=len(member_list),
             byzantine_members=byzantine_members,
             metrics=metrics,
             label=label,
         )
-        chosen = member_list[result.value]
-        return RandNumResult(
-            value=chosen,
-            upper_bound=len(member_list),
-            participants=result.participants,
-            messages=result.messages,
-            rounds=result.rounds,
-            adversary_controlled=result.adversary_controlled,
-        )
+        # Reuse the result object: value becomes the chosen *node id* while
+        # every cost field already matches.
+        result.value = member_list[result.value]
+        return result

@@ -60,6 +60,10 @@ class NodeRegistry:
         self._honest_list: List[NodeId] = []
         self._honest_pos: Dict[NodeId, int] = {}
         self._active_byz: Set[NodeId] = set()
+        # Every node whose *role* is Byzantine, active or not — the backing
+        # set of :meth:`is_byzantine`, kept in sync on registration and role
+        # flips so the ground-truth predicate is one set lookup.
+        self._byz_roles: Set[NodeId] = set()
         self._role_listeners: List[object] = []
         #: Diagnostic: number of full sweeps over the node population
         #: (used by the throughput benchmark to verify O(1) accounting).
@@ -90,6 +94,8 @@ class NodeRegistry:
         descriptor = NodeDescriptor(node_id=node_id, role=role, joined_at=joined_at)
         self._descriptors[node_id] = descriptor
         descriptor.attach_lifecycle_listener(self._descriptor_changed)
+        if descriptor.is_byzantine:
+            self._byz_roles.add(node_id)
         if descriptor.is_active:
             self._index_activate(descriptor)
         return descriptor
@@ -155,6 +161,10 @@ class NodeRegistry:
                 self._index_deactivate(descriptor)
         elif name == "role":
             node_id = descriptor.node_id
+            if new is NodeRole.BYZANTINE:
+                self._byz_roles.add(node_id)
+            else:
+                self._byz_roles.discard(node_id)
             if node_id in self._active_pos:
                 if new is NodeRole.BYZANTINE:
                     self._swap_delete(self._honest_list, self._honest_pos, node_id)
@@ -177,13 +187,21 @@ class NodeRegistry:
 
     def get(self, node_id: NodeId) -> NodeDescriptor:
         """Descriptor of ``node_id`` (error if unknown)."""
-        if node_id not in self._descriptors:
+        descriptor = self._descriptors.get(node_id)
+        if descriptor is None:
             raise UnknownNodeError(f"node {node_id} is not registered")
-        return self._descriptors[node_id]
+        return descriptor
 
     def is_byzantine(self, node_id: NodeId) -> bool:
-        """Ground truth: whether the adversary controls ``node_id``."""
-        return self.get(node_id).is_byzantine
+        """Ground truth: whether the adversary controls ``node_id``.
+
+        Role-based (a departed Byzantine node stays Byzantine), served from
+        the registration/role-flip-maintained role set — one set lookup on
+        the corruption tracker's hot path.
+        """
+        if node_id not in self._descriptors:
+            raise UnknownNodeError(f"node {node_id} is not registered")
+        return node_id in self._byz_roles
 
     def is_active(self, node_id: NodeId) -> bool:
         """Whether ``node_id`` is currently part of the network."""
@@ -296,6 +314,33 @@ class CorruptionTracker:
             self._byz_count[cluster_id] = self._byz_count.get(cluster_id, 0) - 1
         self._refresh(cluster_id)
 
+    def members_swapped(
+        self,
+        first_cluster: ClusterId,
+        first_node: NodeId,
+        second_cluster: ClusterId,
+        second_node: NodeId,
+    ) -> None:
+        """Fast path for an exchange swap: both cluster sizes are unchanged.
+
+        When the two nodes have the same role neither corruption fraction
+        moves and the whole update is a no-op; otherwise one Byzantine node
+        crossed between the clusters and both counts shift by one.  This is
+        the dominant membership event under churn (every exchanged member
+        produces one), so avoiding the four remove/add refreshes matters.
+        The role predicate must stay the one every other tracker path uses
+        (``_member_is_byzantine``) so the fast path never diverges from a
+        from-scratch :meth:`rebuild`.
+        """
+        first_byzantine = self._member_is_byzantine(first_node)
+        if first_byzantine == self._member_is_byzantine(second_node):
+            return
+        delta = -1 if first_byzantine else 1
+        self._byz_count[first_cluster] = self._byz_count.get(first_cluster, 0) + delta
+        self._byz_count[second_cluster] = self._byz_count.get(second_cluster, 0) - delta
+        self._refresh(first_cluster)
+        self._refresh(second_cluster)
+
     def _role_changed(self, descriptor: NodeDescriptor, old, new) -> None:
         node_id = descriptor.node_id
         if not self._clusters.contains_node(node_id):
@@ -355,6 +400,9 @@ class _OverlayWeightSync:
 
     def member_removed(self, cluster_id: ClusterId, node_id: NodeId) -> None:
         self._state.sync_overlay_weight(cluster_id)
+
+    def members_swapped(self, first_cluster, first_node, second_cluster, second_node) -> None:
+        """A swap leaves both cluster sizes — hence both weights — unchanged."""
 
 
 @dataclass

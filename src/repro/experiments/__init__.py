@@ -1,0 +1,36 @@
+"""Experiment sweeps: parameter grids x seed lists over scenario presets.
+
+One scenario run is a single Monte-Carlo sample; the claims the benchmarks
+reproduce are statements about distributions over runs.  This package owns
+the machinery that turns a :class:`~repro.scenarios.scenario.Scenario` into
+multi-seed, multi-parameter evidence:
+
+* :class:`SweepSpec`   — declarative grid x seeds over a base scenario or
+  named preset (JSON round-trippable, ``run-sweep --spec``),
+* :class:`SweepRunner` — ``ProcessPoolExecutor``-backed fan-out (scenario
+  runs share no state), inline execution for ``workers <= 1``,
+* :class:`SweepResult` — per-run records plus per-grid-point mean / std /
+  95% CI aggregates via :func:`repro.analysis.statistics.mean_confidence`.
+
+CLI: ``python -m repro.cli run-sweep --name <preset> --grid tau=0.1,0.2
+--seeds 1,2,3 --workers 4``.  See ``docs/ARCHITECTURE.md`` for how this
+layer sits above the scenario runner.
+"""
+
+from .sweep import (
+    AGGREGATED_METRICS,
+    SweepResult,
+    SweepRunner,
+    SweepSpec,
+    run_sweep,
+    run_sweep_payload,
+)
+
+__all__ = [
+    "AGGREGATED_METRICS",
+    "SweepResult",
+    "SweepRunner",
+    "SweepSpec",
+    "run_sweep",
+    "run_sweep_payload",
+]

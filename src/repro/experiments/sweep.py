@@ -1,0 +1,334 @@
+"""Parallel multi-seed experiment sweeps over :class:`~repro.scenarios.scenario.Scenario` presets.
+
+A single scenario run is one Monte-Carlo sample; every quantitative claim in
+the paper is about distributions over runs.  This module turns "run scenario
+X under parameters P with seed s" into a first-class, parallelisable unit:
+
+* :class:`SweepSpec` — a base scenario (inline fields or a named preset), a
+  parameter *grid* (scenario field -> list of values, dotted keys reaching
+  into nested dicts such as ``engine_options.walk_mode``) and a *seed list*.
+  The spec expands to the cartesian product ``grid x seeds`` and is JSON
+  round-trippable for the CLI's ``run-sweep --spec``.
+* :class:`SweepRunner` — fans the expanded runs out over a
+  ``concurrent.futures.ProcessPoolExecutor`` (scenario runs share no state,
+  so they parallelise embarrassingly; ``workers <= 1`` runs inline, which
+  tests and debugging use).  Each worker builds the scenario, attaches the
+  standard probes, runs it, and ships back a plain-dict
+  :class:`SweepRunRecord` (picklable by construction).
+* :class:`SweepResult` — the records plus per-grid-point aggregation:
+  mean / sample std / 95% CI over seeds for every numeric metric, via
+  :func:`repro.analysis.statistics.mean_confidence`.
+
+The CLI front end is ``python -m repro.cli run-sweep``; the ported
+benchmarks (``bench_joinleave_attack``, ``bench_ablation_walk_mode``) are
+library examples of driving it programmatically.
+"""
+
+from __future__ import annotations
+
+import itertools
+import json
+from concurrent.futures import ProcessPoolExecutor
+from dataclasses import asdict, dataclass, field
+from typing import Any, Dict, List, Optional, Sequence, Tuple
+
+from ..analysis.reporting import format_table
+from ..analysis.statistics import MeanConfidence, mean_confidence
+from ..errors import ConfigurationError
+from ..scenarios.probes import CallbackProbe, CorruptionTrajectoryProbe, CostLedgerProbe
+from ..scenarios.scenario import NAMED_SCENARIOS, Scenario
+
+#: Metrics aggregated per grid point (every one is a numeric field of the
+#: per-run record).
+AGGREGATED_METRICS: Tuple[str, ...] = (
+    "events",
+    "events_per_second",
+    "final_size",
+    "final_cluster_count",
+    "final_worst_fraction",
+    "peak_worst_fraction",
+    "mean_worst_fraction",
+    "steps_above_threshold",
+    "mean_messages_per_event",
+    "walk_hops",
+    "target_peak_fraction",
+)
+
+
+@dataclass
+class SweepSpec:
+    """A parameter grid x seed list over one base scenario.
+
+    ``scenario`` holds the base :class:`Scenario` fields (as a plain dict);
+    alternatively ``preset`` names an entry of ``NAMED_SCENARIOS`` whose
+    fields become the base (explicit ``scenario`` entries override preset
+    fields).  ``grid`` maps scenario fields to candidate values; a dotted key
+    (``engine_options.walk_mode``) writes into a nested dict field.  Each
+    grid point runs once per seed.
+    """
+
+    name: str = "sweep"
+    preset: Optional[str] = None
+    scenario: Dict[str, Any] = field(default_factory=dict)
+    grid: Dict[str, List[Any]] = field(default_factory=dict)
+    seeds: List[int] = field(default_factory=lambda: [1, 2])
+    workers: int = 2
+    steps: Optional[int] = None
+    track_target_cluster: bool = False
+
+    # ------------------------------------------------------------------
+    # Expansion
+    # ------------------------------------------------------------------
+    def base_fields(self) -> Dict[str, Any]:
+        """The base scenario fields (preset merged with inline overrides)."""
+        fields: Dict[str, Any] = {}
+        if self.preset is not None:
+            if self.preset not in NAMED_SCENARIOS:
+                raise ConfigurationError(
+                    f"unknown preset {self.preset!r}; available: {sorted(NAMED_SCENARIOS)}"
+                )
+            fields.update(NAMED_SCENARIOS[self.preset])
+        fields.update(self.scenario)
+        if self.steps is not None:
+            fields["steps"] = self.steps
+        return fields
+
+    def grid_points(self) -> List[Dict[str, Any]]:
+        """Every grid combination as an ``{field: value}`` dict (sorted keys)."""
+        if not self.grid:
+            return [{}]
+        keys = sorted(self.grid)
+        empty = [key for key in keys if not self.grid[key]]
+        if empty:
+            raise ConfigurationError(f"grid fields with no values: {empty}")
+        return [
+            dict(zip(keys, combo))
+            for combo in itertools.product(*(self.grid[key] for key in keys))
+        ]
+
+    def payloads(self) -> List[Dict[str, Any]]:
+        """One worker payload per (grid point, seed), in deterministic order."""
+        base = self.base_fields()
+        payloads = []
+        for point in self.grid_points():
+            for seed in self.seeds:
+                fields = json.loads(json.dumps(base))  # deep copy, JSON-safe
+                for key, value in point.items():
+                    _assign_dotted(fields, key, value)
+                fields["seed"] = int(seed)
+                scenario = Scenario.from_dict(fields)  # validate eagerly
+                payloads.append(
+                    {
+                        "sweep": self.name,
+                        "point": dict(point),
+                        "seed": int(seed),
+                        "scenario": scenario.to_dict(),
+                        "track_target_cluster": self.track_target_cluster,
+                    }
+                )
+        return payloads
+
+    # ------------------------------------------------------------------
+    # Serialisation
+    # ------------------------------------------------------------------
+    def to_dict(self) -> Dict[str, Any]:
+        """Plain-dict form (JSON-ready)."""
+        return asdict(self)
+
+    def to_json(self, indent: int = 2) -> str:
+        """JSON text form."""
+        return json.dumps(self.to_dict(), indent=indent, sort_keys=True)
+
+    @classmethod
+    def from_dict(cls, data: Dict[str, Any]) -> "SweepSpec":
+        """Build a spec from its plain-dict form (unknown keys rejected)."""
+        known = set(cls.__dataclass_fields__)
+        unknown = set(data) - known
+        if unknown:
+            raise ConfigurationError(f"unknown sweep fields: {sorted(unknown)}")
+        return cls(**data)
+
+    @classmethod
+    def from_json(cls, text: str) -> "SweepSpec":
+        """Parse a spec from JSON text."""
+        return cls.from_dict(json.loads(text))
+
+
+def _assign_dotted(fields: Dict[str, Any], key: str, value: Any) -> None:
+    """Assign ``value`` at a possibly dotted ``key`` inside ``fields``."""
+    parts = key.split(".")
+    target = fields
+    for part in parts[:-1]:
+        node = target.get(part)
+        if node is None:
+            node = {}
+            target[part] = node
+        if not isinstance(node, dict):
+            raise ConfigurationError(
+                f"grid key {key!r} traverses non-dict field {part!r}"
+            )
+        target = node
+    target[parts[-1]] = value
+
+
+def _structural_invariants_ok(engine) -> Optional[bool]:
+    """Post-run structural invariant verdict (``None`` for engines without one).
+
+    NOW exposes :meth:`~repro.core.engine.NowEngine.check_invariants`; the
+    baselines do not, and their records carry ``None`` so aggregation code
+    can tell "not checked" from "violated".
+    """
+    check = getattr(engine, "check_invariants", None)
+    if check is None:
+        return None
+    return bool(check(check_honest_majority=False).holds)
+
+
+def run_sweep_payload(payload: Dict[str, Any]) -> Dict[str, Any]:
+    """Execute one sweep unit (module-level so process pools can pickle it).
+
+    Builds the scenario, attaches the standard probes (corruption
+    trajectory, cost ledger, walk-hop counter; plus a first-cluster target
+    probe when requested — the join–leave attack measurements), runs it and
+    returns the flat, picklable per-run record.
+    """
+    scenario = Scenario.from_dict(payload["scenario"])
+    engine = scenario.build_engine()
+    corruption = CorruptionTrajectoryProbe()
+    costs = CostLedgerProbe()
+    hops = CallbackProbe(
+        lambda _engine, report, _step: getattr(report, "operation", None).walk_hops
+        if getattr(report, "operation", None) is not None
+        else 0,
+        name="walk-hops",
+    )
+    probes = [corruption, costs, hops]
+    target_probe = None
+    if payload.get("track_target_cluster"):
+        target = engine.state.clusters.cluster_ids()[0]
+        target_probe = CorruptionTrajectoryProbe(target_cluster=target)
+        target_probe.name = "target-corruption"
+        probes.append(target_probe)
+    runner = scenario.build_runner(probes=probes, engine=engine)
+    result = runner.run(scenario.steps)
+    summary = corruption.summary()
+    record = {
+        "sweep": payload["sweep"],
+        "point": dict(payload["point"]),
+        "seed": payload["seed"],
+        "scenario": scenario.name,
+        "steps": result.steps,
+        "events": result.events,
+        "elapsed_seconds": result.elapsed_seconds,
+        "events_per_second": result.events_per_second,
+        "final_size": result.final_size,
+        "final_cluster_count": result.final_cluster_count,
+        "final_worst_fraction": result.final_worst_fraction,
+        "peak_worst_fraction": result.peak_worst_fraction,
+        "mean_worst_fraction": summary.mean,
+        "steps_above_threshold": summary.steps_above_threshold,
+        "mean_messages_per_event": costs.mean_messages_overall(),
+        "walk_hops": float(sum(hops.values)),
+        "safe": result.safe,
+        "stop_reason": result.stop_reason,
+        "invariants_ok": _structural_invariants_ok(engine),
+    }
+    if target_probe is not None:
+        record["target_peak_fraction"] = target_probe.peak
+        record["target_captured"] = target_probe.captured
+        record["target_capture_step"] = target_probe.first_step_at_threshold
+    return record
+
+
+@dataclass
+class SweepResult:
+    """Per-run records plus per-grid-point aggregates of one sweep."""
+
+    name: str
+    records: List[Dict[str, Any]]
+    workers_used: int
+
+    def points(self) -> List[Dict[str, Any]]:
+        """The distinct grid points, in first-seen order."""
+        seen: List[Dict[str, Any]] = []
+        for record in self.records:
+            if record["point"] not in seen:
+                seen.append(record["point"])
+        return seen
+
+    def records_for(self, point: Dict[str, Any]) -> List[Dict[str, Any]]:
+        """All per-seed records of one grid point."""
+        return [record for record in self.records if record["point"] == point]
+
+    def aggregate(self, point: Dict[str, Any]) -> Dict[str, MeanConfidence]:
+        """Mean/std/CI over seeds for every aggregated metric of ``point``."""
+        rows = self.records_for(point)
+        aggregates: Dict[str, MeanConfidence] = {}
+        for metric in AGGREGATED_METRICS:
+            values = [row[metric] for row in rows if metric in row]
+            if values:
+                aggregates[metric] = mean_confidence(values)
+        return aggregates
+
+    def aggregates(self) -> List[Tuple[Dict[str, Any], Dict[str, MeanConfidence]]]:
+        """``(grid point, metric aggregates)`` for every point."""
+        return [(point, self.aggregate(point)) for point in self.points()]
+
+    def metric(self, point: Dict[str, Any], name: str) -> MeanConfidence:
+        """One aggregated metric of one grid point (error when absent)."""
+        aggregates = self.aggregate(point)
+        if name not in aggregates:
+            raise ConfigurationError(
+                f"metric {name!r} was not recorded for point {point!r}"
+            )
+        return aggregates[name]
+
+    def summary_table(
+        self, metrics: Sequence[str] = ("events_per_second", "peak_worst_fraction", "mean_worst_fraction")
+    ) -> str:
+        """A plain-text table: one row per grid point, ``mean ± ci95`` cells."""
+        headers = ["grid point", "seeds"] + list(metrics)
+        rows: List[List[Any]] = []
+        for point, aggregates in self.aggregates():
+            label = ", ".join(f"{k}={v}" for k, v in sorted(point.items())) or "(base)"
+            row: List[Any] = [label, aggregates[next(iter(aggregates))].count if aggregates else 0]
+            for metric in metrics:
+                row.append(str(aggregates[metric]) if metric in aggregates else "-")
+            rows.append(row)
+        return format_table(headers, rows)
+
+
+class SweepRunner:
+    """Executes a :class:`SweepSpec`, fanning runs out across processes."""
+
+    def __init__(self, spec: SweepSpec) -> None:
+        if spec.workers < 0:
+            raise ConfigurationError("workers must be non-negative")
+        if not spec.seeds:
+            raise ConfigurationError("a sweep needs at least one seed")
+        self.spec = spec
+
+    def run(self) -> SweepResult:
+        """Run every (grid point, seed) unit and return the merged result.
+
+        With ``workers <= 1`` the units run inline in this process —
+        deterministic and debugger-friendly; otherwise a
+        ``ProcessPoolExecutor`` with ``workers`` processes executes them.
+        ``executor.map`` preserves payload order, so the record list is
+        deterministic either way.
+        """
+        payloads = self.spec.payloads()
+        workers = self.spec.workers
+        if workers <= 1:
+            records = [run_sweep_payload(payload) for payload in payloads]
+            used = 1
+        else:
+            used = min(workers, len(payloads)) or 1
+            with ProcessPoolExecutor(max_workers=used) as pool:
+                records = list(pool.map(run_sweep_payload, payloads))
+        return SweepResult(name=self.spec.name, records=records, workers_used=used)
+
+
+def run_sweep(spec: SweepSpec) -> SweepResult:
+    """Convenience wrapper: ``SweepRunner(spec).run()``."""
+    return SweepRunner(spec).run()

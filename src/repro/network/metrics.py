@@ -54,6 +54,30 @@ class CommunicationMetrics:
         if label:
             self.rounds_by_label[label] += count
 
+    def charge(
+        self,
+        messages: int,
+        rounds: int,
+        kind: MessageKind = MessageKind.CONTROL,
+        label: str = "",
+    ) -> None:
+        """Charge messages and rounds in one call (the primitives' hot path).
+
+        Equivalent to ``charge_messages`` followed by ``charge_rounds``; the
+        combined form exists because ``randNum``/``randCl`` charge on every
+        invocation and the call overhead is measurable there.
+        """
+        if messages < 0:
+            raise ValueError("message count must be non-negative")
+        if rounds < 0:
+            raise ValueError("round count must be non-negative")
+        self.messages += messages
+        self.by_kind[kind.value] += messages
+        self.rounds += rounds
+        if label:
+            self.by_label[label] += messages
+            self.rounds_by_label[label] += rounds
+
     def merge(self, other: "CommunicationMetrics") -> None:
         """Fold the counts of ``other`` into this ledger."""
         self.messages += other.messages

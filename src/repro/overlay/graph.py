@@ -9,7 +9,9 @@ it directly.
 
 from __future__ import annotations
 
-from typing import Dict, Iterable, Iterator, List, Sequence, Set, Tuple
+import bisect
+import random
+from typing import Dict, Iterable, Iterator, List, Optional, Sequence, Set, Tuple
 
 from ..errors import UnknownClusterError
 from ..structures import LazyMaxTracker
@@ -25,6 +27,17 @@ class OverlayGraph(WalkableGraph):
     weight, maximum weight, average degree — are maintained incrementally
     (the maximum via a lazy max-heap), so a ``randCl`` draw costs O(1)
     aggregate work instead of a sweep over all vertices.
+
+    Two transition-table caches back the walk fast path (see
+    ``docs/ARCHITECTURE.md``):
+
+    * per-vertex neighbour tuples (:meth:`neighbour_table`), invalidated for
+      the two endpoints of every edge mutation, so a CTRW hop reads a cached
+      tuple instead of materialising a neighbour list;
+    * a cumulative-weight vertex table (:meth:`sample_weighted_vertex`),
+      invalidated by any vertex/weight mutation and rebuilt lazily, so a
+      stationary-law (oracle) draw costs one binary search instead of an
+      O(#vertices) rebuild.
     """
 
     def __init__(self) -> None:
@@ -32,6 +45,15 @@ class OverlayGraph(WalkableGraph):
         self._weights = LazyMaxTracker()
         self._edge_count: int = 0
         self._total_weight: float = 0.0
+        # Walk fast-path caches (invalidated incrementally by mutations).
+        self._neighbour_tables: Dict[ClusterId, Tuple[ClusterId, ...]] = {}
+        self._weight_table_vertices: List[ClusterId] = []
+        self._weight_table_cumulative: List[float] = []
+        self._weight_table_dirty: bool = True
+        #: Monotonic mutation counter: bumped by every structural or weight
+        #: change, letting walk-side caches key derived quantities (expected
+        #: effort, segment durations) on graph identity + version.
+        self.version: int = 0
 
     # ------------------------------------------------------------------
     # Mutation
@@ -44,6 +66,8 @@ class OverlayGraph(WalkableGraph):
         weight = float(weight)
         self._weights.set(cluster_id, weight)
         self._total_weight += weight
+        self._weight_table_dirty = True
+        self.version += 1
 
     def remove_vertex(self, cluster_id: ClusterId) -> Set[ClusterId]:
         """Remove ``cluster_id``; returns its former neighbours."""
@@ -51,9 +75,13 @@ class OverlayGraph(WalkableGraph):
         neighbours = self._adjacency.pop(cluster_id)
         for other in neighbours:
             self._adjacency[other].discard(cluster_id)
+            self._neighbour_tables.pop(other, None)
         self._edge_count -= len(neighbours)
         self._total_weight -= self._weights.get(cluster_id, 0.0)
         self._weights.discard(cluster_id)
+        self._neighbour_tables.pop(cluster_id, None)
+        self._weight_table_dirty = True
+        self.version += 1
         return neighbours
 
     def add_edge(self, first: ClusterId, second: ClusterId) -> bool:
@@ -67,6 +95,9 @@ class OverlayGraph(WalkableGraph):
         self._adjacency[first].add(second)
         self._adjacency[second].add(first)
         self._edge_count += 1
+        self._neighbour_tables.pop(first, None)
+        self._neighbour_tables.pop(second, None)
+        self.version += 1
         return True
 
     def remove_edge(self, first: ClusterId, second: ClusterId) -> bool:
@@ -78,6 +109,9 @@ class OverlayGraph(WalkableGraph):
         self._adjacency[first].discard(second)
         self._adjacency[second].discard(first)
         self._edge_count -= 1
+        self._neighbour_tables.pop(first, None)
+        self._neighbour_tables.pop(second, None)
+        self.version += 1
         return True
 
     def set_weight(self, cluster_id: ClusterId, weight: float) -> None:
@@ -86,6 +120,8 @@ class OverlayGraph(WalkableGraph):
         weight = float(weight)
         self._total_weight += weight - self._weights[cluster_id]
         self._weights.set(cluster_id, weight)
+        self._weight_table_dirty = True
+        self.version += 1
 
     # ------------------------------------------------------------------
     # WalkableGraph interface
@@ -97,9 +133,49 @@ class OverlayGraph(WalkableGraph):
         self._require(vertex)
         return list(self._adjacency[vertex])
 
+    def neighbour_table(self, vertex: ClusterId) -> Tuple[ClusterId, ...]:
+        """Cached neighbour tuple of ``vertex`` (same order as :meth:`neighbours`)."""
+        table = self._neighbour_tables.get(vertex)
+        if table is None:
+            self._require(vertex)
+            table = tuple(self._adjacency[vertex])
+            self._neighbour_tables[vertex] = table
+        return table
+
     def weight(self, vertex: ClusterId) -> float:
         self._require(vertex)
         return self._weights[vertex]
+
+    def sample_weighted_vertex(self, rng: random.Random) -> ClusterId:
+        """A vertex drawn from ``weight(v) / total_weight`` in amortised O(1).
+
+        Consumes exactly one ``rng.random()`` draw against the cached
+        cumulative-weight table (rebuilt lazily after vertex or weight
+        mutations), selecting the same vertex the naive rebuild-per-draw
+        implementation would for the same draw.
+        """
+        if self._weight_table_dirty:
+            self._rebuild_weight_table()
+        cumulative = self._weight_table_cumulative
+        if not cumulative:
+            raise ValueError("cannot sample a vertex of an empty graph")
+        total = cumulative[-1]
+        if total <= 0.0:
+            raise ValueError("graph has no positive vertex weight")
+        index = bisect.bisect_right(cumulative, rng.random() * total, 0, len(cumulative) - 1)
+        return self._weight_table_vertices[index]
+
+    def _rebuild_weight_table(self) -> None:
+        weights = self._weights
+        vertices = list(self._adjacency.keys())
+        cumulative: List[float] = []
+        total = 0.0
+        for vertex in vertices:
+            total += max(0.0, weights[vertex])
+            cumulative.append(total)
+        self._weight_table_vertices = vertices
+        self._weight_table_cumulative = cumulative
+        self._weight_table_dirty = False
 
     # ------------------------------------------------------------------
     # Queries
@@ -109,6 +185,10 @@ class OverlayGraph(WalkableGraph):
 
     def __len__(self) -> int:
         return len(self._adjacency)
+
+    def has_vertex(self, cluster_id: ClusterId) -> bool:
+        """Whether ``cluster_id`` is an overlay vertex (O(1))."""
+        return cluster_id in self._adjacency
 
     def has_edge(self, first: ClusterId, second: ClusterId) -> bool:
         """Whether the undirected edge ``{first, second}`` exists."""

@@ -28,7 +28,7 @@ from .interface import WalkableGraph
 Vertex = Hashable
 
 
-@dataclass
+@dataclass(slots=True)
 class BiasedWalkOutcome:
     """Outcome of a biased CTRW (one ``randCl`` invocation).
 
@@ -85,13 +85,19 @@ class BiasedClusterWalk:
         """Continuous duration of each CTRW segment before an acceptance test."""
         return self._segment_duration
 
+    def configure(self, segment_duration: float, max_restarts: int) -> None:
+        """Update the walk parameters in place (lets callers reuse one walk)."""
+        if segment_duration <= 0:
+            raise WalkError("segment duration must be positive")
+        if max_restarts < 1:
+            raise WalkError("max_restarts must be at least 1")
+        self._segment_duration = float(segment_duration)
+        self._max_restarts = max_restarts
+
     def run(self, start: Vertex) -> BiasedWalkOutcome:
         """Run the biased walk from ``start`` and return the accepted cluster."""
-        vertices = set(self._graph.vertices())
-        if start not in vertices:
+        if not self._graph.has_vertex(start):
             raise WalkError(f"start vertex {start!r} is not in the graph")
-        if not vertices:
-            raise WalkError("cannot walk on an empty graph")
         max_weight = self._graph.max_weight()
         if max_weight <= 0:
             raise WalkError("graph has no positive vertex weight")
@@ -103,7 +109,7 @@ class BiasedClusterWalk:
         visited: List[Vertex] = []
         for _ in range(self._max_restarts):
             restarts += 1
-            segment = self._ctrw.run(current, self._segment_duration)
+            segment = self._ctrw.run_buffered(current, self._segment_duration)
             total_hops += segment.hops
             current = segment.endpoint
             visited.append(current)

@@ -13,21 +13,35 @@ holding times, uniform neighbour choice) and also exposes a discrete-skeleton
 variant used when only the jump chain matters.  Every hop can be charged to a
 metrics ledger by callers; the walk itself only reports hop counts so that
 the cost model stays in one place (``repro.core.randcl``).
+
+Fast path: hops read the graph's cached :meth:`~repro.walks.interface.
+WalkableGraph.neighbour_table` (O(1) on the overlay, invalidated
+incrementally on edge churn) instead of materialising a neighbour list, and
+the batched :meth:`ContinuousRandomWalk.run_many` entry point draws unit
+exponentials in bulk and scales them by the current degree — distributionally
+identical to per-hop ``expovariate`` draws (``Exp(d) = Exp(1) / d``) while
+amortising the per-walk setup across a whole batch.
 """
 
 from __future__ import annotations
 
+import math
 import random
 from dataclasses import dataclass, field
-from typing import Dict, Hashable, List, Optional
+from typing import Dict, Hashable, List, Optional, Sequence
 
 from ..errors import WalkError
 from .interface import WalkableGraph
 
 Vertex = Hashable
 
+#: Number of unit-exponential holding times drawn per refill in the batched
+#: walk entry points (large enough to amortise the list comprehension, small
+#: enough that a short batch of walks does not overdraw noticeably).
+_EXP_BATCH = 256
 
-@dataclass
+
+@dataclass(slots=True)
 class WalkResult:
     """Outcome of one continuous random walk.
 
@@ -59,6 +73,8 @@ class ContinuousRandomWalk:
     def __init__(self, graph: WalkableGraph, rng: random.Random) -> None:
         self._graph = graph
         self._rng = rng
+        # Bulk unit-exponential buffer used by the batched entry points.
+        self._exp_buffer: List[float] = []
 
     # ------------------------------------------------------------------
     # Continuous-time walk
@@ -72,32 +88,106 @@ class ContinuousRandomWalk:
         """
         if duration < 0:
             raise WalkError("walk duration must be non-negative")
-        if start not in set(self._graph.vertices()):
+        if not self._graph.has_vertex(start):
             raise WalkError(f"start vertex {start!r} is not in the graph")
+        graph = self._graph
+        rng = self._rng
         current = start
         remaining = float(duration)
         elapsed = 0.0
         hops = 0
         path: List[Vertex] = [current] if record_path else []
         while remaining > 0:
-            neighbours = list(self._graph.neighbours(current))
+            neighbours = graph.neighbour_table(current)
             degree = len(neighbours)
             if degree == 0:
                 break
-            holding = self._rng.expovariate(degree)
+            holding = rng.expovariate(degree)
             if holding >= remaining:
                 elapsed += remaining
                 remaining = 0.0
                 break
             remaining -= holding
             elapsed += holding
-            current = neighbours[self._rng.randrange(degree)]
+            current = neighbours[rng.randrange(degree)]
             hops += 1
             if record_path:
                 path.append(current)
         return WalkResult(
             endpoint=current, hops=hops, duration=float(duration), elapsed=elapsed, path=path
         )
+
+    def run_many(
+        self, starts: Sequence[Vertex], duration: float, record_path: bool = False
+    ) -> List[WalkResult]:
+        """Run one CTRW of ``duration`` from each of ``starts`` (batched).
+
+        Holding times are drawn as bulk unit exponentials scaled by the
+        current degree (``Exp(d) = Exp(1) / d``), so the per-walk setup and
+        the per-hop ``expovariate`` call overhead are amortised across the
+        batch.  The walks are distributionally identical to :meth:`run` —
+        only the order in which the underlying uniform draws are consumed
+        differs — and remain exact simulations of the continuous process.
+        """
+        if duration < 0:
+            raise WalkError("walk duration must be non-negative")
+        graph = self._graph
+        for start in starts:
+            if not graph.has_vertex(start):
+                raise WalkError(f"start vertex {start!r} is not in the graph")
+        duration = float(duration)
+        return [self._run_buffered(start, duration, record_path) for start in starts]
+
+    def run_buffered(self, start: Vertex, duration: float, record_path: bool = False) -> WalkResult:
+        """One walk using the bulk exponential buffer (see :meth:`run_many`).
+
+        Distributionally identical to :meth:`run`; repeated callers (the
+        biased walk's restart loop, batched exchanges) share the buffer so
+        the per-hop draw is a list pop plus one division.
+        """
+        if duration < 0:
+            raise WalkError("walk duration must be non-negative")
+        if not self._graph.has_vertex(start):
+            raise WalkError(f"start vertex {start!r} is not in the graph")
+        return self._run_buffered(start, float(duration), record_path)
+
+    def _run_buffered(self, start: Vertex, duration: float, record_path: bool) -> WalkResult:
+        graph = self._graph
+        randrange = self._rng.randrange
+        buffer = self._exp_buffer
+        current = start
+        remaining = duration
+        elapsed = 0.0
+        hops = 0
+        path: List[Vertex] = [current] if record_path else []
+        while remaining > 0:
+            neighbours = graph.neighbour_table(current)
+            degree = len(neighbours)
+            if degree == 0:
+                break
+            if not buffer:
+                self._refill_exponentials()
+                buffer = self._exp_buffer
+            holding = buffer.pop() / degree
+            if holding >= remaining:
+                elapsed += remaining
+                remaining = 0.0
+                break
+            remaining -= holding
+            elapsed += holding
+            current = neighbours[randrange(degree)]
+            hops += 1
+            if record_path:
+                path.append(current)
+        return WalkResult(
+            endpoint=current, hops=hops, duration=duration, elapsed=elapsed, path=path
+        )
+
+    def _refill_exponentials(self) -> None:
+        """Refill the bulk buffer with unit-exponential holding times."""
+        random_fn = self._rng.random
+        log = math.log
+        self._exp_buffer = [-log(1.0 - random_fn()) for _ in range(_EXP_BATCH)]
 
     # ------------------------------------------------------------------
     # Discrete skeleton
@@ -106,13 +196,13 @@ class ContinuousRandomWalk:
         """Run the jump chain of the walk for a fixed number of ``steps``."""
         if steps < 0:
             raise WalkError("number of steps must be non-negative")
-        if start not in set(self._graph.vertices()):
+        if not self._graph.has_vertex(start):
             raise WalkError(f"start vertex {start!r} is not in the graph")
         current = start
         hops = 0
         path: List[Vertex] = [current] if record_path else []
         for _ in range(steps):
-            neighbours = list(self._graph.neighbours(current))
+            neighbours = self._graph.neighbour_table(current)
             if not neighbours:
                 break
             current = neighbours[self._rng.randrange(len(neighbours))]
@@ -133,9 +223,8 @@ class ContinuousRandomWalk:
         if samples <= 0:
             raise WalkError("samples must be positive")
         counts: Dict[Vertex, int] = {}
-        for _ in range(samples):
-            endpoint = self.run(start, duration).endpoint
-            counts[endpoint] = counts.get(endpoint, 0) + 1
+        for result in self.run_many([start] * samples, duration):
+            counts[result.endpoint] = counts.get(result.endpoint, 0) + 1
         return {vertex: count / samples for vertex, count in counts.items()}
 
     def expected_hop_rate(self, vertex: Optional[Vertex] = None) -> float:

@@ -10,7 +10,10 @@ tests and by adapters.
 from __future__ import annotations
 
 import abc
-from typing import Dict, Hashable, Iterable, List, Mapping, Sequence
+import random
+from typing import Dict, Hashable, Iterable, List, Mapping, Sequence, Tuple
+
+from ..rng import choice_weighted
 
 Vertex = Hashable
 
@@ -33,9 +36,48 @@ class WalkableGraph(abc.ABC):
     # ------------------------------------------------------------------
     # Derived helpers (concrete)
     # ------------------------------------------------------------------
+    def has_vertex(self, vertex: Vertex) -> bool:
+        """Whether ``vertex`` is in the graph.
+
+        The default implementation scans :meth:`vertices`; concrete graphs
+        backed by a mapping override it with an O(1) membership test — the
+        walk machinery checks every start vertex, so this is on the hot path.
+        """
+        return vertex in self.vertices()
+
     def degree(self, vertex: Vertex) -> int:
         """Number of neighbours of ``vertex``."""
         return len(self.neighbours(vertex))
+
+    def neighbour_table(self, vertex: Vertex) -> Tuple[Vertex, ...]:
+        """The neighbours of ``vertex`` as a reusable tuple.
+
+        Walks call this once per hop; implementations that can cache the
+        tuple (invalidating it on edge mutations) override this so a hop
+        costs O(1) instead of materialising a fresh neighbour list.  The
+        tuple must enumerate neighbours in the same order as
+        :meth:`neighbours`.
+        """
+        return tuple(self.neighbours(vertex))
+
+    def sample_weighted_vertex(self, rng: random.Random) -> Vertex:
+        """A vertex sampled with probability ``weight(v) / total_weight``.
+
+        Consumes exactly one ``rng.random()`` draw.  The default rebuilds the
+        weight list on every call and delegates to
+        :func:`repro.rng.choice_weighted` (the single weighted-selection
+        implementation); graphs with mutation tracking override it with a
+        cached cumulative-weight table that selects the same vertex for the
+        same draw.  Raises ``ValueError`` on an empty graph or when no vertex
+        has positive weight.
+        """
+        vertices = list(self.vertices())
+        if not vertices:
+            raise ValueError("cannot sample a vertex of an empty graph")
+        weights = [max(0.0, self.weight(vertex)) for vertex in vertices]
+        if sum(weights) <= 0.0:
+            raise ValueError("graph has no positive vertex weight")
+        return choice_weighted(rng, vertices, weights)
 
     def vertex_count(self) -> int:
         """Number of vertices."""
@@ -82,12 +124,26 @@ class MappingGraph(WalkableGraph):
         missing = set(self._adjacency) - set(self._weights)
         if missing:
             raise ValueError(f"weights missing for vertices: {sorted(missing)!r}")
+        # The adjacency is fixed at construction, so the hop tables can be
+        # precomputed once and handed out without per-hop copies.
+        self._tables: Dict[Vertex, tuple] = {
+            vertex: tuple(neighbours) for vertex, neighbours in self._adjacency.items()
+        }
 
     def vertices(self) -> Sequence[Vertex]:
         return list(self._adjacency.keys())
 
+    def has_vertex(self, vertex: Vertex) -> bool:
+        return vertex in self._adjacency
+
     def neighbours(self, vertex: Vertex) -> Sequence[Vertex]:
         return list(self._adjacency.get(vertex, ()))
+
+    def neighbour_table(self, vertex: Vertex) -> tuple:
+        return self._tables.get(vertex, ())
+
+    def degree(self, vertex: Vertex) -> int:
+        return len(self._adjacency.get(vertex, ()))
 
     def weight(self, vertex: Vertex) -> float:
         return float(self._weights.get(vertex, 0.0))

@@ -26,7 +26,6 @@ from dataclasses import dataclass
 from typing import Hashable, Optional
 
 from ..errors import WalkError
-from ..rng import choice_weighted
 from .biased import BiasedClusterWalk
 from .interface import WalkableGraph
 
@@ -43,7 +42,7 @@ class WalkMode(enum.Enum):
         return self.value
 
 
-@dataclass
+@dataclass(slots=True)
 class SampleOutcome:
     """One sampled cluster plus the walking effort it required."""
 
@@ -70,11 +69,33 @@ class ClusterSampler:
         self._segment_duration = float(segment_duration)
         self._mode = mode
         self._max_restarts = max_restarts
+        # Constructed lazily and reused across samples (the biased walk in
+        # turn reuses one CTRW and its bulk exponential buffer).
+        self._walk: Optional[BiasedClusterWalk] = None
+        # Expected-effort cache, keyed on the graph's mutation version (when
+        # it exposes one) and the segment duration.
+        self._effort_key: Optional[tuple] = None
+        self._effort: tuple = (1, 1)
 
     @property
     def mode(self) -> WalkMode:
         """The sampling mode currently in use."""
         return self._mode
+
+    @property
+    def graph(self) -> WalkableGraph:
+        """The graph this sampler draws from."""
+        return self._graph
+
+    def configure(self, segment_duration: float, max_restarts: int) -> None:
+        """Update the walk parameters in place (lets callers reuse one sampler)."""
+        segment_duration = float(segment_duration)
+        if segment_duration == self._segment_duration and max_restarts == self._max_restarts:
+            return
+        self._segment_duration = segment_duration
+        self._max_restarts = max_restarts
+        if self._walk is not None:
+            self._walk.configure(segment_duration, max_restarts)
 
     def sample(self, start: Vertex) -> SampleOutcome:
         """Sample one cluster, starting the walk from ``start``."""
@@ -86,12 +107,15 @@ class ClusterSampler:
     # Simulated mode
     # ------------------------------------------------------------------
     def _sample_simulated(self, start: Vertex) -> SampleOutcome:
-        walk = BiasedClusterWalk(
-            self._graph,
-            self._rng,
-            segment_duration=self._segment_duration,
-            max_restarts=self._max_restarts,
-        )
+        walk = self._walk
+        if walk is None:
+            walk = BiasedClusterWalk(
+                self._graph,
+                self._rng,
+                segment_duration=self._segment_duration,
+                max_restarts=self._max_restarts,
+            )
+            self._walk = walk
         outcome = walk.run(start)
         return SampleOutcome(
             cluster=outcome.cluster,
@@ -105,13 +129,13 @@ class ClusterSampler:
     # Oracle mode
     # ------------------------------------------------------------------
     def _sample_oracle(self, start: Vertex) -> SampleOutcome:
-        vertices = list(self._graph.vertices())
-        if not vertices:
-            raise WalkError("cannot sample from an empty graph")
-        weights = [max(0.0, self._graph.weight(vertex)) for vertex in vertices]
-        if sum(weights) <= 0:
-            raise WalkError("graph has no positive vertex weight")
-        cluster = choice_weighted(self._rng, vertices, weights)
+        # The graph's cached cumulative-weight table makes this an O(1)
+        # binary-search draw; the naive list rebuild only happens on graphs
+        # without the cache (the WalkableGraph default).
+        try:
+            cluster = self._graph.sample_weighted_vertex(self._rng)
+        except ValueError as error:
+            raise WalkError(str(error)) from error
         hops, restarts = self._expected_effort()
         return SampleOutcome(
             cluster=cluster, hops=hops, restarts=restarts, mode=WalkMode.ORACLE
@@ -122,8 +146,22 @@ class ClusterSampler:
 
         The expected number of hops of one CTRW segment equals the segment
         duration times the average vertex degree; the number of segments is
-        the geometric restart count of the biased walk.
+        the geometric restart count of the biased walk.  The result only
+        depends on graph aggregates, so it is cached against the graph's
+        mutation version when the graph exposes one.
         """
+        version = getattr(self._graph, "version", None)
+        if version is not None:
+            key = (version, self._segment_duration)
+            if key == self._effort_key:
+                return self._effort
+            effort = self._compute_expected_effort()
+            self._effort_key = key
+            self._effort = effort
+            return effort
+        return self._compute_expected_effort()
+
+    def _compute_expected_effort(self) -> tuple:
         vertex_count = self._graph.vertex_count()
         if not vertex_count:
             return (0, 1)

@@ -228,3 +228,104 @@ class TestSystemState:
         assert state.advance_time() == 1
         assert state.advance_time() == 2
         assert state.time_step == 2
+
+
+class TestSwapFastPath:
+    """The members_swapped listener fast path and its legacy fallback."""
+
+    class _SwapAware:
+        def __init__(self):
+            self.swaps = []
+            self.events = []
+
+        def members_swapped(self, first_cluster, first_node, second_cluster, second_node):
+            self.swaps.append((first_cluster, first_node, second_cluster, second_node))
+
+        def member_added(self, cluster_id, node_id):
+            self.events.append(("added", cluster_id, node_id))
+
+        def member_removed(self, cluster_id, node_id):
+            self.events.append(("removed", cluster_id, node_id))
+
+    class _Legacy:
+        def __init__(self):
+            self.events = []
+
+        def member_added(self, cluster_id, node_id):
+            self.events.append(("added", cluster_id, node_id))
+
+        def member_removed(self, cluster_id, node_id):
+            self.events.append(("removed", cluster_id, node_id))
+
+    def _registry(self):
+        registry = ClusterRegistry()
+        registry.create_cluster([1, 2], cluster_id=10)
+        registry.create_cluster([3, 4], cluster_id=20)
+        return registry
+
+    def test_swap_aware_listener_gets_one_event(self):
+        registry = self._registry()
+        listener = self._SwapAware()
+        registry.add_listener(listener)
+        registry.swap_members(10, 1, 20, 3)
+        assert listener.swaps == [(10, 1, 20, 3)]
+        # No remove/add fallbacks were delivered to the swap-aware listener.
+        assert listener.events == []
+        assert registry.cluster_of(1) == 20 and registry.cluster_of(3) == 10
+
+    def test_legacy_listener_gets_four_event_fallback(self):
+        registry = self._registry()
+        listener = self._Legacy()
+        registry.add_listener(listener)
+        registry.swap_members(10, 1, 20, 3)
+        assert listener.events == [
+            ("removed", 10, 1),
+            ("added", 10, 3),
+            ("removed", 20, 3),
+            ("added", 20, 1),
+        ]
+
+    def test_mixed_listeners_each_get_their_protocol(self):
+        registry = self._registry()
+        aware, legacy = self._SwapAware(), self._Legacy()
+        registry.add_listener(aware)
+        registry.add_listener(legacy)
+        registry.swap_members(10, 2, 20, 4)
+        assert aware.swaps == [(10, 2, 20, 4)]
+        assert len(legacy.events) == 4
+
+    def test_corruption_counts_exact_under_swaps(self, small_params):
+        """Swap accounting agrees with a from-scratch rebuild for every role mix."""
+        state = SystemState(parameters=small_params, rng=random.Random(4))
+        roles = [NodeRole.HONEST, NodeRole.BYZANTINE] * 4
+        for index, role in enumerate(roles):
+            state.nodes.register(role=role, node_id=index)
+        state.clusters.create_cluster([0, 1, 2, 3], cluster_id=0)
+        state.clusters.create_cluster([4, 5, 6, 7], cluster_id=1)
+        rng = random.Random(9)
+        for _ in range(50):
+            first = rng.choice(sorted(state.clusters.get(0).members))
+            second = rng.choice(sorted(state.clusters.get(1).members))
+            state.clusters.swap_members(0, first, 1, second)
+            observed = state.byzantine_fractions()
+            for cluster_id in (0, 1):
+                members = state.clusters.get(cluster_id).members
+                expected = sum(
+                    1 for node in members if state.nodes.is_byzantine(node)
+                ) / len(members)
+                assert observed[cluster_id] == pytest.approx(expected)
+            assert state.worst_cluster_fraction() == pytest.approx(max(observed.values()))
+
+    def test_member_list_cache_tracks_mutations(self):
+        cluster = Cluster(cluster_id=1, members={3, 1})
+        assert cluster.member_list() == [1, 3]
+        cluster.add_member(2)
+        assert cluster.member_list() == [1, 2, 3]
+        cluster.remove_member(3)
+        assert cluster.member_list() == [1, 2]
+        cluster.swap_member(2, 9)
+        assert cluster.member_list() == [1, 9]
+        # Returned lists are fresh copies: mutating one never corrupts the cache.
+        listed = cluster.member_list()
+        listed.append(42)
+        assert cluster.member_list() == [1, 9]

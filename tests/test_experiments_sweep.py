@@ -1,0 +1,216 @@
+"""Tests for the experiment sweep subsystem and its CLI front end."""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.analysis.statistics import mean_confidence
+from repro.cli import main
+from repro.errors import ConfigurationError
+from repro.experiments import SweepSpec, SweepRunner, run_sweep, run_sweep_payload
+
+
+def small_spec(**overrides) -> SweepSpec:
+    fields = dict(
+        name="test-sweep",
+        scenario=dict(
+            name="test-sweep",
+            max_size=1024,
+            initial_size=120,
+            tau=0.1,
+            steps=12,
+            workload={"kind": "uniform"},
+        ),
+        grid={"tau": [0.1, 0.2]},
+        seeds=[1, 2],
+        workers=0,
+    )
+    fields.update(overrides)
+    return SweepSpec(**fields)
+
+
+class TestMeanConfidence:
+    def test_empty_and_singleton(self):
+        empty = mean_confidence([])
+        assert empty.count == 0 and empty.half_width == 0.0
+        single = mean_confidence([3.0])
+        assert single.count == 1
+        assert single.mean == 3.0
+        assert single.half_width == 0.0
+        assert single.minimum == single.maximum == 3.0
+
+    def test_known_values(self):
+        stats = mean_confidence([1.0, 2.0, 3.0, 4.0])
+        assert stats.mean == pytest.approx(2.5)
+        assert stats.std == pytest.approx(1.2909944, abs=1e-6)
+        assert stats.half_width == pytest.approx(1.96 * stats.std / 2.0)
+        assert stats.lower == pytest.approx(stats.mean - stats.half_width)
+        assert stats.upper == pytest.approx(stats.mean + stats.half_width)
+        assert "±" in str(stats)
+
+    def test_as_dict_round_trip(self):
+        stats = mean_confidence([2.0, 4.0])
+        payload = stats.as_dict()
+        assert payload["count"] == 2
+        assert payload["mean"] == pytest.approx(3.0)
+        assert payload["lower"] <= payload["mean"] <= payload["upper"]
+
+
+class TestSweepSpec:
+    def test_grid_expansion_is_cartesian_and_sorted(self):
+        spec = small_spec(grid={"tau": [0.1, 0.2], "initial_size": [100, 120]})
+        points = spec.grid_points()
+        assert len(points) == 4
+        assert {"initial_size": 100, "tau": 0.1} in points
+
+    def test_payload_expansion_counts_and_seeds(self):
+        spec = small_spec()
+        payloads = spec.payloads()
+        assert len(payloads) == 4  # 2 grid points x 2 seeds
+        seeds = {(p["point"]["tau"], p["seed"]) for p in payloads}
+        assert seeds == {(0.1, 1), (0.1, 2), (0.2, 1), (0.2, 2)}
+        for payload in payloads:
+            assert payload["scenario"]["tau"] == payload["point"]["tau"]
+            assert payload["scenario"]["seed"] == payload["seed"]
+
+    def test_dotted_grid_key_reaches_nested_field(self):
+        spec = small_spec(grid={"engine_options.walk_mode": ["simulated", "oracle"]})
+        payloads = spec.payloads()
+        modes = {p["scenario"]["engine_options"]["walk_mode"] for p in payloads}
+        assert modes == {"simulated", "oracle"}
+
+    def test_preset_base_with_overrides(self):
+        spec = SweepSpec(preset="uniform-churn", scenario={"steps": 7}, seeds=[3])
+        fields = spec.base_fields()
+        assert fields["workload"] == {"kind": "uniform"}
+        assert fields["steps"] == 7
+
+    def test_unknown_preset_and_fields_rejected(self):
+        with pytest.raises(ConfigurationError):
+            SweepSpec(preset="no-such-preset", seeds=[1]).base_fields()
+        with pytest.raises(ConfigurationError):
+            SweepSpec.from_dict({"bogus": 1})
+        with pytest.raises(ConfigurationError):
+            small_spec(grid={"tau": []}).grid_points()
+        with pytest.raises(ConfigurationError):
+            small_spec(grid={"steps.deep": [1]}).payloads()
+
+    def test_json_round_trip(self):
+        spec = small_spec()
+        clone = SweepSpec.from_json(spec.to_json())
+        assert clone == spec
+
+    def test_invalid_scenario_field_fails_eagerly(self):
+        spec = small_spec(grid={"not_a_scenario_field": [1]})
+        with pytest.raises(ConfigurationError):
+            spec.payloads()
+
+
+class TestSweepRunner:
+    def test_inline_run_records_and_aggregates(self):
+        result = run_sweep(small_spec())
+        assert len(result.records) == 4
+        assert result.workers_used == 1
+        points = result.points()
+        assert len(points) == 2
+        for point in points:
+            rows = result.records_for(point)
+            assert [row["seed"] for row in rows] == [1, 2]
+            aggregates = result.aggregate(point)
+            events = aggregates["events"]
+            assert events.count == 2
+            assert events.mean == pytest.approx(
+                sum(row["events"] for row in rows) / 2
+            )
+        table = result.summary_table()
+        assert "tau=0.1" in table and "tau=0.2" in table
+
+    def test_inline_run_is_deterministic(self):
+        first = run_sweep(small_spec())
+        second = run_sweep(small_spec())
+        strip = lambda rows: [
+            {k: v for k, v in row.items() if "second" not in k and "elapsed" not in k}
+            for row in rows
+        ]
+        assert strip(first.records) == strip(second.records)
+
+    def test_parallel_run_matches_inline(self):
+        inline = run_sweep(small_spec())
+        parallel = run_sweep(small_spec(workers=2))
+        assert parallel.workers_used == 2
+        strip = lambda rows: [
+            {k: v for k, v in row.items() if "second" not in k and "elapsed" not in k}
+            for row in rows
+        ]
+        assert strip(parallel.records) == strip(inline.records)
+
+    def test_target_cluster_tracking(self):
+        spec = small_spec(
+            grid={},
+            seeds=[5],
+            track_target_cluster=True,
+        )
+        spec.scenario["adversary"] = {"kind": "join_leave", "target_cluster": "first"}
+        result = run_sweep(spec)
+        record = result.records[0]
+        assert "target_peak_fraction" in record
+        assert 0.0 <= record["target_peak_fraction"] <= 1.0
+
+    def test_metric_lookup_errors_on_unknown(self):
+        result = run_sweep(small_spec(grid={}, seeds=[1]))
+        with pytest.raises(ConfigurationError):
+            result.metric({}, "target_peak_fraction")
+
+    def test_runner_validates_spec(self):
+        with pytest.raises(ConfigurationError):
+            SweepRunner(small_spec(seeds=[]))
+        with pytest.raises(ConfigurationError):
+            SweepRunner(small_spec(workers=-1))
+
+    def test_payload_worker_is_self_contained(self):
+        payload = small_spec(seeds=[1]).payloads()[0]
+        record = run_sweep_payload(json.loads(json.dumps(payload)))
+        assert record["events"] > 0
+        assert record["walk_hops"] >= 0
+
+
+class TestRunSweepCli:
+    def test_cli_runs_grid_across_two_workers(self, capsys):
+        code = main(
+            [
+                "run-sweep",
+                "--name",
+                "uniform-churn",
+                "--steps",
+                "10",
+                "--grid",
+                "initial_size=120",
+                "--num-seeds",
+                "2",
+                "--workers",
+                "2",
+            ]
+        )
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "2 worker process(es)" in out
+        assert "events_per_second" in out
+        assert "initial_size=120" in out
+
+    def test_cli_spec_file(self, tmp_path, capsys):
+        spec_path = tmp_path / "sweep.json"
+        spec_path.write_text(small_spec(workers=1).to_json(), encoding="utf-8")
+        code = main(["run-sweep", "--spec", str(spec_path)])
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "tau=0.1" in out
+
+    def test_cli_rejects_bad_input(self, capsys):
+        assert main(["run-sweep"]) == 2
+        assert main(["run-sweep", "--name", "uniform-churn", "--grid", "oops"]) == 2
+        assert (
+            main(["run-sweep", "--name", "uniform-churn", "--metrics", "bogus"]) == 2
+        )
+        assert main(["run-sweep", "--name", "no-such-preset", "--num-seeds", "1"]) == 2
