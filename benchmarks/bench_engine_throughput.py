@@ -140,12 +140,18 @@ def load_trajectory(path: str = RESULT_PATH):
 
 
 def save_result(result, path: str = RESULT_PATH) -> None:
-    """Append ``result`` to the trajectory file (never overwrite history)."""
+    """Append ``result`` to the trajectory file (never overwrite history).
+
+    The write goes through a temp file + atomic rename
+    (:func:`repro.trace.write_json_atomic`), so a benchmark killed
+    mid-write cannot corrupt the recorded trajectory: readers see either
+    the old history or the new one, never a truncated JSON document.
+    """
+    from repro.trace import write_json_atomic
+
     trajectory = load_trajectory(path)
     trajectory.append(result)
-    with open(path, "w", encoding="utf-8") as handle:
-        json.dump(trajectory, handle, indent=2, sort_keys=True)
-        handle.write("\n")
+    write_json_atomic(path, trajectory, indent=2)
 
 
 @pytest.mark.experiment("T1")

@@ -56,6 +56,15 @@ from .scenarios import (
     SimulationRunner,
     named_scenario,
 )
+from .trace import (
+    Checkpoint,
+    ReplayEngine,
+    record_scenario,
+    replay_trace,
+    resume_from_checkpoint,
+    state_hash,
+    trace_diff,
+)
 from .walks.sampler import WalkMode
 
 __version__ = "0.1.0"
@@ -89,5 +98,12 @@ __all__ = [
     "SimulationRunner",
     "named_scenario",
     "WalkMode",
+    "Checkpoint",
+    "ReplayEngine",
+    "record_scenario",
+    "replay_trace",
+    "resume_from_checkpoint",
+    "state_hash",
+    "trace_diff",
     "__version__",
 ]

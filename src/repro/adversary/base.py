@@ -94,6 +94,38 @@ class Adversary(abc.ABC):
     def next_event(self, context: AdversaryContext) -> Optional[ChurnEvent]:
         """Return the churn event for this time step (``None`` to stay idle)."""
 
+    # ------------------------------------------------------------------
+    # Checkpoint serialisation (repro.trace)
+    # ------------------------------------------------------------------
+    def snapshot_state(self) -> dict:
+        """JSON-ready snapshot of the adversary's RNG stream and mutable state."""
+        from ..rng import rng_state_to_json  # local import: avoids a cycle
+
+        return {
+            "kind": type(self).__name__,
+            "rng": rng_state_to_json(self._rng.getstate()),
+            "extra": self._snapshot_extra(),
+        }
+
+    def restore_state(self, data: dict) -> None:
+        """Restore a snapshot onto an adversary built with the same spec."""
+        from ..errors import ConfigurationError
+        from ..rng import rng_state_from_json
+
+        if data.get("kind") != type(self).__name__:
+            raise ConfigurationError(
+                f"snapshot is for {data.get('kind')!r}, not {type(self).__name__!r}"
+            )
+        self._rng.setstate(rng_state_from_json(data["rng"]))
+        self._restore_extra(data.get("extra", {}))
+
+    def _snapshot_extra(self) -> dict:
+        """Subclass hook: mutable fields beyond the RNG (default: none)."""
+        return {}
+
+    def _restore_extra(self, extra: dict) -> None:
+        """Subclass hook: inverse of :meth:`_snapshot_extra`."""
+
     def run(self, engine: NowEngine, steps: int) -> List:
         """Drive ``engine`` for ``steps`` time steps and return the reports."""
         from ..scenarios.runner import SimulationRunner  # local import: avoids a cycle

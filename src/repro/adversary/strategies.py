@@ -33,6 +33,16 @@ from ..network.node import NodeId, NodeRole
 from .base import Adversary, AdversaryContext
 
 
+def _most_corrupted(fractions) -> ClusterId:
+    """Cluster with the highest corruption fraction, smallest id on ties.
+
+    The fractions mapping is in insertion order, which depends on the full
+    run history; a deterministic tie-break keeps adversary decisions
+    reproducible across checkpoint/restore (see ``repro.trace``).
+    """
+    return max(sorted(fractions), key=fractions.get)
+
+
 class JoinLeaveAttack(Adversary):
     """Join–leave attack focused on one target cluster."""
 
@@ -67,6 +77,13 @@ class JoinLeaveAttack(Adversary):
         self._pending_rejoin.append(victim)
         return ChurnEvent.leave(victim)
 
+    def _snapshot_extra(self) -> dict:
+        return {"target": self._target, "pending_rejoin": list(self._pending_rejoin)}
+
+    def _restore_extra(self, extra: dict) -> None:
+        self._target = extra.get("target")
+        self._pending_rejoin = list(extra.get("pending_rejoin", []))
+
 
 class TargetedDosAdversary(Adversary):
     """Forces honest members of a target cluster to leave the network."""
@@ -86,7 +103,7 @@ class TargetedDosAdversary(Adversary):
         """The attacked cluster (defaults to the currently most corrupted one)."""
         if self._target is None or self._target not in context.engine.state.clusters:
             fractions = context.byzantine_fractions()
-            self._target = max(fractions, key=fractions.get)
+            self._target = _most_corrupted(fractions)
         return self._target
 
     def next_event(self, context: AdversaryContext) -> Optional[ChurnEvent]:
@@ -105,6 +122,13 @@ class TargetedDosAdversary(Adversary):
         if self._rejoin_victims:
             self._pending_rejoin.append(victim)
         return ChurnEvent.leave(victim)
+
+    def _snapshot_extra(self) -> dict:
+        return {"target": self._target, "pending_rejoin": list(self._pending_rejoin)}
+
+    def _restore_extra(self, extra: dict) -> None:
+        self._target = extra.get("target")
+        self._pending_rejoin = list(extra.get("pending_rejoin", []))
 
 
 class ObliviousChurnAdversary(Adversary):
@@ -128,6 +152,12 @@ class ObliviousChurnAdversary(Adversary):
         self._departed.append(victim)
         return ChurnEvent.leave(victim)
 
+    def _snapshot_extra(self) -> dict:
+        return {"departed": list(self._departed)}
+
+    def _restore_extra(self, extra: dict) -> None:
+        self._departed = list(extra.get("departed", []))
+
 
 class AdaptiveCorruptionAdversary(Adversary):
     """Corrupts nodes after observing the clustering (outside the paper's model).
@@ -148,5 +178,11 @@ class AdaptiveCorruptionAdversary(Adversary):
     def next_event(self, context: AdversaryContext) -> Optional[ChurnEvent]:
         if self._target is None or self._target not in context.engine.state.clusters:
             fractions = context.byzantine_fractions()
-            self._target = max(fractions, key=fractions.get)
+            self._target = _most_corrupted(fractions)
         return ChurnEvent.join(role=NodeRole.BYZANTINE, contact_cluster=self._target)
+
+    def _snapshot_extra(self) -> dict:
+        return {"target": self._target}
+
+    def _restore_extra(self, extra: dict) -> None:
+        self._target = extra.get("target")

@@ -137,17 +137,23 @@ class BaselineEngine(abc.ABC):
         """Per-operation communication ledgers (baselines charge nothing by default)."""
         return self.state.metrics
 
-    def random_member(self, honest_only: bool = False) -> NodeId:
-        """A uniformly random active node in O(1)."""
-        if honest_only:
-            return self.state.nodes.sample_active_honest(self.state.rng)
-        return self.state.nodes.sample_active(self.state.rng)
+    def random_member(self, honest_only: bool = False, rng=None) -> NodeId:
+        """A uniformly random active node in O(1).
 
-    def random_cluster(self) -> ClusterId:
-        """A uniformly random live cluster id in O(1)."""
+        ``rng`` selects the stream, as on the NOW engine: external callers
+        pass their own generator so the engine stream is consumed only by
+        ``apply_event`` (the ``repro.trace`` determinism contract).
+        """
+        source = rng if rng is not None else self.state.rng
+        if honest_only:
+            return self.state.nodes.sample_active_honest(source)
+        return self.state.nodes.sample_active(source)
+
+    def random_cluster(self, rng=None) -> ClusterId:
+        """A uniformly random live cluster id in O(1) (``rng`` as in :meth:`random_member`)."""
         if not len(self.state.clusters):
             raise ConfigurationError("no live clusters")
-        return self.state.clusters.sample_id(self.state.rng)
+        return self.state.clusters.sample_id(rng if rng is not None else self.state.rng)
 
     # ------------------------------------------------------------------
     # Churn driving

@@ -16,10 +16,18 @@ prints its table — useful for kicking the tyres without writing a script:
   table (``--list`` shows the presets).
 * ``run-sweep`` — expand a parameter grid x seed list over a preset (or a
   JSON :class:`~repro.experiments.sweep.SweepSpec`), fan the runs out across
-  worker processes and print per-grid-point aggregates (mean ± 95% CI).
+  worker processes and print per-grid-point aggregates (mean ± 95% CI);
+  ``--resume FILE`` makes the sweep interruptible (finished units are
+  appended to the file and never re-run).
+* ``resume``     — continue an interrupted ``run-scenario`` from its
+  checkpoint file, bit-identically to the uninterrupted run.
+* ``replay``     — re-drive a recorded trace against a rebuilt engine and
+  verify state-hash agreement at every index frame (exit 1 on divergence).
+* ``trace-diff`` — pinpoint the first diverging event between two traces.
 
 Every command accepts ``--seed`` for reproducibility; defaults are sized to
-finish in seconds.
+finish in seconds.  ``run-scenario --record FILE`` records any scenario;
+``--checkpoint FILE --checkpoint-every N`` makes it resumable.
 """
 
 from __future__ import annotations
@@ -34,7 +42,7 @@ from .adversary import JoinLeaveAttack
 from .errors import ConfigurationError
 from .analysis import fit_power_law, format_table, summarize_fractions
 from .baselines import NoShuffleEngine
-from .experiments import AGGREGATED_METRICS, SweepSpec, run_sweep
+from .experiments import AGGREGATED_METRICS, SweepRunner, SweepSpec
 from .scenarios import (
     NAMED_SCENARIOS,
     CorruptionTrajectoryProbe,
@@ -43,6 +51,7 @@ from .scenarios import (
     SimulationRunner,
     named_scenario,
 )
+from .trace import record_scenario, replay_trace, resume_from_checkpoint, trace_diff
 from .workloads import MixedDriver, UniformChurn, drive
 from .workloads.record import RunRecord
 
@@ -91,6 +100,46 @@ def build_parser() -> argparse.ArgumentParser:
     )
     scenario.add_argument("--steps", type=int, default=None, help="override the scenario's step budget")
     scenario.add_argument("--list", action="store_true", help="list the named presets and exit")
+    scenario.add_argument(
+        "--record", type=str, default=None, metavar="FILE",
+        help="record every event to this trace file (JSONL; see `replay`)",
+    )
+    scenario.add_argument(
+        "--index-every", type=int, default=200, metavar="N",
+        help="events between state-hash index frames in the trace (default: 200)",
+    )
+    scenario.add_argument(
+        "--checkpoint", type=str, default=None, metavar="FILE",
+        help="write resumable checkpoints to this file (see `resume`)",
+    )
+    scenario.add_argument(
+        "--checkpoint-every", type=int, default=None, metavar="N",
+        help="events between checkpoints (default: a quarter of the step budget)",
+    )
+
+    resume = subparsers.add_parser(
+        "resume", help="continue an interrupted run-scenario from its checkpoint file"
+    )
+    resume.add_argument("--checkpoint", type=str, required=True, metavar="FILE")
+    resume.add_argument(
+        "--steps", type=int, default=None,
+        help="additional steps to run (default: finish the scenario's original budget)",
+    )
+    resume.add_argument(
+        "--checkpoint-every", type=int, default=None, metavar="N",
+        help="keep checkpointing to the same file every N events",
+    )
+
+    replay = subparsers.add_parser(
+        "replay", help="re-drive a recorded trace and verify determinism (exit 1 on divergence)"
+    )
+    replay.add_argument("--trace", type=str, required=True, metavar="FILE")
+
+    diff = subparsers.add_parser(
+        "trace-diff", help="find the first diverging event between two trace files"
+    )
+    diff.add_argument("first", type=str, help="first trace file")
+    diff.add_argument("second", type=str, help="second trace file")
 
     sweep = subparsers.add_parser(
         "run-sweep", help="run a multi-seed parameter grid over a preset across worker processes"
@@ -122,6 +171,10 @@ def build_parser() -> argparse.ArgumentParser:
         help="worker processes (default: 2, or the spec file's own setting)",
     )
     sweep.add_argument("--steps", type=int, default=None, help="override the step budget")
+    sweep.add_argument(
+        "--resume", type=str, default=None, metavar="FILE",
+        help="progress file: finished units are appended here and never re-run",
+    )
     sweep.add_argument(
         "--metrics",
         type=str,
@@ -280,11 +333,29 @@ def run_scenario_command(args: argparse.Namespace) -> int:
 
     corruption = CorruptionTrajectoryProbe()
     costs = CostLedgerProbe()
-    result = scenario.run(probes=[corruption, costs])
+    try:
+        session = record_scenario(
+            scenario,
+            trace_path=args.record,
+            index_every=args.index_every,
+            checkpoint_path=args.checkpoint,
+            checkpoint_every=args.checkpoint_every,
+            probes=[corruption, costs],
+        )
+    except (ConfigurationError, OSError, ValueError) as error:
+        # OSError covers unwritable --record/--checkpoint paths.
+        print(f"run-scenario: {error}", file=sys.stderr)
+        return 2
+    result = session.result
 
     print(f"scenario {scenario.name!r}: engine={scenario.engine}, N={scenario.max_size}, "
           f"tau={scenario.tau}, seed={scenario.seed}")
     print(result.summary_table())
+    print(f"final state hash: {session.final_state_hash}")
+    if args.record:
+        print(f"trace recorded to {args.record}")
+    if args.checkpoint:
+        print(f"checkpoint written to {args.checkpoint}")
     summary = corruption.summary()
     print(
         format_table(
@@ -300,6 +371,54 @@ def run_scenario_command(args: argparse.Namespace) -> int:
     if cost_rows:
         print(format_table(["operation", "count", "mean messages"], cost_rows))
     return 0
+
+
+def run_resume_command(args: argparse.Namespace) -> int:
+    try:
+        session = resume_from_checkpoint(
+            args.checkpoint,
+            steps=args.steps,
+            checkpoint_every=args.checkpoint_every,
+        )
+    except (ConfigurationError, OSError, ValueError) as error:
+        print(f"resume: {error}", file=sys.stderr)
+        return 2
+    result = session.result
+    print(f"resumed from {args.checkpoint}: ran {result.steps} more step(s), "
+          f"{result.events} event(s)")
+    print(result.summary_table())
+    print(f"final state hash: {session.final_state_hash}")
+    return 0
+
+
+def run_replay_command(args: argparse.Namespace) -> int:
+    try:
+        report = replay_trace(args.trace)
+    except (ConfigurationError, OSError, ValueError) as error:
+        print(f"replay: {error}", file=sys.stderr)
+        return 2
+    print(report.summary())
+    if report.recorded_final_hash is not None:
+        print(f"recorded final hash: {report.recorded_final_hash}")
+    print(f"replayed final hash: {report.final_hash}")
+    return 0 if report.ok else 1
+
+
+def run_trace_diff_command(args: argparse.Namespace) -> int:
+    try:
+        diff = trace_diff(args.first, args.second)
+    except (ConfigurationError, OSError, ValueError) as error:
+        print(f"trace-diff: {error}", file=sys.stderr)
+        return 2
+    for note in diff.notes:
+        print(f"note: {note}")
+    print(diff.summary())
+    if diff.diverged:
+        if diff.first_frame is not None:
+            print(f"first:  {diff.first_frame}")
+        if diff.second_frame is not None:
+            print(f"second: {diff.second_frame}")
+    return 1 if diff.diverged else 0
 
 
 def run_sweep_command(args: argparse.Namespace) -> int:
@@ -331,7 +450,8 @@ def run_sweep_command(args: argparse.Namespace) -> int:
         if unknown:
             print(f"run-sweep: unknown metrics {unknown}", file=sys.stderr)
             return 2
-        result = run_sweep(spec)
+        runner = SweepRunner(spec)
+        result = runner.run(resume_path=args.resume)
     except (ConfigurationError, OSError, ValueError) as error:
         print(f"run-sweep: {error}", file=sys.stderr)
         return 2
@@ -341,6 +461,11 @@ def run_sweep_command(args: argparse.Namespace) -> int:
         f"{len(spec.seeds)} seed(s) = {len(result.records)} runs "
         f"across {result.workers_used} worker process(es)"
     )
+    if args.resume:
+        print(
+            f"resume file {args.resume}: {runner.resumed_count} unit(s) reused, "
+            f"{len(result.records) - runner.resumed_count} executed"
+        )
     print(result.summary_table(metrics=metrics))
     print("cells are mean ± 95% CI half-width over seeds (normal approximation)")
     return 0
@@ -360,6 +485,12 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         return run_scenario_command(args)
     if args.command == "run-sweep":
         return run_sweep_command(args)
+    if args.command == "resume":
+        return run_resume_command(args)
+    if args.command == "replay":
+        return run_replay_command(args)
+    if args.command == "trace-diff":
+        return run_trace_diff_command(args)
     parser.error(f"unknown command {args.command!r}")  # pragma: no cover - argparse guards this
     return 2  # pragma: no cover
 

@@ -115,6 +115,28 @@ class Cluster:
         """Immutable copy of the membership."""
         return frozenset(self.members)
 
+    def snapshot_state(self) -> dict:
+        """JSON-ready snapshot of the cluster (members in sorted order)."""
+        return {
+            "cluster_id": self.cluster_id,
+            "members": self.member_list(),
+            "created_at": self.created_at,
+            "exchanges_performed": self.exchanges_performed,
+            "last_full_exchange": self.last_full_exchange,
+        }
+
+    @classmethod
+    def from_snapshot(cls, data: dict) -> "Cluster":
+        """Rebuild a cluster from :meth:`snapshot_state` output."""
+        cluster = cls(
+            cluster_id=data["cluster_id"],
+            members=set(data["members"]),
+            created_at=data.get("created_at", 0),
+        )
+        cluster.exchanges_performed = data.get("exchanges_performed", 0)
+        cluster.last_full_exchange = data.get("last_full_exchange")
+        return cluster
+
 
 class ClusterRegistry:
     """All live clusters, indexed by cluster id and by member node.
@@ -348,3 +370,42 @@ class ClusterRegistry:
         """Mapping cluster id -> size."""
         self.full_scan_count += 1
         return {cluster_id: len(cluster) for cluster_id, cluster in self._clusters.items()}
+
+    # ------------------------------------------------------------------
+    # Checkpoint serialisation (repro.trace)
+    # ------------------------------------------------------------------
+    def sampling_orders(self) -> dict:
+        """The RNG-visible sampling state, cheaply: id-array order + next id.
+
+        O(#clusters) — the per-index-frame state fingerprint reads this
+        instead of the full :meth:`snapshot_state`.
+        """
+        return {"ids": list(self._id_list), "next_id": self._next_id}
+
+    def snapshot_state(self) -> dict:
+        """JSON-ready snapshot of every cluster plus the sampling-array order.
+
+        ``id_list`` preserves the swap-delete array's exact order because
+        :meth:`sample_id` indexes into it with an RNG draw — restoring the
+        ids in any other order would change which cluster a given draw
+        selects and break replay determinism.
+        """
+        return {
+            "clusters": [self._clusters[cid].snapshot_state() for cid in self._id_list],
+            "id_list": list(self._id_list),
+            "next_id": self._next_id,
+        }
+
+    @classmethod
+    def from_snapshot(cls, data: dict) -> "ClusterRegistry":
+        """Rebuild a registry from :meth:`snapshot_state` output (no listeners)."""
+        registry = cls()
+        for cluster_data in data["clusters"]:
+            cluster = Cluster.from_snapshot(cluster_data)
+            registry._clusters[cluster.cluster_id] = cluster
+            for node_id in cluster.members:
+                registry._node_to_cluster[node_id] = cluster.cluster_id
+        registry._id_list = list(data["id_list"])
+        registry._id_pos = {cid: index for index, cid in enumerate(registry._id_list)}
+        registry._next_id = int(data["next_id"])
+        return registry

@@ -126,6 +126,42 @@ class NowEngine:
         return engine
 
     # ------------------------------------------------------------------
+    # Checkpoint serialisation (repro.trace)
+    # ------------------------------------------------------------------
+    def capture_snapshot(self) -> Dict[str, object]:
+        """JSON-ready snapshot of the engine: config, full state, walk buffers.
+
+        Together with :meth:`restore`, this is the engine half of the
+        ``repro.trace`` checkpoint contract: a restored engine continues the
+        run bit-identically to the original (same events in, same RNG draws,
+        same states) — property-tested in ``tests/test_trace_checkpoint.py``.
+        ``history`` is deliberately not captured; million-event runs disable
+        it, and a resumed engine records history from the resume point on.
+        """
+        return {
+            "format": 1,
+            "config": {
+                "walk_mode": self.config.walk_mode.value,
+                "cascade_exchanges": self.config.cascade_exchanges,
+                "strict_compromise": self.config.strict_compromise,
+                "record_history": self.config.record_history,
+                "enforce_size_range": self.config.enforce_size_range,
+            },
+            "state": self.state.snapshot_state(),
+            "randcl": self._randcl.snapshot_state(),
+        }
+
+    @classmethod
+    def restore(cls, snapshot: Dict[str, object]) -> "NowEngine":
+        """Rebuild an engine from :meth:`capture_snapshot` output."""
+        config_data = dict(snapshot["config"])
+        config_data["walk_mode"] = WalkMode(config_data["walk_mode"])
+        state = SystemState.restore_state(snapshot["state"])
+        engine = cls(state, config=EngineConfig(**config_data))
+        engine._randcl.restore_state(snapshot.get("randcl", {}))
+        return engine
+
+    # ------------------------------------------------------------------
     # Observation
     # ------------------------------------------------------------------
     @property
@@ -168,17 +204,27 @@ class NowEngine:
         """Identifiers of the nodes currently in the system."""
         return self.state.nodes.active_nodes()
 
-    def random_member(self, honest_only: bool = False) -> NodeId:
-        """A uniformly random active node in O(1) (used by workload generators)."""
-        if honest_only:
-            return self.state.nodes.sample_active_honest(self.state.rng)
-        return self.state.nodes.sample_active(self.state.rng)
+    def random_member(self, honest_only: bool = False, rng: Optional[random.Random] = None) -> NodeId:
+        """A uniformly random active node in O(1) (used by workload generators).
 
-    def random_cluster(self) -> ClusterId:
-        """A uniformly random live cluster id in O(1)."""
+        ``rng`` selects the stream the draw consumes.  External callers
+        (workloads, adversaries, interactive use) should pass their own
+        generator: the engine stream must be consumed *only* by
+        ``apply_event``, so that replaying a recorded event sequence
+        reproduces the run exactly (the ``repro.trace`` determinism
+        contract).  ``None`` falls back to the engine stream for
+        convenience in unrecorded, one-off explorations.
+        """
+        source = rng if rng is not None else self.state.rng
+        if honest_only:
+            return self.state.nodes.sample_active_honest(source)
+        return self.state.nodes.sample_active(source)
+
+    def random_cluster(self, rng: Optional[random.Random] = None) -> ClusterId:
+        """A uniformly random live cluster id in O(1) (``rng`` as in :meth:`random_member`)."""
         if not len(self.state.clusters):
             raise ConfigurationError("no live clusters")
-        return self.state.clusters.sample_id(self.state.rng)
+        return self.state.clusters.sample_id(rng if rng is not None else self.state.rng)
 
     def check_invariants(self, **kwargs) -> InvariantReport:
         """Run the invariant sweep on the current state."""

@@ -51,9 +51,9 @@ class EngineProtocol(Protocol):
 
     def compromised_clusters(self) -> List[ClusterId]: ...
 
-    def random_member(self, honest_only: bool = False) -> int: ...
+    def random_member(self, honest_only: bool = False, rng=None) -> int: ...
 
-    def random_cluster(self) -> ClusterId: ...
+    def random_cluster(self, rng=None) -> ClusterId: ...
 
     # -- churn driving -------------------------------------------------
     def apply_event(self, event: ChurnEvent): ...

@@ -153,6 +153,36 @@ class RandCl:
         )
 
     # ------------------------------------------------------------------
+    # Checkpoint serialisation (repro.trace)
+    # ------------------------------------------------------------------
+    def snapshot_state(self) -> dict:
+        """JSON-ready snapshot of RNG-derived walk state outside the generator.
+
+        The derived-parameter caches are *not* serialised: they are keyed on
+        the overlay version (which the graph snapshot preserves) and rebuild
+        to identical values.  Only the bulk exponential buffer matters — it
+        holds values already drawn from the engine RNG but not yet consumed.
+        """
+        buffer = self._sampler.snapshot_exp_buffer() if self._sampler is not None else []
+        return {"exp_buffer": buffer}
+
+    def restore_state(self, data: dict) -> None:
+        """Restore a snapshot taken by :meth:`snapshot_state`."""
+        buffer = data.get("exp_buffer", [])
+        if not buffer:
+            return
+        overlay_graph = self._state.overlay.graph
+        if self._sampler is None or self._sampler.graph is not overlay_graph:
+            self._sampler = ClusterSampler(
+                overlay_graph,
+                self._state.rng,
+                segment_duration=2.0,  # placeholder; select() reconfigures per call
+                mode=self._walk_mode,
+                max_restarts=4,
+            )
+        self._sampler.restore_exp_buffer(buffer)
+
+    # ------------------------------------------------------------------
     # Cost model
     # ------------------------------------------------------------------
     def _charge_costs(

@@ -243,6 +243,74 @@ class NodeRegistry:
         self.full_scan_count += 1
         return iter(list(self._descriptors.values()))
 
+    # ------------------------------------------------------------------
+    # Checkpoint serialisation (repro.trace)
+    # ------------------------------------------------------------------
+    def sampling_orders(self) -> Dict[str, object]:
+        """The RNG-visible sampling state, cheaply: array orders + next id.
+
+        O(active) — unlike :meth:`snapshot_state`, which serialises every
+        descriptor ever registered.  This is what the trace subsystem's
+        per-index-frame state fingerprint reads.
+        """
+        return {
+            "active": list(self._active_list),
+            "honest": list(self._honest_list),
+            "next_id": self._next_id,
+        }
+
+    def snapshot_state(self) -> Dict[str, object]:
+        """JSON-ready snapshot: descriptors plus the exact sampling-array order.
+
+        ``active_list`` and ``honest_list`` are the swap-delete arrays behind
+        :meth:`sample_active` / :meth:`sample_active_honest`; their order is
+        RNG-visible (an ``rng.randrange`` indexes into them), so it is
+        serialised verbatim rather than recomputed on restore.
+        """
+        return {
+            "descriptors": [
+                {
+                    "node_id": descriptor.node_id,
+                    "role": descriptor.role.value,
+                    "state": descriptor.state.value,
+                    "joined_at": descriptor.joined_at,
+                    "left_at": descriptor.left_at,
+                    "attributes": dict(descriptor.attributes),
+                }
+                for descriptor in self._descriptors.values()
+            ],
+            "next_id": self._next_id,
+            "active_list": list(self._active_list),
+            "honest_list": list(self._honest_list),
+        }
+
+    @classmethod
+    def from_snapshot(cls, data: Dict[str, object]) -> "NodeRegistry":
+        """Rebuild a registry from :meth:`snapshot_state` output (no role listeners)."""
+        registry = cls()
+        for entry in data["descriptors"]:
+            descriptor = NodeDescriptor(
+                node_id=entry["node_id"],
+                role=NodeRole(entry["role"]),
+                state=NodeState(entry["state"]),
+                joined_at=entry.get("joined_at", 0),
+                left_at=entry.get("left_at"),
+                attributes=dict(entry.get("attributes", {})),
+            )
+            registry._descriptors[descriptor.node_id] = descriptor
+            descriptor.attach_lifecycle_listener(registry._descriptor_changed)
+            if descriptor.is_byzantine:
+                registry._byz_roles.add(descriptor.node_id)
+        registry._next_id = int(data["next_id"])
+        registry._active_list = list(data["active_list"])
+        registry._active_pos = {nid: i for i, nid in enumerate(registry._active_list)}
+        registry._honest_list = list(data["honest_list"])
+        registry._honest_pos = {nid: i for i, nid in enumerate(registry._honest_list)}
+        registry._active_byz = {
+            nid for nid in registry._active_list if nid in registry._byz_roles
+        }
+        return registry
+
 
 class CorruptionTracker:
     """Incremental per-cluster corruption accounting.
@@ -472,3 +540,51 @@ class SystemState:
         """Advance and return the discrete time-step counter."""
         self.time_step += 1
         return self.time_step
+
+    # ------------------------------------------------------------------
+    # Checkpoint serialisation (repro.trace)
+    # ------------------------------------------------------------------
+    def snapshot_state(self) -> Dict[str, object]:
+        """JSON-ready snapshot of the full system state.
+
+        Captures everything a restored engine needs to continue the run
+        bit-identically: parameters, the engine RNG stream, both registries
+        (including their RNG-visible array orders), the overlay graph with
+        its version counter, the metrics ledgers and the time step.  The
+        corruption tracker and overlay-weight sync are *not* serialised —
+        they are derived listeners, rebuilt by ``__post_init__`` on restore.
+        """
+        from dataclasses import asdict
+
+        from ..rng import rng_state_to_json
+
+        return {
+            "parameters": asdict(self.parameters),
+            "rng": rng_state_to_json(self.rng.getstate()),
+            "nodes": self.nodes.snapshot_state(),
+            "clusters": self.clusters.snapshot_state(),
+            "overlay": self.overlay.graph.snapshot_state(),
+            "metrics": self.metrics.snapshot(),
+            "time_step": self.time_step,
+        }
+
+    @classmethod
+    def restore_state(cls, data: Dict[str, object]) -> "SystemState":
+        """Rebuild a system state from :meth:`snapshot_state` output."""
+        from ..overlay.graph import OverlayGraph
+        from ..rng import restore_rng
+
+        parameters = ProtocolParameters(**data["parameters"])
+        rng = restore_rng(data["rng"])
+        overlay = OverOverlay(
+            parameters, rng, graph=OverlayGraph.from_snapshot(data["overlay"])
+        )
+        return cls(
+            parameters=parameters,
+            rng=rng,
+            nodes=NodeRegistry.from_snapshot(data["nodes"]),
+            clusters=ClusterRegistry.from_snapshot(data["clusters"]),
+            overlay=overlay,
+            metrics=MetricsRegistry.from_snapshot(data["metrics"]),
+            time_step=int(data["time_step"]),
+        )

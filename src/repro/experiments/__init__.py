@@ -22,6 +22,7 @@ from .sweep import (
     SweepResult,
     SweepRunner,
     SweepSpec,
+    load_sweep_progress,
     run_sweep,
     run_sweep_payload,
 )
@@ -31,6 +32,7 @@ __all__ = [
     "SweepResult",
     "SweepRunner",
     "SweepSpec",
+    "load_sweep_progress",
     "run_sweep",
     "run_sweep_payload",
 ]

@@ -28,7 +28,8 @@ from __future__ import annotations
 
 import itertools
 import json
-from concurrent.futures import ProcessPoolExecutor
+import os
+from concurrent.futures import FIRST_COMPLETED, ProcessPoolExecutor, wait
 from dataclasses import asdict, dataclass, field
 from typing import Any, Dict, List, Optional, Sequence, Tuple
 
@@ -117,12 +118,14 @@ class SweepSpec:
                     _assign_dotted(fields, key, value)
                 fields["seed"] = int(seed)
                 scenario = Scenario.from_dict(fields)  # validate eagerly
+                scenario_dict = scenario.to_dict()
                 payloads.append(
                     {
                         "sweep": self.name,
                         "point": dict(point),
                         "seed": int(seed),
-                        "scenario": scenario.to_dict(),
+                        "scenario": scenario_dict,
+                        "spec_digest": spec_digest(scenario_dict),
                         "track_target_cluster": self.track_target_cluster,
                     }
                 )
@@ -216,6 +219,7 @@ def run_sweep_payload(payload: Dict[str, Any]) -> Dict[str, Any]:
         "sweep": payload["sweep"],
         "point": dict(payload["point"]),
         "seed": payload["seed"],
+        "spec_digest": payload.get("spec_digest"),
         "scenario": scenario.name,
         "steps": result.steps,
         "events": result.events,
@@ -298,6 +302,57 @@ class SweepResult:
         return format_table(headers, rows)
 
 
+def spec_digest(scenario_fields: Dict[str, Any]) -> str:
+    """Short digest of a unit's fully-expanded scenario dict.
+
+    Part of the resume identity: a progress file written for 40-step runs
+    must not satisfy an 80-step sweep just because grid points and seeds
+    coincide, so completed records only match when the entire expanded
+    scenario (steps, preset fields, overrides — everything) is identical.
+    """
+    import hashlib
+
+    canonical = json.dumps(scenario_fields, sort_keys=True, separators=(",", ":"))
+    return hashlib.sha256(canonical.encode("utf-8")).hexdigest()[:16]
+
+
+def _payload_key(payload_or_record: Dict[str, Any]) -> str:
+    """Canonical identity of one sweep unit: grid point + seed + scenario digest."""
+    return json.dumps(
+        {
+            "point": payload_or_record["point"],
+            "seed": payload_or_record["seed"],
+            "spec": payload_or_record.get("spec_digest"),
+        },
+        sort_keys=True,
+        separators=(",", ":"),
+    )
+
+
+def load_sweep_progress(path: str) -> Dict[str, Dict[str, Any]]:
+    """Completed per-run records from a resume file, keyed by unit identity.
+
+    The file is JSONL (one record per line, appended as units finish); a
+    truncated final line — the signature of an interrupted sweep — is
+    skipped, so every complete record survives.
+    """
+    completed: Dict[str, Dict[str, Any]] = {}
+    if not os.path.exists(path):
+        return completed
+    with open(path, "r", encoding="utf-8") as handle:
+        for line in handle:
+            line = line.strip()
+            if not line:
+                continue
+            try:
+                record = json.loads(line)
+            except json.JSONDecodeError:
+                continue  # interrupted mid-write; later lines may still parse
+            if "point" in record and "seed" in record:
+                completed[_payload_key(record)] = record
+    return completed
+
+
 class SweepRunner:
     """Executes a :class:`SweepSpec`, fanning runs out across processes."""
 
@@ -307,28 +362,73 @@ class SweepRunner:
         if not spec.seeds:
             raise ConfigurationError("a sweep needs at least one seed")
         self.spec = spec
+        #: Units served from the resume file instead of re-running (set by
+        #: the latest :meth:`run` call; the CLI reports it).
+        self.resumed_count: int = 0
 
-    def run(self) -> SweepResult:
+    def run(self, resume_path: Optional[str] = None) -> SweepResult:
         """Run every (grid point, seed) unit and return the merged result.
 
         With ``workers <= 1`` the units run inline in this process —
         deterministic and debugger-friendly; otherwise a
         ``ProcessPoolExecutor`` with ``workers`` processes executes them.
-        ``executor.map`` preserves payload order, so the record list is
-        deterministic either way.
+        The record list follows payload order either way.
+
+        ``resume_path`` makes the sweep interruptible: every finished unit
+        is appended to the file immediately (JSONL), and on a re-run any
+        unit already present is served from the file instead of being
+        re-executed — an interrupted sweep re-runs only unfinished points.
         """
         payloads = self.spec.payloads()
+        completed = load_sweep_progress(resume_path) if resume_path else {}
+        progress = None
+        if resume_path:
+            progress = open(resume_path, "a", encoding="utf-8")
+
+        def record_done(record: Dict[str, Any]) -> None:
+            if progress is not None:
+                progress.write(json.dumps(record, sort_keys=True, separators=(",", ":")))
+                progress.write("\n")
+                progress.flush()
+
+        records: List[Optional[Dict[str, Any]]] = [None] * len(payloads)
+        pending: List[Tuple[int, Dict[str, Any]]] = []
+        for index, payload in enumerate(payloads):
+            cached = completed.get(_payload_key(payload))
+            if cached is not None:
+                records[index] = cached
+            else:
+                pending.append((index, payload))
+        self.resumed_count = len(payloads) - len(pending)
+
         workers = self.spec.workers
-        if workers <= 1:
-            records = [run_sweep_payload(payload) for payload in payloads]
-            used = 1
-        else:
-            used = min(workers, len(payloads)) or 1
-            with ProcessPoolExecutor(max_workers=used) as pool:
-                records = list(pool.map(run_sweep_payload, payloads))
-        return SweepResult(name=self.spec.name, records=records, workers_used=used)
+        try:
+            if workers <= 1 or not pending:
+                used = 1
+                for index, payload in pending:
+                    record = run_sweep_payload(payload)
+                    records[index] = record
+                    record_done(record)
+            else:
+                used = min(workers, len(pending)) or 1
+                with ProcessPoolExecutor(max_workers=used) as pool:
+                    futures = {
+                        pool.submit(run_sweep_payload, payload): index
+                        for index, payload in pending
+                    }
+                    remaining = set(futures)
+                    while remaining:
+                        done, remaining = wait(remaining, return_when=FIRST_COMPLETED)
+                        for future in done:
+                            record = future.result()
+                            records[futures[future]] = record
+                            record_done(record)
+        finally:
+            if progress is not None:
+                progress.close()
+        return SweepResult(name=self.spec.name, records=list(records), workers_used=used)
 
 
-def run_sweep(spec: SweepSpec) -> SweepResult:
-    """Convenience wrapper: ``SweepRunner(spec).run()``."""
-    return SweepRunner(spec).run()
+def run_sweep(spec: SweepSpec, resume_path: Optional[str] = None) -> SweepResult:
+    """Convenience wrapper: ``SweepRunner(spec).run(resume_path)``."""
+    return SweepRunner(spec).run(resume_path=resume_path)

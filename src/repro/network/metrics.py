@@ -107,6 +107,15 @@ class CommunicationMetrics:
         self.by_label.clear()
         self.rounds_by_label.clear()
 
+    @classmethod
+    def from_snapshot(cls, data: Dict[str, object]) -> "CommunicationMetrics":
+        """Rebuild a ledger from :meth:`snapshot` output (checkpoint restore)."""
+        metrics = cls(messages=int(data["messages"]), rounds=int(data["rounds"]))
+        metrics.by_kind.update(data.get("by_kind", {}))
+        metrics.by_label.update(data.get("by_label", {}))
+        metrics.rounds_by_label.update(data.get("rounds_by_label", {}))
+        return metrics
+
 
 class MetricsRegistry:
     """A named collection of :class:`CommunicationMetrics` scopes.
@@ -148,3 +157,11 @@ class MetricsRegistry:
                 metrics.reset()
         elif name in self._scopes:
             self._scopes[name].reset()
+
+    @classmethod
+    def from_snapshot(cls, data: Mapping[str, Dict[str, object]]) -> "MetricsRegistry":
+        """Rebuild a registry from :meth:`snapshot` output (checkpoint restore)."""
+        registry = cls()
+        for name, scope_data in data.items():
+            registry._scopes[name] = CommunicationMetrics.from_snapshot(scope_data)
+        return registry

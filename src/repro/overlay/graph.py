@@ -38,6 +38,14 @@ class OverlayGraph(WalkableGraph):
       invalidated by any vertex/weight mutation and rebuilt lazily, so a
       stationary-law (oracle) draw costs one binary search instead of an
       O(#vertices) rebuild.
+
+    Determinism contract (``repro.trace`` relies on this): every enumeration
+    an RNG draw can observe — :meth:`vertices`, :meth:`neighbours`,
+    :meth:`neighbour_table` and the cumulative-weight table — is in sorted
+    vertex order, never raw set/dict order.  Set and dict iteration order
+    depends on the full mutation history, which a state snapshot cannot
+    reproduce; sorted order makes a restored graph behave bit-identically
+    to the original under the same RNG stream.
     """
 
     def __init__(self) -> None:
@@ -127,18 +135,18 @@ class OverlayGraph(WalkableGraph):
     # WalkableGraph interface
     # ------------------------------------------------------------------
     def vertices(self) -> Sequence[ClusterId]:
-        return list(self._adjacency.keys())
+        return sorted(self._adjacency.keys())
 
     def neighbours(self, vertex: ClusterId) -> Sequence[ClusterId]:
         self._require(vertex)
-        return list(self._adjacency[vertex])
+        return sorted(self._adjacency[vertex])
 
     def neighbour_table(self, vertex: ClusterId) -> Tuple[ClusterId, ...]:
         """Cached neighbour tuple of ``vertex`` (same order as :meth:`neighbours`)."""
         table = self._neighbour_tables.get(vertex)
         if table is None:
             self._require(vertex)
-            table = tuple(self._adjacency[vertex])
+            table = tuple(sorted(self._adjacency[vertex]))
             self._neighbour_tables[vertex] = table
         return table
 
@@ -167,7 +175,7 @@ class OverlayGraph(WalkableGraph):
 
     def _rebuild_weight_table(self) -> None:
         weights = self._weights
-        vertices = list(self._adjacency.keys())
+        vertices = sorted(self._adjacency.keys())
         cumulative: List[float] = []
         total = 0.0
         for vertex in vertices:
@@ -260,6 +268,36 @@ class OverlayGraph(WalkableGraph):
         for first, second in self.edges():
             clone.add_edge(first, second)
         return clone
+
+    # ------------------------------------------------------------------
+    # Checkpoint serialisation (repro.trace)
+    # ------------------------------------------------------------------
+    def snapshot_state(self) -> Dict[str, object]:
+        """JSON-ready snapshot: vertices+weights, edges and the version counter.
+
+        Vertices and edges are listed in sorted order; together with the
+        sorted-enumeration contract of this class, rebuilding from the
+        snapshot yields a graph whose RNG-visible behaviour is bit-identical
+        to the original's.
+        """
+        return {
+            "vertices": [[vertex, self._weights[vertex]] for vertex in sorted(self._adjacency)],
+            "edges": [list(edge) for edge in sorted(self.edges())],
+            "version": self.version,
+        }
+
+    @classmethod
+    def from_snapshot(cls, data: Dict[str, object]) -> "OverlayGraph":
+        """Rebuild a graph from :meth:`snapshot_state` output."""
+        graph = cls()
+        for vertex, weight in data["vertices"]:
+            graph.add_vertex(vertex, float(weight))
+        for first, second in data["edges"]:
+            graph.add_edge(first, second)
+        # Restore the mutation counter so version-keyed caches on the walk
+        # side key exactly as they would have in the original process.
+        graph.version = int(data["version"])
+        return graph
 
     # ------------------------------------------------------------------
     # Internals

@@ -145,7 +145,7 @@ class OverOverlay:
             raise UnknownClusterError(f"cluster {cluster_id} is not in the overlay")
         change = OverlayChange(operation="remove", cluster_id=cluster_id)
         former_neighbours = self.graph.remove_vertex(cluster_id)
-        change.edges_removed.extend((cluster_id, other) for other in former_neighbours)
+        change.edges_removed.extend((cluster_id, other) for other in sorted(former_neighbours))
         remaining = list(self.graph.vertices())
         if len(remaining) < 2:
             return change
@@ -156,7 +156,9 @@ class OverOverlay:
         attempts = 0
         added = 0
         max_attempts = 4 * replacement_target + 8
-        neighbour_pool = [c for c in former_neighbours if c in self.graph]
+        # Sorted: ``former_neighbours`` is a set, and the pool feeds an
+        # rng.randrange index — raw set order would break replay determinism.
+        neighbour_pool = sorted(c for c in former_neighbours if c in self.graph)
         while added < replacement_target and attempts < max_attempts:
             attempts += 1
             if neighbour_pool:

@@ -41,6 +41,33 @@ def derive_rng(parent: random.Random, label: str) -> random.Random:
     return random.Random(child_seed)
 
 
+def rng_state_to_json(state) -> list:
+    """Convert a :meth:`random.Random.getstate` tuple into a JSON-ready list.
+
+    The Mersenne Twister state is ``(version, (int, ...), gauss_next)``;
+    tuples become lists (JSON has no tuple type) and everything else is
+    already JSON-representable.  The round-trip through
+    :func:`rng_state_from_json` is exact, so serialising a generator and
+    restoring it continues the stream bit-identically — the foundation of
+    the ``repro.trace`` checkpoint layer.
+    """
+    version, internal, gauss_next = state
+    return [version, list(internal), gauss_next]
+
+
+def rng_state_from_json(data) -> tuple:
+    """Inverse of :func:`rng_state_to_json`: a tuple ``setstate`` accepts."""
+    version, internal, gauss_next = data
+    return (version, tuple(int(word) for word in internal), gauss_next)
+
+
+def restore_rng(data) -> random.Random:
+    """A new generator positioned at the serialised state ``data``."""
+    rng = random.Random()
+    rng.setstate(rng_state_from_json(data))
+    return rng
+
+
 def choice_weighted(rng: random.Random, items: Sequence[T], weights: Sequence[float]) -> T:
     """Pick one element of ``items`` with probability proportional to ``weights``.
 

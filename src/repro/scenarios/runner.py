@@ -180,6 +180,9 @@ class SimulationRunner:
         self.max_idle_streak = max_idle_streak
         self.keep_reports = keep_reports
         self.name = name
+        #: The raw event source (exposed so checkpointing can snapshot its
+        #: RNG streams alongside the engine state — see ``repro.trace``).
+        self.source = source
         self._next_event = self._bind_source(source)
         self._started = False
         self.total_steps = 0

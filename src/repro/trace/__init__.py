@@ -1,0 +1,64 @@
+"""Deterministic trace, checkpoint and replay: resumable, auditable runs.
+
+The paper's guarantees are asymptotic — they only become visible over very
+long event sequences — and a million-event run that dies at event 900 000
+used to lose everything, while a diverging run could not be debugged after
+the fact.  This subsystem turns any scenario run into a restartable,
+machine-checkable execution:
+
+* :mod:`repro.trace.log` — ``TraceWriter`` / ``TraceReader``: an
+  append-only JSONL event log with periodic state-hash index frames (the
+  documented on-disk format);
+* :mod:`repro.trace.checkpoint` — ``Checkpoint``: full engine + event
+  source state captured to one atomic JSON file and restored to continue
+  bit-identically (all RNG streams included);
+* :mod:`repro.trace.probes` — ``TraceProbe`` / ``CheckpointProbe``: plug
+  recording into any run through the standard scenarios probe API;
+* :mod:`repro.trace.replay` — ``ReplayEngine`` re-drives a recorded trace
+  and asserts state-hash agreement at every index frame; ``trace_diff``
+  pinpoints the first diverging event between two runs;
+* :mod:`repro.trace.hashing` — the canonical state fingerprint both of the
+  above compare;
+* :mod:`repro.trace.session` — ``record_scenario`` / ``resume_from_checkpoint``,
+  the functions behind the CLI's ``run-scenario --record``, ``resume``,
+  ``replay`` and ``trace-diff`` commands.
+
+The determinism contract this relies on (every RNG-visible enumeration in
+the engine stack is canonically ordered) is documented in
+``docs/ARCHITECTURE.md``.
+"""
+
+from .checkpoint import Checkpoint, write_json_atomic
+from .hashing import canonical_json, digest, state_fingerprint, state_hash
+from .log import (
+    DEFAULT_INDEX_EVERY,
+    TraceReader,
+    TraceWriter,
+    churn_event_from_frame,
+)
+from .probes import CheckpointProbe, TraceProbe
+from .replay import ReplayEngine, ReplayReport, TraceDiff, replay_trace, trace_diff
+from .session import SessionResult, record_scenario, resume_from_checkpoint
+
+__all__ = [
+    "Checkpoint",
+    "CheckpointProbe",
+    "DEFAULT_INDEX_EVERY",
+    "ReplayEngine",
+    "ReplayReport",
+    "SessionResult",
+    "TraceDiff",
+    "TraceProbe",
+    "TraceReader",
+    "TraceWriter",
+    "canonical_json",
+    "churn_event_from_frame",
+    "digest",
+    "record_scenario",
+    "replay_trace",
+    "resume_from_checkpoint",
+    "state_fingerprint",
+    "state_hash",
+    "trace_diff",
+    "write_json_atomic",
+]

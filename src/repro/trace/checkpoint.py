@@ -1,0 +1,164 @@
+"""Checkpoints: full run state on disk, restored to continue bit-identically.
+
+A checkpoint is one JSON document capturing everything a run needs to pick
+up exactly where it stopped:
+
+* the engine snapshot (:meth:`~repro.core.engine.NowEngine.capture_snapshot`:
+  parameters, config, both registries with their RNG-visible array orders,
+  the overlay graph with its version counter, metrics, the engine RNG stream
+  and the walk machinery's unconsumed exponential buffer),
+* the event source snapshot (workload / adversary / mixed driver RNG
+  streams and mutable state),
+* the scenario spec (so ``resume`` can rebuild the source object), and
+* run bookkeeping (steps and events completed) plus the state hash at
+  capture time (an integrity check on restore).
+
+Files are written atomically (temp file + ``os.replace``), so a run killed
+mid-checkpoint leaves the previous checkpoint intact.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import tempfile
+from typing import Any, Dict, Optional
+
+from ..errors import ConfigurationError
+from .hashing import state_hash
+
+FORMAT_NAME = "repro-checkpoint"
+FORMAT_VERSION = 1
+
+
+def write_json_atomic(path: str, data: Any, indent: Optional[int] = None) -> None:
+    """Write ``data`` as JSON to ``path`` via a temp file + rename.
+
+    ``os.replace`` is atomic on POSIX, so readers never observe a partial
+    file and an interrupted writer cannot corrupt an existing one.
+    """
+    directory = os.path.dirname(os.path.abspath(path)) or "."
+    descriptor, temp_path = tempfile.mkstemp(dir=directory, prefix=".tmp-", suffix=".json")
+    try:
+        with os.fdopen(descriptor, "w", encoding="utf-8") as handle:
+            json.dump(data, handle, indent=indent, sort_keys=True)
+            handle.write("\n")
+        os.replace(temp_path, path)
+    except BaseException:
+        if os.path.exists(temp_path):
+            os.unlink(temp_path)
+        raise
+
+
+class Checkpoint:
+    """One captured run state: engine + event source + bookkeeping."""
+
+    def __init__(self, data: Dict[str, Any]) -> None:
+        if data.get("format") != FORMAT_NAME:
+            raise ConfigurationError("not a repro checkpoint document")
+        if data.get("version") != FORMAT_VERSION:
+            raise ConfigurationError(
+                f"unsupported checkpoint version {data.get('version')!r}"
+            )
+        self.data = data
+
+    # ------------------------------------------------------------------
+    # Capture
+    # ------------------------------------------------------------------
+    @classmethod
+    def capture(
+        cls,
+        engine,
+        source=None,
+        scenario=None,
+        steps_done: int = 0,
+        events_done: int = 0,
+    ) -> "Checkpoint":
+        """Capture the full state of a running scenario.
+
+        ``engine`` must expose ``capture_snapshot`` (the NOW engine; the
+        free-maintenance baselines are rebuilt from their seed instead).
+        ``source`` is the live event source whose RNG streams must survive
+        the restart; ``scenario`` the spec used to rebuild it.
+        """
+        capture_snapshot = getattr(engine, "capture_snapshot", None)
+        if capture_snapshot is None:
+            raise ConfigurationError(
+                f"engine {type(engine).__name__} does not support checkpointing "
+                "(no capture_snapshot method)"
+            )
+        return cls(
+            {
+                "format": FORMAT_NAME,
+                "version": FORMAT_VERSION,
+                "engine": capture_snapshot(),
+                "source": source.snapshot_state() if source is not None else None,
+                "scenario": scenario.to_dict() if scenario is not None else None,
+                "steps_done": int(steps_done),
+                "events_done": int(events_done),
+                "state_hash": state_hash(engine),
+            }
+        )
+
+    # ------------------------------------------------------------------
+    # Persistence
+    # ------------------------------------------------------------------
+    def save(self, path: str) -> None:
+        """Write the checkpoint atomically to ``path``."""
+        write_json_atomic(path, self.data)
+
+    @classmethod
+    def load(cls, path: str) -> "Checkpoint":
+        """Load a checkpoint document from disk."""
+        if not os.path.exists(path):
+            raise ConfigurationError(f"checkpoint file {path!r} does not exist")
+        with open(path, "r", encoding="utf-8") as handle:
+            return cls(json.load(handle))
+
+    # ------------------------------------------------------------------
+    # Restore
+    # ------------------------------------------------------------------
+    def restore_engine(self):
+        """Rebuild the engine and verify it hashes to the captured state."""
+        from ..core.engine import NowEngine  # local import: avoids a cycle
+
+        engine = NowEngine.restore(self.data["engine"])
+        restored_hash = state_hash(engine)
+        expected = self.data.get("state_hash")
+        if expected is not None and restored_hash != expected:
+            raise ConfigurationError(
+                "restored engine state hash does not match the checkpoint "
+                f"({restored_hash[:12]} != {expected[:12]}); the checkpoint is "
+                "corrupt or was produced by an incompatible version"
+            )
+        return engine
+
+    def restore_source(self, source) -> None:
+        """Restore the captured event-source state onto a freshly built source."""
+        snapshot = self.data.get("source")
+        if snapshot is None:
+            raise ConfigurationError("checkpoint carries no event-source state")
+        source.restore_state(snapshot)
+
+    # ------------------------------------------------------------------
+    # Bookkeeping accessors
+    # ------------------------------------------------------------------
+    @property
+    def scenario_dict(self) -> Optional[Dict[str, Any]]:
+        """The scenario spec captured alongside the state (``None`` if absent)."""
+        return self.data.get("scenario")
+
+    @property
+    def steps_done(self) -> int:
+        """Time steps the run had executed when the checkpoint was taken."""
+        return int(self.data.get("steps_done", 0))
+
+    @property
+    def events_done(self) -> int:
+        """Churn events the run had applied when the checkpoint was taken."""
+        return int(self.data.get("events_done", 0))
+
+    @property
+    def captured_hash(self) -> Optional[str]:
+        """State hash recorded at capture time."""
+        return self.data.get("state_hash")

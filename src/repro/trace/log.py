@@ -1,0 +1,224 @@
+"""The on-disk trace format: an append-only JSONL event log with index frames.
+
+A trace is a text file with one JSON object per line ("frame").  Frames are
+self-describing via their ``"t"`` field:
+
+``header`` (first line)
+    ``{"t":"header","f":"repro-trace","v":1,"scenario":{...}|null,
+    "engine":"now","index_every":N}`` — identifies the format and carries
+    the full scenario spec so ``replay`` can rebuild the engine from the
+    seed alone.
+
+``ev`` (one per applied churn event)
+    ``{"t":"ev","i":step,"ts":time_step,"k":"join"|"leave","r":role,
+    "n":event_node|null,"c":contact|null,"a":assigned_node|null,
+    "sz":network_size,"cl":cluster_count,"w":worst_fraction,
+    "m":messages,"h":walk_hops}`` — the *input* event exactly as it was
+    handed to ``apply_event`` (``n`` stays ``null`` for fresh joins; ``a``
+    records the id the engine assigned) plus per-step observables.  The
+    observables make every event a lightweight determinism check during
+    replay and let ``trace-diff`` pinpoint the first diverging event.
+
+``x`` (every ``index_every`` events)
+    ``{"t":"x","i":step,"ts":time_step,"ev":events_so_far,"h":state_hash,
+    "sz":size}`` — a full :func:`~repro.trace.hashing.state_hash` frame.
+    Replay asserts hash agreement here; these are the "checkpoint frames"
+    of the determinism contract.
+
+``end`` (last line, written by :meth:`TraceWriter.close`)
+    ``{"t":"end","ev":total_events,"h":final_state_hash}``.
+
+Numbers are written with Python's shortest-repr float encoding, which
+round-trips exactly — "bit-identical probe outputs" is meant literally.
+A trace whose process died mid-write is still readable: the reader skips a
+truncated final line and replay verifies up to the last complete frame.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+from typing import Any, Dict, Iterator, List, Optional
+
+from ..core.events import ChurnEvent, ChurnKind
+from ..errors import ConfigurationError
+from ..network.node import NodeRole
+from .hashing import state_hash
+
+FORMAT_NAME = "repro-trace"
+FORMAT_VERSION = 1
+
+#: Default spacing (in applied events) between state-hash index frames.
+DEFAULT_INDEX_EVERY = 200
+
+
+def _dump(frame: Dict[str, Any]) -> str:
+    return json.dumps(frame, sort_keys=True, separators=(",", ":"))
+
+
+class TraceWriter:
+    """Streams frames of one run to an append-only JSONL trace file."""
+
+    def __init__(self, path: str, index_every: int = DEFAULT_INDEX_EVERY) -> None:
+        if index_every < 1:
+            raise ConfigurationError("index_every must be >= 1")
+        self.path = path
+        self.index_every = index_every
+        self.events_written = 0
+        self.index_frames_written = 0
+        self._handle = open(path, "w", encoding="utf-8")
+        self._header_written = False
+        self._closed = False
+
+    # ------------------------------------------------------------------
+    # Frames
+    # ------------------------------------------------------------------
+    def write_header(self, scenario: Optional[Dict[str, Any]] = None, engine_kind: str = "now") -> None:
+        """Write the header frame (must be first, once)."""
+        if self._header_written:
+            raise ConfigurationError("trace header was already written")
+        self._write(
+            {
+                "t": "header",
+                "f": FORMAT_NAME,
+                "v": FORMAT_VERSION,
+                "scenario": scenario,
+                "engine": engine_kind,
+                "index_every": self.index_every,
+            }
+        )
+        self._header_written = True
+        self._handle.flush()
+
+    def write_event(self, step_index: int, engine, report) -> None:
+        """Write one event frame and, on the index cadence, an index frame."""
+        event = report.event
+        operation = getattr(report, "operation", None)
+        self._write(
+            {
+                "t": "ev",
+                "i": step_index,
+                "ts": report.time_step,
+                "k": event.kind.value,
+                "r": event.role.value,
+                "n": event.node_id,
+                "c": event.contact_cluster,
+                "a": operation.node_id if operation is not None else event.node_id,
+                "sz": report.network_size,
+                "cl": report.cluster_count,
+                "w": report.worst_byzantine_fraction,
+                "m": operation.messages if operation is not None else 0,
+                "h": operation.walk_hops if operation is not None else 0,
+            }
+        )
+        self.events_written += 1
+        if self.events_written % self.index_every == 0:
+            self.write_index(step_index, engine)
+
+    def write_index(self, step_index: int, engine) -> None:
+        """Write a state-hash index frame for the engine's current state."""
+        self._write(
+            {
+                "t": "x",
+                "i": step_index,
+                "ts": engine.state.time_step,
+                "ev": self.events_written,
+                "h": state_hash(engine),
+                "sz": engine.network_size,
+            }
+        )
+        self.index_frames_written += 1
+        self._handle.flush()
+
+    def close(self, engine=None) -> None:
+        """Write the end frame (when an engine is given) and close the file."""
+        if self._closed:
+            return
+        if engine is not None:
+            self._write(
+                {"t": "end", "ev": self.events_written, "h": state_hash(engine)}
+            )
+        self._handle.flush()
+        self._handle.close()
+        self._closed = True
+
+    def _write(self, frame: Dict[str, Any]) -> None:
+        if self._closed:
+            raise ConfigurationError("trace writer is closed")
+        self._handle.write(_dump(frame))
+        self._handle.write("\n")
+
+
+class TraceReader:
+    """Reads a JSONL trace file back as frames.
+
+    The whole file is parsed eagerly (traces are line-delimited JSON; a
+    million events is ~100 MB, well within what the analysis tooling
+    already loads) and a truncated final line — the signature of a run
+    killed mid-write — is tolerated and dropped.
+    """
+
+    def __init__(self, path: str) -> None:
+        if not os.path.exists(path):
+            raise ConfigurationError(f"trace file {path!r} does not exist")
+        self.path = path
+        self.frames: List[Dict[str, Any]] = []
+        with open(path, "r", encoding="utf-8") as handle:
+            for line in handle:
+                line = line.strip()
+                if not line:
+                    continue
+                try:
+                    self.frames.append(json.loads(line))
+                except json.JSONDecodeError:
+                    break  # truncated tail: keep every complete frame before it
+        if not self.frames:
+            raise ConfigurationError(f"trace file {path!r} contains no frames")
+        header = self.frames[0]
+        if header.get("t") != "header" or header.get("f") != FORMAT_NAME:
+            raise ConfigurationError(f"{path!r} is not a {FORMAT_NAME} file")
+        if header.get("v") != FORMAT_VERSION:
+            raise ConfigurationError(
+                f"unsupported trace version {header.get('v')!r} (expected {FORMAT_VERSION})"
+            )
+        self.header = header
+
+    # ------------------------------------------------------------------
+    # Views
+    # ------------------------------------------------------------------
+    @property
+    def scenario(self) -> Optional[Dict[str, Any]]:
+        """The scenario spec recorded in the header (``None`` when absent)."""
+        return self.header.get("scenario")
+
+    def events(self) -> Iterator[Dict[str, Any]]:
+        """Iterate over event frames in order."""
+        return (frame for frame in self.frames if frame.get("t") == "ev")
+
+    def index_frames(self) -> List[Dict[str, Any]]:
+        """The state-hash index frames in order."""
+        return [frame for frame in self.frames if frame.get("t") == "x"]
+
+    def end_frame(self) -> Optional[Dict[str, Any]]:
+        """The end frame (``None`` when the trace was cut short)."""
+        last = self.frames[-1]
+        return last if last.get("t") == "end" else None
+
+    def event_count(self) -> int:
+        """Number of complete event frames."""
+        return sum(1 for frame in self.frames if frame.get("t") == "ev")
+
+
+def churn_event_from_frame(frame: Dict[str, Any]) -> ChurnEvent:
+    """Reconstruct the :class:`ChurnEvent` an event frame recorded.
+
+    The frame carries the *input* event (pre-resolution), so re-applying it
+    to an engine in the same state consumes the same RNG draws and assigns
+    the same node ids as the original run.
+    """
+    return ChurnEvent(
+        kind=ChurnKind(frame["k"]),
+        role=NodeRole(frame["r"]),
+        node_id=frame.get("n"),
+        contact_cluster=frame.get("c"),
+    )

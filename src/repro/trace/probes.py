@@ -1,0 +1,125 @@
+"""Probes that plug recording and checkpointing into any scenario run.
+
+Both build on the existing :class:`~repro.scenarios.probes.Probe` API, so
+recording a scenario is "add one probe" — no engine or runner changes:
+
+* :class:`TraceProbe` streams every applied event (plus periodic state-hash
+  index frames) to a :class:`~repro.trace.log.TraceWriter`;
+* :class:`CheckpointProbe` captures a full :class:`~repro.trace.checkpoint.
+  Checkpoint` every N events, always to the same path (atomic replace), so
+  the file on disk is "the latest consistent resume point".
+
+Unlike measurement probes these observers do O(n) work on their cadence
+(hashing / snapshotting is a full-state sweep), so the cadence is the knob
+trading crash-recovery granularity against throughput.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, Optional
+
+from ..errors import ConfigurationError
+from ..scenarios.probes import Probe
+from .checkpoint import Checkpoint
+from .log import DEFAULT_INDEX_EVERY, TraceWriter
+
+
+class TraceProbe(Probe):
+    """Records the run it observes to an append-only trace file."""
+
+    name = "trace"
+
+    def __init__(
+        self,
+        path: str,
+        index_every: int = DEFAULT_INDEX_EVERY,
+        scenario=None,
+    ) -> None:
+        self._writer = TraceWriter(path, index_every=index_every)
+        self._scenario = scenario
+        self._finalized = False
+
+    @property
+    def path(self) -> str:
+        """Where the trace is being written."""
+        return self._writer.path
+
+    def on_start(self, engine) -> None:
+        scenario_dict = self._scenario.to_dict() if self._scenario is not None else None
+        self._writer.write_header(scenario=scenario_dict)
+
+    def on_step(self, engine, report, step_index: int) -> None:
+        self._writer.write_event(step_index, engine, report)
+
+    def finalize(self, engine) -> None:
+        """Write the end frame (final state hash) and close the file.
+
+        Called by the recording session once the run is over; a trace
+        without an end frame (crashed run) is still replayable up to its
+        last complete frame.
+        """
+        if not self._finalized:
+            self._writer.close(engine)
+            self._finalized = True
+
+    def result(self) -> Dict[str, Any]:
+        return {
+            "path": self._writer.path,
+            "events": self._writer.events_written,
+            "index_frames": self._writer.index_frames_written,
+        }
+
+
+class CheckpointProbe(Probe):
+    """Captures a resumable checkpoint every ``every`` applied events."""
+
+    name = "checkpointer"
+
+    def __init__(self, path: str, every: int, scenario=None) -> None:
+        if every < 1:
+            raise ConfigurationError("checkpoint cadence must be >= 1 event")
+        self._path = path
+        self._every = every
+        self._scenario = scenario
+        self._runner = None
+        self._events_seen = 0
+        self.checkpoints_written = 0
+
+    def bind(self, runner) -> None:
+        """Attach the runner whose source and counters the checkpoints capture.
+
+        Must be called before the run starts; the probe reads the runner's
+        ``source`` and cumulative counters at capture time.
+        """
+        self._runner = runner
+
+    @property
+    def path(self) -> str:
+        """Where checkpoints are written (each capture replaces the last)."""
+        return self._path
+
+    def on_step(self, engine, report, step_index: int) -> None:
+        self._events_seen += 1
+        if self._events_seen % self._every == 0:
+            self.write(engine, step_index)
+
+    def write(self, engine, step_index: int = 0) -> None:
+        """Capture and atomically persist a checkpoint now."""
+        if self._runner is None:
+            raise ConfigurationError(
+                "CheckpointProbe.bind(runner) must be called before the run"
+            )
+        checkpoint = Checkpoint.capture(
+            engine,
+            source=self._runner.source,
+            scenario=self._scenario,
+            # total_steps is only folded in when run() returns, so mid-run
+            # progress is the pre-run total plus the in-run step index.
+            steps_done=self._runner.total_steps + step_index,
+            events_done=self._runner.total_events,
+        )
+        checkpoint.save(self._path)
+        self.checkpoints_written += 1
+
+    def result(self) -> Dict[str, Any]:
+        return {"path": self._path, "checkpoints": self.checkpoints_written}

@@ -1,0 +1,264 @@
+"""Replay a recorded trace and pinpoint divergence between runs.
+
+:class:`ReplayEngine` rebuilds the engine from the trace header's scenario
+(bootstrap from the recorded seed is deterministic) and re-applies every
+recorded event.  Determinism is verified at two granularities:
+
+* **per event** — the replayed step's observables (network size, cluster
+  count, worst corruption fraction, assigned node id, operation cost) must
+  equal the recorded ones, so the *first diverging event* is identified
+  exactly;
+* **per index frame** — the full :func:`~repro.trace.hashing.state_hash`
+  must match, which certifies the entire state (partition, roles, overlay,
+  RNG position), not just the observables.
+
+:func:`trace_diff` compares two trace files frame by frame — the tool for
+"these two runs should have been identical; where did they part ways?".
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Dict, List, Optional
+
+from ..errors import ConfigurationError
+from .hashing import state_hash
+from .log import TraceReader, churn_event_from_frame
+
+#: Event-frame observables checked during replay, frame key -> description.
+_EVENT_CHECKS = {
+    "ts": "time step",
+    "a": "assigned node id",
+    "sz": "network size",
+    "cl": "cluster count",
+    "w": "worst corruption fraction",
+    "m": "operation messages",
+    "h": "walk hops",
+}
+
+
+@dataclass
+class ReplayReport:
+    """Outcome of one replay pass."""
+
+    events_applied: int
+    hash_checks: int
+    ok: bool
+    divergence: Optional[Dict[str, Any]] = None
+    final_hash: Optional[str] = None
+    recorded_final_hash: Optional[str] = None
+
+    def summary(self) -> str:
+        """One-line human-readable verdict."""
+        if self.ok:
+            return (
+                f"replay OK: {self.events_applied} events re-applied, "
+                f"{self.hash_checks} state-hash checks passed"
+            )
+        where = self.divergence or {}
+        return (
+            f"replay DIVERGED at step {where.get('step')}: {where.get('reason')} "
+            f"(after {self.events_applied} events, {self.hash_checks} hash checks)"
+        )
+
+
+class ReplayEngine:
+    """Re-drives a recorded trace against a rebuilt engine and verifies it."""
+
+    def __init__(self, trace: "TraceReader | str", engine=None) -> None:
+        self.reader = trace if isinstance(trace, TraceReader) else TraceReader(trace)
+        if engine is None:
+            engine = self._build_engine()
+        self.engine = engine
+
+    def _build_engine(self):
+        from ..scenarios.scenario import Scenario  # local import: avoids a cycle
+
+        scenario_dict = self.reader.scenario
+        if scenario_dict is None:
+            raise ConfigurationError(
+                "trace header carries no scenario spec; pass an engine explicitly"
+            )
+        return Scenario.from_dict(scenario_dict).build_engine()
+
+    # ------------------------------------------------------------------
+    # The replay loop
+    # ------------------------------------------------------------------
+    def run(self, stop_on_divergence: bool = True) -> ReplayReport:
+        """Re-apply every recorded event, asserting determinism as we go."""
+        engine = self.engine
+        events_applied = 0
+        hash_checks = 0
+        divergence: Optional[Dict[str, Any]] = None
+
+        for frame in self.reader.frames:
+            kind = frame.get("t")
+            if kind == "ev":
+                report = engine.apply_event(churn_event_from_frame(frame))
+                events_applied += 1
+                mismatch = self._check_event(frame, report)
+                if mismatch is not None:
+                    if divergence is None:  # keep the FIRST divergence
+                        divergence = mismatch
+                    if stop_on_divergence:
+                        break
+            elif kind == "x":
+                hash_checks += 1
+                replayed = state_hash(engine)
+                if replayed != frame["h"] and divergence is None:
+                    divergence = {
+                        "step": frame.get("i"),
+                        "reason": (
+                            f"state hash mismatch at index frame "
+                            f"({replayed[:12]} != {frame['h'][:12]})"
+                        ),
+                        "recorded": frame["h"],
+                        "replayed": replayed,
+                    }
+                    if stop_on_divergence:
+                        break
+            elif kind == "end":
+                replayed = state_hash(engine)
+                if replayed != frame["h"] and divergence is None:
+                    divergence = {
+                        "step": None,
+                        "reason": (
+                            f"final state hash mismatch "
+                            f"({replayed[:12]} != {frame['h'][:12]})"
+                        ),
+                        "recorded": frame["h"],
+                        "replayed": replayed,
+                    }
+
+        end = self.reader.end_frame()
+        return ReplayReport(
+            events_applied=events_applied,
+            hash_checks=hash_checks,
+            ok=divergence is None,
+            divergence=divergence,
+            final_hash=state_hash(engine),
+            recorded_final_hash=end["h"] if end else None,
+        )
+
+    def _check_event(self, frame: Dict[str, Any], report) -> Optional[Dict[str, Any]]:
+        operation = getattr(report, "operation", None)
+        replayed = {
+            "ts": report.time_step,
+            "a": operation.node_id if operation is not None else report.event.node_id,
+            "sz": report.network_size,
+            "cl": report.cluster_count,
+            "w": report.worst_byzantine_fraction,
+            "m": operation.messages if operation is not None else 0,
+            "h": operation.walk_hops if operation is not None else 0,
+        }
+        for key, description in _EVENT_CHECKS.items():
+            if key in frame and frame[key] != replayed[key]:
+                return {
+                    "step": frame.get("i"),
+                    "reason": (
+                        f"{description} mismatch: recorded {frame[key]!r}, "
+                        f"replayed {replayed[key]!r}"
+                    ),
+                    "recorded": frame,
+                    "replayed": replayed,
+                }
+        return None
+
+
+def replay_trace(path: str, engine=None) -> ReplayReport:
+    """Convenience wrapper: ``ReplayEngine(path, engine).run()``."""
+    return ReplayEngine(path, engine=engine).run()
+
+
+# ----------------------------------------------------------------------
+# Trace diffing
+# ----------------------------------------------------------------------
+@dataclass
+class TraceDiff:
+    """First divergence between two traces (``diverged`` False when identical)."""
+
+    diverged: bool
+    step: Optional[int] = None
+    reason: str = ""
+    first_frame: Optional[Dict[str, Any]] = None
+    second_frame: Optional[Dict[str, Any]] = None
+    compared_events: int = 0
+    notes: List[str] = field(default_factory=list)
+
+    def summary(self) -> str:
+        """One-line human-readable verdict."""
+        if not self.diverged:
+            return f"traces agree over {self.compared_events} events"
+        return f"first divergence at step {self.step}: {self.reason}"
+
+
+def _frame_mismatch(first: Dict[str, Any], second: Dict[str, Any]) -> Optional[str]:
+    keys = sorted(set(first) | set(second))
+    for key in keys:
+        if first.get(key) != second.get(key):
+            return f"field {key!r}: {first.get(key)!r} != {second.get(key)!r}"
+    return None
+
+
+def trace_diff(first_path: str, second_path: str) -> TraceDiff:
+    """Find the first diverging event (or index frame) between two traces.
+
+    Event frames are compared field by field in step order; index frames by
+    state hash.  Header scenarios are compared too, but only as a note —
+    two traces of deliberately different scenarios can still be diffed.
+    """
+    first = TraceReader(first_path)
+    second = TraceReader(second_path)
+    notes: List[str] = []
+    if first.scenario != second.scenario:
+        notes.append("headers record different scenarios")
+
+    first_events = list(first.events())
+    second_events = list(second.events())
+    compared = 0
+    for frame_a, frame_b in zip(first_events, second_events):
+        mismatch = _frame_mismatch(frame_a, frame_b)
+        if mismatch is not None:
+            return TraceDiff(
+                diverged=True,
+                step=frame_a.get("i"),
+                reason=mismatch,
+                first_frame=frame_a,
+                second_frame=frame_b,
+                compared_events=compared,
+                notes=notes,
+            )
+        compared += 1
+    if len(first_events) != len(second_events):
+        longer, shorter = (
+            (first_events, second_events)
+            if len(first_events) > len(second_events)
+            else (second_events, first_events)
+        )
+        extra = longer[len(shorter)]
+        return TraceDiff(
+            diverged=True,
+            step=extra.get("i"),
+            reason=(
+                f"event counts differ ({len(first_events)} vs {len(second_events)}); "
+                "first extra event shown"
+            ),
+            first_frame=extra if longer is first_events else None,
+            second_frame=extra if longer is second_events else None,
+            compared_events=compared,
+            notes=notes,
+        )
+
+    # Same events — confirm the index frames agree as well.
+    for frame_a, frame_b in zip(first.index_frames(), second.index_frames()):
+        if frame_a.get("h") != frame_b.get("h"):
+            return TraceDiff(
+                diverged=True,
+                step=frame_a.get("i"),
+                reason="identical events but state hashes differ at index frame",
+                first_frame=frame_a,
+                second_frame=frame_b,
+                compared_events=compared,
+                notes=notes,
+            )
+    return TraceDiff(diverged=False, compared_events=compared, notes=notes)

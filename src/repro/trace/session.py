@@ -1,0 +1,153 @@
+"""Recording and resuming whole scenario runs (the CLI's backing functions).
+
+:func:`record_scenario` runs a :class:`~repro.scenarios.scenario.Scenario`
+with a :class:`~repro.trace.probes.TraceProbe` and/or a
+:class:`~repro.trace.probes.CheckpointProbe` attached — one call replaces
+the build-engine/build-runner/attach/finalize dance.
+
+:func:`resume_from_checkpoint` restores the engine and the event source
+from a checkpoint file and continues the run.  The continued run is
+bit-identical to the uninterrupted one (property-tested in
+``tests/test_trace_checkpoint.py``): same events, same RNG draws, same
+final state hash.  Probe measurements restart at the resume point — a
+resumed run's corruption series covers the resumed segment only.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional, Sequence
+
+from ..errors import ConfigurationError
+from ..scenarios.probes import Probe
+from ..scenarios.runner import RunResult, SimulationRunner
+from ..scenarios.scenario import Scenario
+from .checkpoint import Checkpoint
+from .hashing import state_hash
+from .log import DEFAULT_INDEX_EVERY
+from .probes import CheckpointProbe, TraceProbe
+
+
+@dataclass
+class SessionResult:
+    """A run result plus the recording artefacts it produced."""
+
+    result: RunResult
+    engine: object
+    final_state_hash: str
+    trace_path: Optional[str] = None
+    checkpoint_path: Optional[str] = None
+
+
+def record_scenario(
+    scenario: Scenario,
+    steps: Optional[int] = None,
+    trace_path: Optional[str] = None,
+    index_every: int = DEFAULT_INDEX_EVERY,
+    checkpoint_path: Optional[str] = None,
+    checkpoint_every: Optional[int] = None,
+    probes: Sequence[Probe] = (),
+) -> SessionResult:
+    """Run ``scenario`` with trace recording and/or periodic checkpointing.
+
+    With ``checkpoint_path`` set, a final checkpoint is always written when
+    the run completes (whatever the cadence), so an interrupted *sequence*
+    of runs can also resume from a completed run's end state.
+    """
+    engine = scenario.build_engine()
+    attached = list(probes)
+    trace_probe: Optional[TraceProbe] = None
+    checkpoint_probe: Optional[CheckpointProbe] = None
+    if trace_path is not None:
+        trace_probe = TraceProbe(trace_path, index_every=index_every, scenario=scenario)
+        attached.append(trace_probe)
+    if checkpoint_path is not None:
+        cadence = checkpoint_every if checkpoint_every is not None else max(1, scenario.steps // 4)
+        checkpoint_probe = CheckpointProbe(checkpoint_path, cadence, scenario=scenario)
+        attached.append(checkpoint_probe)
+
+    runner = scenario.build_runner(probes=attached, engine=engine)
+    if checkpoint_probe is not None:
+        checkpoint_probe.bind(runner)
+    result = runner.run(scenario.steps if steps is None else steps)
+    if trace_probe is not None:
+        trace_probe.finalize(engine)
+    if checkpoint_probe is not None:
+        # run() has already folded this run's steps into total_steps.
+        checkpoint_probe.write(engine, step_index=0)
+    return SessionResult(
+        result=result,
+        engine=engine,
+        final_state_hash=state_hash(engine),
+        trace_path=trace_path,
+        checkpoint_path=checkpoint_path,
+    )
+
+
+def resume_from_checkpoint(
+    checkpoint_path: str,
+    steps: Optional[int] = None,
+    checkpoint_every: Optional[int] = None,
+    probes: Sequence[Probe] = (),
+) -> SessionResult:
+    """Continue an interrupted run from its last checkpoint.
+
+    ``steps`` is the number of *additional* time steps to execute; by
+    default the run completes its original budget
+    (``scenario.steps - steps_done``).  When ``checkpoint_every`` is set
+    the resumed run keeps checkpointing to the same file.
+    """
+    checkpoint = Checkpoint.load(checkpoint_path)
+    scenario_dict = checkpoint.scenario_dict
+    if scenario_dict is None:
+        raise ConfigurationError(
+            "checkpoint carries no scenario spec; resume needs one to rebuild "
+            "the event source"
+        )
+    scenario = Scenario.from_dict(scenario_dict)
+    engine = checkpoint.restore_engine()
+    source = scenario.build_source(engine)
+    checkpoint.restore_source(source)
+
+    attached = list(probes)
+    checkpoint_probe: Optional[CheckpointProbe] = None
+    if checkpoint_every is not None:
+        checkpoint_probe = CheckpointProbe(checkpoint_path, checkpoint_every, scenario=scenario)
+        attached.append(checkpoint_probe)
+
+    runner = SimulationRunner(
+        engine,
+        source,
+        probes=attached,
+        max_idle_streak=scenario.max_idle_streak,
+        keep_reports=scenario.keep_reports,
+        name=scenario.name,
+    )
+    # Seed the cumulative counters so continued checkpoints carry totals
+    # relative to the original run's start, not the resume point.
+    runner.total_steps = checkpoint.steps_done
+    runner.total_events = checkpoint.events_done
+    if checkpoint_probe is not None:
+        checkpoint_probe.bind(runner)
+
+    remaining = steps if steps is not None else max(0, scenario.steps - checkpoint.steps_done)
+    result = runner.run(remaining)
+    if checkpoint_probe is not None:
+        checkpoint_probe.write(engine, step_index=0)
+    else:
+        # Always advance the checkpoint to the resumed run's end state, so
+        # repeated resumes make progress instead of redoing the same window.
+        Checkpoint.capture(
+            engine,
+            source=source,
+            scenario=scenario,
+            steps_done=runner.total_steps,
+            events_done=runner.total_events,
+        ).save(checkpoint_path)
+    return SessionResult(
+        result=result,
+        engine=engine,
+        final_state_hash=state_hash(engine),
+        trace_path=None,
+        checkpoint_path=checkpoint_path,
+    )

@@ -132,6 +132,14 @@ class BiasedClusterWalk:
             truncated=True,
         )
 
+    def snapshot_exp_buffer(self) -> List[float]:
+        """Unconsumed bulk exponentials of the underlying CTRW (checkpointing)."""
+        return self._ctrw.snapshot_exp_buffer()
+
+    def restore_exp_buffer(self, values) -> None:
+        """Restore a buffer captured by :meth:`snapshot_exp_buffer`."""
+        self._ctrw.restore_exp_buffer(values)
+
     def expected_restarts(self) -> float:
         """Expected number of restarts: ``max |C| * #C / n`` under uniform endpoints.
 

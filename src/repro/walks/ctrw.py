@@ -189,6 +189,19 @@ class ContinuousRandomWalk:
         log = math.log
         self._exp_buffer = [-log(1.0 - random_fn()) for _ in range(_EXP_BATCH)]
 
+    def snapshot_exp_buffer(self) -> List[float]:
+        """The pre-drawn unit exponentials not yet consumed (checkpointing).
+
+        The buffer is RNG-derived state living *outside* the generator: a
+        resumed run must consume these exact values before drawing fresh
+        ones, or it diverges from the uninterrupted run.
+        """
+        return list(self._exp_buffer)
+
+    def restore_exp_buffer(self, values: Sequence[float]) -> None:
+        """Restore a buffer captured by :meth:`snapshot_exp_buffer`."""
+        self._exp_buffer = [float(value) for value in values]
+
     # ------------------------------------------------------------------
     # Discrete skeleton
     # ------------------------------------------------------------------

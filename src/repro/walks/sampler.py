@@ -173,6 +173,32 @@ class ClusterSampler:
         expected_hops = self._segment_duration * average_degree * expected_restarts
         return (max(1, int(round(expected_hops))), max(1, int(round(expected_restarts))))
 
+    # ------------------------------------------------------------------
+    # Checkpoint serialisation (repro.trace)
+    # ------------------------------------------------------------------
+    def snapshot_exp_buffer(self) -> list:
+        """Unconsumed bulk exponentials of the simulated walk (empty in oracle mode)."""
+        if self._walk is None:
+            return []
+        return self._walk.snapshot_exp_buffer()
+
+    def restore_exp_buffer(self, values) -> None:
+        """Restore a buffer captured by :meth:`snapshot_exp_buffer`.
+
+        Creates the underlying biased walk eagerly when needed so the
+        restored buffer is in place before the first post-restore sample.
+        """
+        if not values:
+            return
+        if self._walk is None:
+            self._walk = BiasedClusterWalk(
+                self._graph,
+                self._rng,
+                segment_duration=self._segment_duration,
+                max_restarts=self._max_restarts,
+            )
+        self._walk.restore_exp_buffer(values)
+
     def with_mode(self, mode: WalkMode) -> "ClusterSampler":
         """Return a sampler sharing graph and RNG but using ``mode``."""
         return ClusterSampler(

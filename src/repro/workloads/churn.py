@@ -17,6 +17,7 @@ from typing import Optional
 from ..core.events import ChurnEvent
 from ..errors import ConfigurationError
 from ..network.node import NodeRole
+from ..rng import rng_state_from_json, rng_state_to_json
 
 
 class ChurnWorkload(abc.ABC):
@@ -30,6 +31,33 @@ class ChurnWorkload(abc.ABC):
         """Return the next churn event for ``engine`` (``None`` to idle this step)."""
 
     # ------------------------------------------------------------------
+    # Checkpoint serialisation (repro.trace)
+    # ------------------------------------------------------------------
+    def snapshot_state(self) -> dict:
+        """JSON-ready snapshot of the workload's RNG stream and mutable state."""
+        return {
+            "kind": type(self).__name__,
+            "rng": rng_state_to_json(self._rng.getstate()),
+            "extra": self._snapshot_extra(),
+        }
+
+    def restore_state(self, data: dict) -> None:
+        """Restore a snapshot onto a workload built with the same spec."""
+        if data.get("kind") != type(self).__name__:
+            raise ConfigurationError(
+                f"snapshot is for {data.get('kind')!r}, not {type(self).__name__!r}"
+            )
+        self._rng.setstate(rng_state_from_json(data["rng"]))
+        self._restore_extra(data.get("extra", {}))
+
+    def _snapshot_extra(self) -> dict:
+        """Subclass hook: mutable fields beyond the RNG (default: none)."""
+        return {}
+
+    def _restore_extra(self, extra: dict) -> None:
+        """Subclass hook: inverse of :meth:`_snapshot_extra`."""
+
+    # ------------------------------------------------------------------
     # Shared helpers
     # ------------------------------------------------------------------
     def _join_role(self, byzantine_join_fraction: float) -> NodeRole:
@@ -40,8 +68,13 @@ class ChurnWorkload(abc.ABC):
         return NodeRole.HONEST
 
     def _random_active_node(self, engine, honest_only: bool = False):
-        """Pick a departing node uniformly among the active nodes."""
-        return engine.random_member(honest_only=honest_only)
+        """Pick a departing node uniformly among the active nodes.
+
+        The draw consumes the *workload's* RNG stream, not the engine's:
+        the engine stream must advance only inside ``apply_event`` so a
+        recorded event sequence replays bit-identically (``repro.trace``).
+        """
+        return engine.random_member(honest_only=honest_only, rng=self._rng)
 
 
 class UniformChurn(ChurnWorkload):
@@ -154,3 +187,9 @@ class OscillatingWorkload(ChurnWorkload):
             )
             return ChurnEvent.join(role=self._join_role(fraction))
         return ChurnEvent.leave(self._random_active_node(engine))
+
+    def _snapshot_extra(self) -> dict:
+        return {"growing": self._growing}
+
+    def _restore_extra(self, extra: dict) -> None:
+        self._growing = bool(extra.get("growing", True))

@@ -91,3 +91,33 @@ class MixedDriver:
     def run(self, engine, steps: int) -> List:
         """Drive ``engine`` for ``steps`` steps with the mixed stream."""
         return drive(engine, self, steps)
+
+    # ------------------------------------------------------------------
+    # Checkpoint serialisation (repro.trace)
+    # ------------------------------------------------------------------
+    def snapshot_state(self) -> dict:
+        """JSON-ready snapshot: own RNG plus every underlying source's state."""
+        from ..rng import rng_state_to_json  # local import: avoids a cycle
+
+        return {
+            "kind": type(self).__name__,
+            "rng": rng_state_to_json(self._rng.getstate()),
+            "sources": [source.snapshot_state() for source, _weight in self._sources],
+        }
+
+    def restore_state(self, data: dict) -> None:
+        """Restore a snapshot onto a driver built with the same source specs."""
+        from ..rng import rng_state_from_json
+
+        if data.get("kind") != type(self).__name__:
+            raise ConfigurationError(
+                f"snapshot is for {data.get('kind')!r}, not {type(self).__name__!r}"
+            )
+        snapshots = data.get("sources", [])
+        if len(snapshots) != len(self._sources):
+            raise ConfigurationError(
+                f"snapshot has {len(snapshots)} sources, driver has {len(self._sources)}"
+            )
+        self._rng.setstate(rng_state_from_json(data["rng"]))
+        for (source, _weight), snapshot in zip(self._sources, snapshots):
+            source.restore_state(snapshot)

@@ -57,6 +57,28 @@ class TestMeanConfidence:
         assert payload["mean"] == pytest.approx(3.0)
         assert payload["lower"] <= payload["mean"] <= payload["upper"]
 
+    def test_single_replicate_has_degenerate_interval(self):
+        # n=1: no spread to estimate — the interval must collapse onto the
+        # sample, not produce NaN from the (n-1) variance denominator.
+        single = mean_confidence([7.5])
+        assert single.std == 0.0
+        assert single.lower == single.upper == single.mean == 7.5
+        assert str(single) == "7.500 ± 0.000"
+
+    def test_constant_samples_have_zero_width_interval(self):
+        stats = mean_confidence([2.0] * 5)
+        assert stats.count == 5
+        assert stats.mean == 2.0
+        assert stats.std == 0.0
+        assert stats.half_width == 0.0
+        assert stats.minimum == stats.maximum == 2.0
+
+    def test_custom_z_scales_half_width(self):
+        narrow = mean_confidence([1.0, 2.0, 3.0], z=1.0)
+        wide = mean_confidence([1.0, 2.0, 3.0], z=2.0)
+        assert wide.half_width == pytest.approx(2.0 * narrow.half_width)
+        assert narrow.mean == wide.mean
+
 
 class TestSweepSpec:
     def test_grid_expansion_is_cartesian_and_sorted(self):
@@ -126,6 +148,67 @@ class TestSweepRunner:
             )
         table = result.summary_table()
         assert "tau=0.1" in table and "tau=0.2" in table
+
+    def test_resume_file_skips_completed_units(self, tmp_path):
+        progress = str(tmp_path / "progress.jsonl")
+        runner = SweepRunner(small_spec())
+        first = runner.run(resume_path=progress)
+        assert runner.resumed_count == 0
+        with open(progress, "r", encoding="utf-8") as handle:
+            assert len(handle.read().splitlines()) == len(first.records)
+
+        # A second run reuses every unit from the file: nothing re-executes,
+        # and the reused records are the exact objects from the first pass
+        # (elapsed timings included, which a re-run could never reproduce).
+        rerun = SweepRunner(small_spec())
+        second = rerun.run(resume_path=progress)
+        assert rerun.resumed_count == len(first.records)
+        assert second.records == first.records
+
+    def test_resume_runs_only_missing_units(self, tmp_path):
+        progress = str(tmp_path / "progress.jsonl")
+        spec = small_spec(seeds=[1])
+        SweepRunner(spec).run(resume_path=progress)
+
+        widened = small_spec(seeds=[1, 2])
+        runner = SweepRunner(widened)
+        result = runner.run(resume_path=progress)
+        assert runner.resumed_count == 2  # both grid points of seed 1 reused
+        assert len(result.records) == 4
+        seeds_run = sorted({record["seed"] for record in result.records})
+        assert seeds_run == [1, 2]
+
+    def test_resume_ignores_records_from_a_different_spec(self, tmp_path):
+        # Same grid points and seeds but a different step budget: the
+        # 12-step records must NOT satisfy the 20-step sweep.
+        progress = str(tmp_path / "progress.jsonl")
+        SweepRunner(small_spec()).run(resume_path=progress)
+        changed = small_spec()
+        changed.scenario = dict(changed.scenario, steps=20)
+        runner = SweepRunner(changed)
+        result = runner.run(resume_path=progress)
+        assert runner.resumed_count == 0
+        assert all(record["steps"] == 20 for record in result.records)
+
+    def test_resume_tolerates_truncated_progress_line(self, tmp_path):
+        from repro.experiments import load_sweep_progress
+
+        progress = str(tmp_path / "progress.jsonl")
+        runner = SweepRunner(small_spec())
+        runner.run(resume_path=progress)
+        with open(progress, "a", encoding="utf-8") as handle:
+            handle.write('{"point": {"tau": 0.3}, "se')  # killed mid-write
+        completed = load_sweep_progress(progress)
+        assert len(completed) == 4
+
+    def test_parallel_resume_matches_inline(self, tmp_path):
+        progress = str(tmp_path / "progress.jsonl")
+        spec = small_spec(seeds=[1])
+        SweepRunner(spec).run(resume_path=progress)
+        parallel = SweepRunner(small_spec(seeds=[1, 2], workers=2))
+        result = parallel.run(resume_path=progress)
+        assert parallel.resumed_count == 2
+        assert len([r for r in result.records if r is not None]) == 4
 
     def test_inline_run_is_deterministic(self):
         first = run_sweep(small_spec())

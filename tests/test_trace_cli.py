@@ -1,0 +1,120 @@
+"""CLI tests for the trace subsystem: record, resume, replay, trace-diff."""
+
+from __future__ import annotations
+
+import json
+import os
+
+from repro.cli import main
+from repro.trace import Checkpoint, TraceReader
+
+
+def run_cli(*argv):
+    return main(list(argv))
+
+
+class TestRecordAndReplayCli:
+    def test_record_replay_round_trip(self, tmp_path, capsys):
+        trace = os.path.join(str(tmp_path), "run.jsonl")
+        code = run_cli(
+            "run-scenario", "--name", "uniform-churn", "--steps", "40",
+            "--record", trace, "--index-every", "10",
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "final state hash:" in out
+        assert TraceReader(trace).event_count() == 40
+
+        assert run_cli("replay", "--trace", trace) == 0
+        out = capsys.readouterr().out
+        assert "replay OK" in out
+
+    def test_replay_exits_nonzero_on_divergence(self, tmp_path, capsys):
+        trace = os.path.join(str(tmp_path), "run.jsonl")
+        assert run_cli(
+            "run-scenario", "--name", "uniform-churn", "--steps", "30",
+            "--record", trace, "--index-every", "10",
+        ) == 0
+        capsys.readouterr()
+        lines = open(trace, "r", encoding="utf-8").read().splitlines()
+        tampered = []
+        for line in lines:
+            frame = json.loads(line)
+            if frame.get("t") == "ev" and frame["i"] == 5:
+                frame["w"] = 0.999
+            tampered.append(json.dumps(frame, sort_keys=True, separators=(",", ":")))
+        with open(trace, "w", encoding="utf-8") as handle:
+            handle.write("\n".join(tampered) + "\n")
+        assert run_cli("replay", "--trace", trace) == 1
+        assert "DIVERGED" in capsys.readouterr().out
+
+    def test_replay_missing_file_is_usage_error(self, tmp_path, capsys):
+        assert run_cli("replay", "--trace", os.path.join(str(tmp_path), "no.jsonl")) == 2
+        assert "replay:" in capsys.readouterr().err
+
+
+class TestResumeCli:
+    def test_checkpoint_then_resume_matches_straight_run(self, tmp_path, capsys):
+        straight_trace = os.path.join(str(tmp_path), "straight.jsonl")
+        assert run_cli(
+            "run-scenario", "--name", "uniform-churn", "--steps", "60",
+            "--record", straight_trace,
+        ) == 0
+        straight_out = capsys.readouterr().out
+        straight_hash = [
+            line for line in straight_out.splitlines() if "final state hash" in line
+        ][0].split()[-1]
+
+        checkpoint = os.path.join(str(tmp_path), "part.ckpt.json")
+        assert run_cli(
+            "run-scenario", "--name", "uniform-churn", "--steps", "25",
+            "--checkpoint", checkpoint, "--checkpoint-every", "1000",
+        ) == 0
+        capsys.readouterr()
+        assert run_cli("resume", "--checkpoint", checkpoint, "--steps", "35") == 0
+        resume_out = capsys.readouterr().out
+        resumed_hash = [
+            line for line in resume_out.splitlines() if "final state hash" in line
+        ][0].split()[-1]
+        assert resumed_hash == straight_hash
+
+    def test_resume_missing_checkpoint_is_usage_error(self, tmp_path, capsys):
+        assert run_cli("resume", "--checkpoint", os.path.join(str(tmp_path), "no.json")) == 2
+        assert "resume:" in capsys.readouterr().err
+
+    def test_checkpoint_file_records_progress(self, tmp_path, capsys):
+        checkpoint = os.path.join(str(tmp_path), "c.json")
+        assert run_cli(
+            "run-scenario", "--name", "uniform-churn", "--steps", "20",
+            "--checkpoint", checkpoint, "--checkpoint-every", "7",
+        ) == 0
+        capsys.readouterr()
+        assert Checkpoint.load(checkpoint).steps_done == 20
+
+
+class TestTraceDiffCli:
+    def test_identical_traces_exit_zero(self, tmp_path, capsys):
+        a = os.path.join(str(tmp_path), "a.jsonl")
+        b = os.path.join(str(tmp_path), "b.jsonl")
+        for path in (a, b):
+            assert run_cli(
+                "run-scenario", "--name", "uniform-churn", "--steps", "30",
+                "--record", path,
+            ) == 0
+        capsys.readouterr()
+        assert run_cli("trace-diff", a, b) == 0
+        assert "traces agree" in capsys.readouterr().out
+
+    def test_diverging_traces_exit_one_and_name_the_step(self, tmp_path, capsys):
+        a = os.path.join(str(tmp_path), "a.jsonl")
+        b = os.path.join(str(tmp_path), "b.jsonl")
+        assert run_cli(
+            "run-scenario", "--name", "uniform-churn", "--steps", "30", "--record", a,
+        ) == 0
+        assert run_cli(
+            "--seed", "2", "run-scenario", "--name", "uniform-churn", "--steps", "30",
+            "--record", b,
+        ) == 0
+        capsys.readouterr()
+        assert run_cli("trace-diff", a, b) == 1
+        assert "first divergence at step" in capsys.readouterr().out
