@@ -51,14 +51,17 @@ from .core import (
     check_invariants,
 )
 from .scenarios import (
+    ObservationBus,
     RunResult,
     Scenario,
     SimulationRunner,
+    StepRecord,
     named_scenario,
 )
 from .trace import (
     Checkpoint,
     ReplayEngine,
+    checkpoint_from_trace,
     record_scenario,
     replay_trace,
     resume_from_checkpoint,
@@ -93,13 +96,16 @@ __all__ = [
     "NowInitializer",
     "SystemState",
     "check_invariants",
+    "ObservationBus",
     "RunResult",
     "Scenario",
     "SimulationRunner",
+    "StepRecord",
     "named_scenario",
     "WalkMode",
     "Checkpoint",
     "ReplayEngine",
+    "checkpoint_from_trace",
     "record_scenario",
     "replay_trace",
     "resume_from_checkpoint",

@@ -24,6 +24,7 @@ from .bounds import (
 from .complexity import FitResult, fit_power_law, fit_polylog, polylog_exponent
 from .statistics import (
     MeanConfidence,
+    RunningSummary,
     TrajectorySummary,
     mean_confidence,
     summarize_fractions,
@@ -41,6 +42,7 @@ __all__ = [
     "fit_polylog",
     "polylog_exponent",
     "MeanConfidence",
+    "RunningSummary",
     "mean_confidence",
     "TrajectorySummary",
     "summarize_fractions",

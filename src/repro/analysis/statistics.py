@@ -99,6 +99,129 @@ def summarize_fractions(
     return summarize_values(fractions, threshold=threshold)
 
 
+#: Default bound on retained sample points before deterministic decimation
+#: (shared with the scenarios layer's probe ``series_cap`` default).
+DEFAULT_SAMPLE_CAP = 4096
+
+
+class RunningSummary:
+    """Streaming trajectory statistics with bounded memory.
+
+    The streaming counterpart of :func:`summarize_values`: values are pushed
+    one at a time and the summary is available at any point without the full
+    series ever being stored.  Count, mean (Welford), variance, min, max and
+    threshold exceedances are **exact**; quantiles are computed from a
+    bounded, deterministically decimated sample — while fewer than
+    ``sample_cap`` values have been pushed the sample *is* the full series
+    (quantiles exact too), beyond that every second retained point is
+    dropped and the keep-stride doubles, so memory stays ``O(sample_cap)``
+    over arbitrarily long runs and two identical runs always retain the
+    same points (no randomness — the observation path must not perturb
+    trajectories).
+    """
+
+    __slots__ = (
+        "count",
+        "threshold",
+        "steps_above_threshold",
+        "minimum",
+        "maximum",
+        "last",
+        "_mean",
+        "_m2",
+        "_cap",
+        "_stride",
+        "_sample",
+    )
+
+    def __init__(
+        self, threshold: float = float("inf"), sample_cap: int = DEFAULT_SAMPLE_CAP
+    ) -> None:
+        if sample_cap < 2:
+            raise ValueError("sample_cap must be >= 2")
+        self.count = 0
+        self.threshold = threshold
+        self.steps_above_threshold = 0
+        self.minimum = 0.0
+        self.maximum = 0.0
+        self.last = 0.0
+        self._mean = 0.0
+        self._m2 = 0.0
+        self._cap = sample_cap
+        self._stride = 1
+        self._sample: List[float] = []
+
+    def push(self, value) -> None:
+        """Fold one observation into the running aggregates (O(1) amortised)."""
+        if self.count == 0:
+            self.minimum = value
+            self.maximum = value
+        else:
+            if value < self.minimum:
+                self.minimum = value
+            if value > self.maximum:
+                self.maximum = value
+        index = self.count
+        self.count += 1
+        self.last = value
+        delta = value - self._mean
+        self._mean += delta / self.count
+        self._m2 += delta * (value - self._mean)
+        if value >= self.threshold:
+            self.steps_above_threshold += 1
+        if index % self._stride == 0:
+            self._sample.append(value)
+            if len(self._sample) > self._cap:
+                # Decimate: keep every second point, double the stride.
+                del self._sample[1::2]
+                self._stride *= 2
+
+    @property
+    def mean(self) -> float:
+        """Exact running mean (0.0 when empty)."""
+        return self._mean if self.count else 0.0
+
+    @property
+    def variance(self) -> float:
+        """Exact population variance (0.0 with fewer than two values)."""
+        return self._m2 / self.count if self.count > 1 else 0.0
+
+    @property
+    def series(self) -> List[float]:
+        """The retained sample: the full series while ``count <= sample_cap``,
+        a stride-decimated subsequence (oldest-aligned) afterwards."""
+        return list(self._sample)
+
+    @property
+    def series_stride(self) -> int:
+        """Spacing between retained points (1 while the series is complete)."""
+        return self._stride
+
+    def summary(self) -> TrajectorySummary:
+        """A :class:`TrajectorySummary` of everything pushed so far.
+
+        Count, mean, min, max and exceedances (against the constructed
+        ``threshold``) come from the exact running aggregates; p50/p90/p99
+        from the retained sample (exact until the cap is exceeded, then
+        approximate on the decimated subsequence).
+        """
+        if not self.count:
+            return summarize_values([], threshold=self.threshold)
+        ordered = sorted(self._sample)
+        return TrajectorySummary(
+            count=self.count,
+            mean=self.mean,
+            minimum=self.minimum,
+            maximum=self.maximum,
+            p50=quantile(ordered, 0.50),
+            p90=quantile(ordered, 0.90),
+            p99=quantile(ordered, 0.99),
+            threshold=self.threshold,
+            steps_above_threshold=self.steps_above_threshold,
+            fraction_above_threshold=self.steps_above_threshold / self.count,
+        )
+
+
 @dataclass(frozen=True)
 class MeanConfidence:
     """Mean of independent replicates with a normal-approximation CI.

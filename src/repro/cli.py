@@ -22,12 +22,17 @@ prints its table — useful for kicking the tyres without writing a script:
 * ``resume``     — continue an interrupted ``run-scenario`` from its
   checkpoint file, bit-identically to the uninterrupted run.
 * ``replay``     — re-drive a recorded trace against a rebuilt engine and
-  verify state-hash agreement at every index frame (exit 1 on divergence).
-* ``trace-diff`` — pinpoint the first diverging event between two traces.
+  verify state-hash agreement at every index frame (exit 1 on divergence);
+  with ``--to-step N --checkpoint FILE`` it instead materialises a verified
+  resume point at step N — any trace becomes a library of checkpoints.
+* ``trace-diff`` — pinpoint the first diverging event between two traces
+  (the two files may mix JSONL and binary encodings).
 
 Every command accepts ``--seed`` for reproducibility; defaults are sized to
-finish in seconds.  ``run-scenario --record FILE`` records any scenario;
-``--checkpoint FILE --checkpoint-every N`` makes it resumable.
+finish in seconds.  ``run-scenario --record FILE`` records any scenario
+(``--trace-format binary`` for the ~6x smaller struct-packed codec,
+``--flush-every`` / ``--probe-buffer`` for the write and observation batch
+sizes); ``--checkpoint FILE --checkpoint-every N`` makes it resumable.
 """
 
 from __future__ import annotations
@@ -51,7 +56,17 @@ from .scenarios import (
     SimulationRunner,
     named_scenario,
 )
-from .trace import record_scenario, replay_trace, resume_from_checkpoint, trace_diff
+from .scenarios.bus import DEFAULT_PROBE_BUFFER
+from .trace import (
+    DEFAULT_FLUSH_EVERY,
+    TRACE_FORMATS,
+    TraceDivergenceError,
+    checkpoint_from_trace,
+    record_scenario,
+    replay_trace,
+    resume_from_checkpoint,
+    trace_diff,
+)
 from .workloads import MixedDriver, UniformChurn, drive
 from .workloads.record import RunRecord
 
@@ -102,7 +117,21 @@ def build_parser() -> argparse.ArgumentParser:
     scenario.add_argument("--list", action="store_true", help="list the named presets and exit")
     scenario.add_argument(
         "--record", type=str, default=None, metavar="FILE",
-        help="record every event to this trace file (JSONL; see `replay`)",
+        help="record every event to this trace file (see `replay`)",
+    )
+    scenario.add_argument(
+        "--trace-format", type=str, default="jsonl", choices=list(TRACE_FORMATS),
+        help="trace encoding: 'jsonl' (greppable) or 'binary' (struct-packed, ~6x smaller)",
+    )
+    scenario.add_argument(
+        "--flush-every", type=int, default=DEFAULT_FLUSH_EVERY, metavar="N",
+        help=f"trace frames buffered between disk writes (default: {DEFAULT_FLUSH_EVERY}; "
+             "1 restores flush-per-frame)",
+    )
+    scenario.add_argument(
+        "--probe-buffer", type=int, default=DEFAULT_PROBE_BUFFER, metavar="N",
+        help=f"events between observation-bus deliveries to buffered probes "
+             f"(default: {DEFAULT_PROBE_BUFFER})",
     )
     scenario.add_argument(
         "--index-every", type=int, default=200, metavar="N",
@@ -134,6 +163,15 @@ def build_parser() -> argparse.ArgumentParser:
         "replay", help="re-drive a recorded trace and verify determinism (exit 1 on divergence)"
     )
     replay.add_argument("--trace", type=str, required=True, metavar="FILE")
+    replay.add_argument(
+        "--to-step", type=int, default=None, metavar="N",
+        help="verify up to step N only, then materialise a checkpoint there "
+             "(requires --checkpoint)",
+    )
+    replay.add_argument(
+        "--checkpoint", type=str, default=None, metavar="FILE",
+        help="write the step-N resume point to this file (requires --to-step)",
+    )
 
     diff = subparsers.add_parser(
         "trace-diff", help="find the first diverging event between two trace files"
@@ -341,6 +379,9 @@ def run_scenario_command(args: argparse.Namespace) -> int:
             checkpoint_path=args.checkpoint,
             checkpoint_every=args.checkpoint_every,
             probes=[corruption, costs],
+            trace_format=args.trace_format,
+            flush_every=args.flush_every,
+            probe_buffer=args.probe_buffer,
         )
     except (ConfigurationError, OSError, ValueError) as error:
         # OSError covers unwritable --record/--checkpoint paths.
@@ -392,6 +433,30 @@ def run_resume_command(args: argparse.Namespace) -> int:
 
 
 def run_replay_command(args: argparse.Namespace) -> int:
+    if (args.to_step is None) != (args.checkpoint is None):
+        print("replay: --to-step and --checkpoint must be given together", file=sys.stderr)
+        return 2
+    if args.to_step is not None:
+        try:
+            result = checkpoint_from_trace(
+                args.trace, to_step=args.to_step, checkpoint_path=args.checkpoint
+            )
+        except TraceDivergenceError as error:
+            # Same contract as plain replay: divergence is exit 1, not a
+            # usage error.
+            print(f"replay DIVERGED: {error}", file=sys.stderr)
+            return 1
+        except (ConfigurationError, OSError, ValueError) as error:
+            print(f"replay: {error}", file=sys.stderr)
+            return 2
+        print(
+            f"verified {result.verified_events} event(s) and {result.hash_checks} "
+            f"state-hash frame(s) up to step {result.steps_done}"
+        )
+        print(f"checkpoint written to {result.checkpoint_path} "
+              f"(resume with: repro resume --checkpoint {result.checkpoint_path})")
+        print(f"state hash at step {result.steps_done}: {result.state_hash}")
+        return 0
     try:
         report = replay_trace(args.trace)
     except (ConfigurationError, OSError, ValueError) as error:

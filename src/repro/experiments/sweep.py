@@ -36,7 +36,7 @@ from typing import Any, Dict, List, Optional, Sequence, Tuple
 from ..analysis.reporting import format_table
 from ..analysis.statistics import MeanConfidence, mean_confidence
 from ..errors import ConfigurationError
-from ..scenarios.probes import CallbackProbe, CorruptionTrajectoryProbe, CostLedgerProbe
+from ..scenarios.probes import CorruptionTrajectoryProbe, CostLedgerProbe, Probe
 from ..scenarios.scenario import NAMED_SCENARIOS, Scenario
 
 #: Metrics aggregated per grid point (every one is a numeric field of the
@@ -174,6 +174,27 @@ def _assign_dotted(fields: Dict[str, Any], key: str, value: Any) -> None:
     target[parts[-1]] = value
 
 
+class _WalkHopsProbe(Probe):
+    """Running total of walk hops across every applied event.
+
+    A buffered consumer with O(1) memory — the sweep record only needs the
+    sum, so no per-event list is kept even over million-event horizons.
+    """
+
+    name = "walk-hops"
+    inline = False
+
+    def __init__(self) -> None:
+        self.total = 0
+
+    def on_records(self, engine, records) -> None:
+        for record in records:
+            self.total += record.walk_hops
+
+    def result(self) -> int:
+        return self.total
+
+
 def _structural_invariants_ok(engine) -> Optional[bool]:
     """Post-run structural invariant verdict (``None`` for engines without one).
 
@@ -194,17 +215,17 @@ def run_sweep_payload(payload: Dict[str, Any]) -> Dict[str, Any]:
     trajectory, cost ledger, walk-hop counter; plus a first-cluster target
     probe when requested — the join–leave attack measurements), runs it and
     returns the flat, picklable per-run record.
+
+    All standard probes ride the buffered observation bus: they consume
+    batched step records off the engine's hot loop, so sweep workers pay no
+    inline-probe overhead per event (only the inline target-cluster probe,
+    when requested, reads the engine per step).
     """
     scenario = Scenario.from_dict(payload["scenario"])
     engine = scenario.build_engine()
     corruption = CorruptionTrajectoryProbe()
     costs = CostLedgerProbe()
-    hops = CallbackProbe(
-        lambda _engine, report, _step: getattr(report, "operation", None).walk_hops
-        if getattr(report, "operation", None) is not None
-        else 0,
-        name="walk-hops",
-    )
+    hops = _WalkHopsProbe()
     probes = [corruption, costs, hops]
     target_probe = None
     if payload.get("track_target_cluster"):
@@ -232,7 +253,7 @@ def run_sweep_payload(payload: Dict[str, Any]) -> Dict[str, Any]:
         "mean_worst_fraction": summary.mean,
         "steps_above_threshold": summary.steps_above_threshold,
         "mean_messages_per_event": costs.mean_messages_overall(),
-        "walk_hops": float(sum(hops.values)),
+        "walk_hops": float(hops.total),
         "safe": result.safe,
         "stop_reason": result.stop_reason,
         "invariants_ok": _structural_invariants_ok(engine),

@@ -6,7 +6,11 @@ engine, measure something, decide whether to stop.  :class:`SimulationRunner`
 owns that loop once, for any :class:`~repro.core.interface.EngineProtocol`
 engine (NOW or a baseline):
 
-    workload/adversary -> engine.apply_event -> probes -> stop conditions
+    workload/adversary -> engine.apply_event -> observation bus -> stop conditions
+
+Observation goes through the :class:`~repro.scenarios.bus.ObservationBus`:
+inline probes run per event, buffered probes receive batched step records
+every ``probe_buffer`` events (see :mod:`repro.scenarios.bus`).
 
 Event sources are the existing per-step objects: a
 :class:`~repro.workloads.churn.ChurnWorkload`, an
@@ -30,6 +34,7 @@ from ..adversary.base import Adversary, AdversaryContext
 from ..analysis.reporting import format_table
 from ..core.cluster import ClusterId
 from ..errors import ConfigurationError
+from .bus import DEFAULT_PROBE_BUFFER, ObservationBus
 from .probes import Probe
 
 #: A stop condition: ``fn(engine, report, step_index) -> Optional[str]``.
@@ -75,6 +80,22 @@ def stop_when_compromised(cluster_id: Optional[ClusterId] = None) -> StopConditi
         return None
 
     return condition
+
+
+def bind_event_source(engine, source) -> Callable[[], Any]:
+    """A zero-argument ``next_event`` callable for any supported source.
+
+    Adversaries are wrapped in their read-only
+    :class:`~repro.adversary.base.AdversaryContext`; anything else must
+    expose ``next_event(engine)``.  Shared by :class:`SimulationRunner` and
+    the trace subsystem's checkpoint-from-trace re-driver.
+    """
+    if isinstance(source, Adversary):
+        context = AdversaryContext(engine)
+        return lambda: source.next_event(context)
+    if hasattr(source, "next_event"):
+        return lambda: source.next_event(engine)
+    raise ConfigurationError(f"event source {source!r} has no next_event method")
 
 
 @dataclass
@@ -153,6 +174,11 @@ class SimulationRunner:
         Collect the engine's per-step reports into the result (off by
         default: long runs keep memory flat through the engine's own
         ``record_history`` switch instead).
+    probe_buffer:
+        Events between deliveries to buffered (non-inline) probes — the
+        :class:`~repro.scenarios.bus.ObservationBus` batch size.  Inline
+        probes are unaffected; buffered probes always receive every record
+        (a final flush happens at the end of each :meth:`run` segment).
     """
 
     def __init__(
@@ -164,6 +190,7 @@ class SimulationRunner:
         max_idle_streak: Optional[int] = None,
         keep_reports: bool = False,
         name: str = "scenario",
+        probe_buffer: int = DEFAULT_PROBE_BUFFER,
     ) -> None:
         self.engine = engine
         self.probes: List[Probe] = list(probes)
@@ -176,6 +203,10 @@ class SimulationRunner:
                 f"duplicate probe names {sorted(duplicates)}; give each probe "
                 "a distinct name= (e.g. CallbackProbe(fn, name='...'))"
             )
+        try:
+            self.bus = ObservationBus(engine, self.probes, buffer_size=probe_buffer)
+        except ValueError as error:
+            raise ConfigurationError(str(error)) from None
         self.stop_conditions: List[StopCondition] = list(stop_conditions)
         self.max_idle_streak = max_idle_streak
         self.keep_reports = keep_reports
@@ -192,14 +223,7 @@ class SimulationRunner:
     # Source binding
     # ------------------------------------------------------------------
     def _bind_source(self, source) -> Callable[[], Any]:
-        if isinstance(source, Adversary):
-            context = AdversaryContext(self.engine)
-            return lambda: source.next_event(context)
-        if hasattr(source, "next_event"):
-            return lambda: source.next_event(self.engine)
-        raise ConfigurationError(
-            f"event source {source!r} has no next_event method"
-        )
+        return bind_event_source(self.engine, source)
 
     # ------------------------------------------------------------------
     # The step loop
@@ -208,12 +232,15 @@ class SimulationRunner:
         """Run up to ``steps`` time steps and return the result summary."""
         if steps < 0:
             raise ConfigurationError("steps must be non-negative")
+        # probes is a public list; pick up anything attached since the last
+        # segment so late-added probes are observed.
+        self.bus.sync(self.probes)
         if not self._started:
-            for probe in self.probes:
-                probe.on_start(self.engine)
+            self.bus.on_start()
             self._started = True
 
         engine = self.engine
+        publish = self.bus.publish
         events = 0
         idle = 0
         idle_streak = 0
@@ -222,30 +249,36 @@ class SimulationRunner:
         peak_worst = 0.0
         reports: List = []
         started_at = time.perf_counter()
-        for step_index in range(1, steps + 1):
-            executed = step_index
-            event = self._next_event()
-            if event is None:
-                idle += 1
-                idle_streak += 1
-                if self.max_idle_streak is not None and idle_streak >= self.max_idle_streak:
-                    stop_reason = "source idle"
+        try:
+            for step_index in range(1, steps + 1):
+                executed = step_index
+                event = self._next_event()
+                if event is None:
+                    idle += 1
+                    idle_streak += 1
+                    if self.max_idle_streak is not None and idle_streak >= self.max_idle_streak:
+                        stop_reason = "source idle"
+                        break
+                    continue
+                idle_streak = 0
+                report = engine.apply_event(event)
+                events += 1
+                self.total_events += 1
+                if report.worst_byzantine_fraction > peak_worst:
+                    peak_worst = report.worst_byzantine_fraction
+                if self.keep_reports:
+                    reports.append(report)
+                publish(report, step_index)
+                reason = self._evaluate_stop(engine, report, step_index)
+                if reason is not None:
+                    stop_reason = reason
                     break
-                continue
-            idle_streak = 0
-            report = engine.apply_event(event)
-            events += 1
-            self.total_events += 1
-            if report.worst_byzantine_fraction > peak_worst:
-                peak_worst = report.worst_byzantine_fraction
-            if self.keep_reports:
-                reports.append(report)
-            for probe in self.probes:
-                probe.on_step(engine, report, step_index)
-            reason = self._evaluate_stop(engine, report, step_index)
-            if reason is not None:
-                stop_reason = reason
-                break
+        finally:
+            # Deliver any partially filled batch — on clean exit so probe
+            # results are complete before they go into the RunResult, and on
+            # an exception so buffered probes are exact to the interrupt
+            # point (as per-event inline probes always were).
+            self.bus.flush()
         elapsed = time.perf_counter() - started_at
         self.total_steps += executed
 

@@ -42,6 +42,7 @@ from ..workloads.churn import (
     UniformChurn,
 )
 from ..workloads.traces import MixedDriver
+from .bus import DEFAULT_PROBE_BUFFER
 from .probes import Probe
 from .runner import RunResult, SimulationRunner, StopCondition
 
@@ -175,6 +176,7 @@ class Scenario:
         probes: Sequence[Probe] = (),
         stop_conditions: Sequence[StopCondition] = (),
         engine=None,
+        probe_buffer: int = DEFAULT_PROBE_BUFFER,
     ) -> SimulationRunner:
         """An engine + runner ready to :meth:`SimulationRunner.run`."""
         if engine is None:
@@ -187,6 +189,7 @@ class Scenario:
             max_idle_streak=self.max_idle_streak,
             keep_reports=self.keep_reports,
             name=self.name,
+            probe_buffer=probe_buffer,
         )
 
     def run(

@@ -7,8 +7,11 @@ the fact.  This subsystem turns any scenario run into a restartable,
 machine-checkable execution:
 
 * :mod:`repro.trace.log` — ``TraceWriter`` / ``TraceReader``: an
-  append-only JSONL event log with periodic state-hash index frames (the
-  documented on-disk format);
+  append-only event log with periodic state-hash index frames (the
+  documented frame format), write-buffered and format-agnostic;
+* :mod:`repro.trace.codec` — the two physical encodings behind that API:
+  line-delimited JSON and a struct-packed binary container (~6x smaller,
+  faster decode), sniffed automatically on read so formats can be mixed;
 * :mod:`repro.trace.checkpoint` — ``Checkpoint``: full engine + event
   source state captured to one atomic JSON file and restored to continue
   bit-identically (all RNG streams included);
@@ -19,9 +22,10 @@ machine-checkable execution:
   pinpoints the first diverging event between two runs;
 * :mod:`repro.trace.hashing` — the canonical state fingerprint both of the
   above compare;
-* :mod:`repro.trace.session` — ``record_scenario`` / ``resume_from_checkpoint``,
-  the functions behind the CLI's ``run-scenario --record``, ``resume``,
-  ``replay`` and ``trace-diff`` commands.
+* :mod:`repro.trace.session` — ``record_scenario`` / ``resume_from_checkpoint``
+  / ``checkpoint_from_trace``, the functions behind the CLI's ``run-scenario
+  --record``, ``resume``, ``replay`` (including ``--to-step N --checkpoint``)
+  and ``trace-diff`` commands.
 
 The determinism contract this relies on (every RNG-visible enumeration in
 the engine stack is canonically ordered) is documented in
@@ -29,6 +33,13 @@ the engine stack is canonically ordered) is documented in
 """
 
 from .checkpoint import Checkpoint, write_json_atomic
+from .codec import (
+    BINARY_MAGIC,
+    DEFAULT_FLUSH_EVERY,
+    TRACE_FORMATS,
+    read_trace_frames,
+    sniff_trace_format,
+)
 from .hashing import canonical_json, digest, state_fingerprint, state_hash
 from .log import (
     DEFAULT_INDEX_EVERY,
@@ -37,26 +48,49 @@ from .log import (
     churn_event_from_frame,
 )
 from .probes import CheckpointProbe, TraceProbe
-from .replay import ReplayEngine, ReplayReport, TraceDiff, replay_trace, trace_diff
-from .session import SessionResult, record_scenario, resume_from_checkpoint
+from .replay import (
+    ReplayEngine,
+    ReplayReport,
+    TraceDiff,
+    check_event_frame,
+    replay_trace,
+    trace_diff,
+)
+from .session import (
+    SessionResult,
+    TraceCheckpointResult,
+    TraceDivergenceError,
+    checkpoint_from_trace,
+    record_scenario,
+    resume_from_checkpoint,
+)
 
 __all__ = [
+    "BINARY_MAGIC",
     "Checkpoint",
     "CheckpointProbe",
+    "DEFAULT_FLUSH_EVERY",
     "DEFAULT_INDEX_EVERY",
     "ReplayEngine",
     "ReplayReport",
     "SessionResult",
+    "TRACE_FORMATS",
+    "TraceCheckpointResult",
     "TraceDiff",
+    "TraceDivergenceError",
     "TraceProbe",
     "TraceReader",
     "TraceWriter",
     "canonical_json",
+    "check_event_frame",
+    "checkpoint_from_trace",
     "churn_event_from_frame",
     "digest",
+    "read_trace_frames",
     "record_scenario",
     "replay_trace",
     "resume_from_checkpoint",
+    "sniff_trace_format",
     "state_fingerprint",
     "state_hash",
     "trace_diff",

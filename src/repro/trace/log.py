@@ -1,9 +1,13 @@
-"""The on-disk trace format: an append-only JSONL event log with index frames.
+"""The on-disk trace format: an append-only event log with index frames.
 
-A trace is a text file with one JSON object per line ("frame").  Frames are
-self-describing via their ``"t"`` field:
+A trace is a sequence of self-describing **frames** (dicts with a ``"t"``
+field), stored in one of two physical encodings — line-delimited JSON or the
+struct-packed binary container of :mod:`repro.trace.codec`.  Readers sniff
+the encoding from the leading bytes, so every frame consumer (``replay``,
+``trace-diff``, ``resume``) is format-agnostic and the two encodings can be
+mixed freely.
 
-``header`` (first line)
+``header`` (first frame)
     ``{"t":"header","f":"repro-trace","v":1,"scenario":{...}|null,
     "engine":"now","index_every":N}`` — identifies the format and carries
     the full scenario spec so ``replay`` can rebuild the engine from the
@@ -25,24 +29,29 @@ self-describing via their ``"t"`` field:
     Replay asserts hash agreement here; these are the "checkpoint frames"
     of the determinism contract.
 
-``end`` (last line, written by :meth:`TraceWriter.close`)
+``end`` (last frame, written by :meth:`TraceWriter.close`)
     ``{"t":"end","ev":total_events,"h":final_state_hash}``.
 
-Numbers are written with Python's shortest-repr float encoding, which
-round-trips exactly — "bit-identical probe outputs" is meant literally.
-A trace whose process died mid-write is still readable: the reader skips a
-truncated final line and replay verifies up to the last complete frame.
+Writes are buffered: frames accumulate and hit the disk every
+``flush_every`` frames, at every index frame (the durability anchor — after
+a crash the trace is complete up to the last index frame at worst minus the
+buffered tail), and on close.  In JSONL, numbers use Python's shortest-repr
+float encoding, which round-trips exactly; the binary codec stores the same
+floats bit-exactly — "bit-identical probe outputs" is meant literally either
+way.  A trace whose process died mid-write is still readable: readers drop a
+truncated final line / block and replay verifies up to the last complete
+frame.
 """
 
 from __future__ import annotations
 
-import json
-import os
 from typing import Any, Dict, Iterator, List, Optional
 
 from ..core.events import ChurnEvent, ChurnKind
 from ..errors import ConfigurationError
 from ..network.node import NodeRole
+from ..scenarios.bus import StepRecord, step_record
+from .codec import DEFAULT_FLUSH_EVERY, open_codec_writer, read_trace_frames
 from .hashing import state_hash
 
 FORMAT_NAME = "repro-trace"
@@ -52,21 +61,56 @@ FORMAT_VERSION = 1
 DEFAULT_INDEX_EVERY = 200
 
 
-def _dump(frame: Dict[str, Any]) -> str:
-    return json.dumps(frame, sort_keys=True, separators=(",", ":"))
+def event_frame_from_record(record: StepRecord) -> Dict[str, Any]:
+    """The event frame for one step's observation record.
+
+    The single source of truth for how per-step observables map onto trace
+    frame keys — the writer and replay's observable checks both derive from
+    the same :func:`~repro.scenarios.bus.step_record` extraction, so the
+    recorded frame and the replayed comparison cannot drift apart.  (The
+    record's ``rounds`` field is deliberately not part of the v1 frame.)
+    """
+    return {
+        "t": "ev",
+        "i": record.step_index,
+        "ts": record.time_step,
+        "k": record.kind,
+        "r": record.role,
+        "n": record.node_id,
+        "c": record.contact_cluster,
+        "a": record.assigned_node,
+        "sz": record.network_size,
+        "cl": record.cluster_count,
+        "w": record.worst_fraction,
+        "m": record.messages,
+        "h": record.walk_hops,
+    }
 
 
 class TraceWriter:
-    """Streams frames of one run to an append-only JSONL trace file."""
+    """Streams frames of one run to an append-only trace file.
 
-    def __init__(self, path: str, index_every: int = DEFAULT_INDEX_EVERY) -> None:
+    ``trace_format`` selects the physical encoding (``'jsonl'`` or
+    ``'binary'``); ``flush_every`` the number of frames buffered between
+    physical writes (1 restores the legacy flush-per-frame behaviour).
+    """
+
+    def __init__(
+        self,
+        path: str,
+        index_every: int = DEFAULT_INDEX_EVERY,
+        trace_format: str = "jsonl",
+        flush_every: int = DEFAULT_FLUSH_EVERY,
+    ) -> None:
         if index_every < 1:
             raise ConfigurationError("index_every must be >= 1")
         self.path = path
         self.index_every = index_every
+        self.trace_format = trace_format
+        self.flush_every = flush_every
         self.events_written = 0
         self.index_frames_written = 0
-        self._handle = open(path, "w", encoding="utf-8")
+        self._codec = open_codec_writer(path, trace_format, flush_every=flush_every)
         self._header_written = False
         self._closed = False
 
@@ -88,35 +132,22 @@ class TraceWriter:
             }
         )
         self._header_written = True
-        self._handle.flush()
+        self._codec.flush()
 
     def write_event(self, step_index: int, engine, report) -> None:
         """Write one event frame and, on the index cadence, an index frame."""
-        event = report.event
-        operation = getattr(report, "operation", None)
-        self._write(
-            {
-                "t": "ev",
-                "i": step_index,
-                "ts": report.time_step,
-                "k": event.kind.value,
-                "r": event.role.value,
-                "n": event.node_id,
-                "c": event.contact_cluster,
-                "a": operation.node_id if operation is not None else event.node_id,
-                "sz": report.network_size,
-                "cl": report.cluster_count,
-                "w": report.worst_byzantine_fraction,
-                "m": operation.messages if operation is not None else 0,
-                "h": operation.walk_hops if operation is not None else 0,
-            }
-        )
+        self._write(event_frame_from_record(step_record(report, step_index)))
         self.events_written += 1
         if self.events_written % self.index_every == 0:
             self.write_index(step_index, engine)
 
     def write_index(self, step_index: int, engine) -> None:
-        """Write a state-hash index frame for the engine's current state."""
+        """Write a state-hash index frame for the engine's current state.
+
+        Index frames are durability anchors: the write buffer is flushed to
+        disk here, so a crashed run's trace is complete at least up to its
+        last index frame.
+        """
         self._write(
             {
                 "t": "x",
@@ -128,7 +159,7 @@ class TraceWriter:
             }
         )
         self.index_frames_written += 1
-        self._handle.flush()
+        self._codec.flush()
 
     def close(self, engine=None) -> None:
         """Write the end frame (when an engine is given) and close the file."""
@@ -138,40 +169,27 @@ class TraceWriter:
             self._write(
                 {"t": "end", "ev": self.events_written, "h": state_hash(engine)}
             )
-        self._handle.flush()
-        self._handle.close()
+        self._codec.close()
         self._closed = True
 
     def _write(self, frame: Dict[str, Any]) -> None:
         if self._closed:
             raise ConfigurationError("trace writer is closed")
-        self._handle.write(_dump(frame))
-        self._handle.write("\n")
+        self._codec.write_frame(frame)
 
 
 class TraceReader:
-    """Reads a JSONL trace file back as frames.
+    """Reads a trace file back as frames, whatever its physical encoding.
 
-    The whole file is parsed eagerly (traces are line-delimited JSON; a
-    million events is ~100 MB, well within what the analysis tooling
-    already loads) and a truncated final line — the signature of a run
-    killed mid-write — is tolerated and dropped.
+    The encoding (JSONL or binary) is sniffed from the leading bytes and
+    exposed as :attr:`trace_format`.  The whole file is parsed eagerly and a
+    truncated tail — the signature of a run killed mid-write — is tolerated
+    and dropped.
     """
 
     def __init__(self, path: str) -> None:
-        if not os.path.exists(path):
-            raise ConfigurationError(f"trace file {path!r} does not exist")
         self.path = path
-        self.frames: List[Dict[str, Any]] = []
-        with open(path, "r", encoding="utf-8") as handle:
-            for line in handle:
-                line = line.strip()
-                if not line:
-                    continue
-                try:
-                    self.frames.append(json.loads(line))
-                except json.JSONDecodeError:
-                    break  # truncated tail: keep every complete frame before it
+        self.trace_format, self.frames = read_trace_frames(path)
         if not self.frames:
             raise ConfigurationError(f"trace file {path!r} contains no frames")
         header = self.frames[0]

@@ -21,11 +21,20 @@ from typing import Any, Dict, Optional
 from ..errors import ConfigurationError
 from ..scenarios.probes import Probe
 from .checkpoint import Checkpoint
+from .codec import DEFAULT_FLUSH_EVERY
 from .log import DEFAULT_INDEX_EVERY, TraceWriter
 
 
 class TraceProbe(Probe):
-    """Records the run it observes to an append-only trace file."""
+    """Records the run it observes to an append-only trace file.
+
+    The probe stays **inline** deliberately: appending the per-event frame is
+    O(1), while the periodic state-hash index frames must see the engine at
+    exactly the indexed event — something a batched consumer cannot provide.
+    The expensive parts (serialisation and disk writes) are batched *inside*
+    the :class:`~repro.trace.log.TraceWriter` instead, every ``flush_every``
+    frames; ``trace_format='binary'`` selects the struct-packed codec.
+    """
 
     name = "trace"
 
@@ -34,8 +43,15 @@ class TraceProbe(Probe):
         path: str,
         index_every: int = DEFAULT_INDEX_EVERY,
         scenario=None,
+        trace_format: str = "jsonl",
+        flush_every: int = DEFAULT_FLUSH_EVERY,
     ) -> None:
-        self._writer = TraceWriter(path, index_every=index_every)
+        self._writer = TraceWriter(
+            path,
+            index_every=index_every,
+            trace_format=trace_format,
+            flush_every=flush_every,
+        )
         self._scenario = scenario
         self._finalized = False
 
@@ -43,6 +59,11 @@ class TraceProbe(Probe):
     def path(self) -> str:
         """Where the trace is being written."""
         return self._writer.path
+
+    @property
+    def trace_format(self) -> str:
+        """The physical encoding being written (``'jsonl'`` or ``'binary'``)."""
+        return self._writer.trace_format
 
     def on_start(self, engine) -> None:
         scenario_dict = self._scenario.to_dict() if self._scenario is not None else None
@@ -60,6 +81,19 @@ class TraceProbe(Probe):
         """
         if not self._finalized:
             self._writer.close(engine)
+            self._finalized = True
+
+    def abort(self) -> None:
+        """Flush buffered frames and close without an end frame.
+
+        The error-path counterpart of :meth:`finalize`: when the run dies
+        mid-way, every frame observed so far still reaches the disk (writes
+        are buffered since the streaming pipeline), and the missing end
+        frame marks the trace as a crashed run — replayable up to its last
+        complete frame.
+        """
+        if not self._finalized:
+            self._writer.close(engine=None)
             self._finalized = True
 
     def result(self) -> Dict[str, Any]:

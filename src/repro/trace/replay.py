@@ -22,8 +22,9 @@ from dataclasses import dataclass, field
 from typing import Any, Dict, List, Optional
 
 from ..errors import ConfigurationError
+from ..scenarios.bus import step_record
 from .hashing import state_hash
-from .log import TraceReader, churn_event_from_frame
+from .log import TraceReader, churn_event_from_frame, event_frame_from_record
 
 #: Event-frame observables checked during replay, frame key -> description.
 _EVENT_CHECKS = {
@@ -35,6 +36,31 @@ _EVENT_CHECKS = {
     "m": "operation messages",
     "h": "walk hops",
 }
+
+
+def check_event_frame(frame: Dict[str, Any], report) -> Optional[Dict[str, Any]]:
+    """Compare a replayed step's observables against its recorded frame.
+
+    Returns a divergence record (step, reason, recorded, replayed) for the
+    first mismatching observable, or ``None`` when the step verified.  Used
+    by :class:`ReplayEngine` per event and by
+    :func:`~repro.trace.session.checkpoint_from_trace`.  The replayed view
+    is built by the same record -> frame mapping the writer used, so the
+    comparison cannot drift from the recorded encoding.
+    """
+    replayed = event_frame_from_record(step_record(report, frame.get("i", 0)))
+    for key, description in _EVENT_CHECKS.items():
+        if key in frame and frame[key] != replayed[key]:
+            return {
+                "step": frame.get("i"),
+                "reason": (
+                    f"{description} mismatch: recorded {frame[key]!r}, "
+                    f"replayed {replayed[key]!r}"
+                ),
+                "recorded": frame,
+                "replayed": replayed,
+            }
+    return None
 
 
 @dataclass
@@ -141,28 +167,7 @@ class ReplayEngine:
         )
 
     def _check_event(self, frame: Dict[str, Any], report) -> Optional[Dict[str, Any]]:
-        operation = getattr(report, "operation", None)
-        replayed = {
-            "ts": report.time_step,
-            "a": operation.node_id if operation is not None else report.event.node_id,
-            "sz": report.network_size,
-            "cl": report.cluster_count,
-            "w": report.worst_byzantine_fraction,
-            "m": operation.messages if operation is not None else 0,
-            "h": operation.walk_hops if operation is not None else 0,
-        }
-        for key, description in _EVENT_CHECKS.items():
-            if key in frame and frame[key] != replayed[key]:
-                return {
-                    "step": frame.get("i"),
-                    "reason": (
-                        f"{description} mismatch: recorded {frame[key]!r}, "
-                        f"replayed {replayed[key]!r}"
-                    ),
-                    "recorded": frame,
-                    "replayed": replayed,
-                }
-        return None
+        return check_event_frame(frame, report)
 
 
 def replay_trace(path: str, engine=None) -> ReplayReport:
@@ -206,6 +211,9 @@ def trace_diff(first_path: str, second_path: str) -> TraceDiff:
     Event frames are compared field by field in step order; index frames by
     state hash.  Header scenarios are compared too, but only as a note —
     two traces of deliberately different scenarios can still be diffed.
+    The two files may use different physical encodings (one JSONL, one
+    binary): both decode to the same frame dicts, so mixed-format diffs
+    compare decoded frames directly.
     """
     first = TraceReader(first_path)
     second = TraceReader(second_path)

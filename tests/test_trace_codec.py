@@ -1,0 +1,306 @@
+"""Tests for the binary trace codec, mixed-format tooling and checkpoint-from-trace.
+
+The codec contract: a binary trace and a JSONL trace of the same run decode
+to **identical frame sequences** (headers, events, index frames, end frame
+— dict-for-dict), so every frame consumer (replay, trace-diff, resume,
+checkpoint-from-trace) is format-agnostic for free.
+"""
+
+from __future__ import annotations
+
+import os
+
+import pytest
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+
+from repro import Scenario
+from repro.cli import main as cli_main
+from repro.errors import ConfigurationError
+from repro.trace import (
+    Checkpoint,
+    TraceReader,
+    TraceWriter,
+    checkpoint_from_trace,
+    record_scenario,
+    replay_trace,
+    resume_from_checkpoint,
+    sniff_trace_format,
+    trace_diff,
+)
+
+PARAMS = dict(max_size=1024, initial_size=100, tau=0.1, k=2.0)
+
+
+def small_scenario(seed=7, **overrides) -> Scenario:
+    fields = dict(PARAMS)
+    fields.update(overrides)
+    return Scenario(name=fields.pop("name", "codec-test"), seed=seed, **fields)
+
+
+def record(tmp_path, name, trace_format, seed=7, steps=50, index_every=10, flush_every=16, **overrides):
+    path = os.path.join(str(tmp_path), name)
+    session = record_scenario(
+        small_scenario(seed=seed, steps=steps, **overrides),
+        trace_path=path,
+        index_every=index_every,
+        trace_format=trace_format,
+        flush_every=flush_every,
+    )
+    return path, session
+
+
+class TestBinaryRoundTrip:
+    # tmp_path is shared across generated examples; file names embed the
+    # generated parameters and records open with "w", so reuse is safe.
+    @settings(
+        max_examples=6,
+        deadline=None,
+        suppress_health_check=[HealthCheck.function_scoped_fixture],
+    )
+    @given(
+        seed=st.integers(0, 2**16),
+        steps=st.integers(5, 60),
+        flush_every=st.integers(1, 64),
+        walk_mode=st.sampled_from(["oracle", "simulated"]),
+    )
+    def test_binary_and_jsonl_decode_to_identical_frames(
+        self, tmp_path, seed, steps, flush_every, walk_mode
+    ):
+        options = {"engine_options": {"walk_mode": walk_mode}}
+        jsonl_path, _ = record(
+            tmp_path, f"a-{seed}-{steps}.jsonl", "jsonl",
+            seed=seed, steps=steps, flush_every=flush_every, **options,
+        )
+        binary_path, _ = record(
+            tmp_path, f"b-{seed}-{steps}.bin", "binary",
+            seed=seed, steps=steps, flush_every=flush_every, **options,
+        )
+        jsonl = TraceReader(jsonl_path)
+        binary = TraceReader(binary_path)
+        assert jsonl.trace_format == "jsonl"
+        assert binary.trace_format == "binary"
+        # Identical frame sequences — headers, events, index frames, end.
+        assert jsonl.frames == binary.frames
+        # Identical state-hash index frames, spelled out.
+        assert [frame["h"] for frame in jsonl.index_frames()] == [
+            frame["h"] for frame in binary.index_frames()
+        ]
+        assert jsonl.end_frame() == binary.end_frame()
+
+    def test_binary_traces_replay_with_zero_divergence(self, tmp_path):
+        path, session = record(tmp_path, "run.bin", "binary", steps=60)
+        report = replay_trace(path)
+        assert report.ok, report.summary()
+        assert report.events_applied == session.result.events
+        assert report.final_hash == session.final_state_hash
+
+    def test_binary_is_smaller_than_jsonl(self, tmp_path):
+        jsonl_path, _ = record(tmp_path, "a.jsonl", "jsonl", steps=80, flush_every=256)
+        binary_path, _ = record(tmp_path, "b.bin", "binary", steps=80, flush_every=256)
+        assert os.path.getsize(binary_path) * 2 < os.path.getsize(jsonl_path)
+
+    def test_sniffing(self, tmp_path):
+        jsonl_path, _ = record(tmp_path, "a.jsonl", "jsonl", steps=5)
+        binary_path, _ = record(tmp_path, "b.bin", "binary", steps=5)
+        assert sniff_trace_format(jsonl_path) == "jsonl"
+        assert sniff_trace_format(binary_path) == "binary"
+
+    def test_unknown_format_rejected(self, tmp_path):
+        with pytest.raises(ConfigurationError):
+            TraceWriter(os.path.join(str(tmp_path), "x.trace"), trace_format="msgpack")
+
+    def test_flush_cadence_rejected_below_one(self, tmp_path):
+        with pytest.raises(ConfigurationError):
+            TraceWriter(os.path.join(str(tmp_path), "x.trace"), flush_every=0)
+
+
+class TestBinaryTruncation:
+    def test_reader_tolerates_truncated_tail(self, tmp_path):
+        path, _ = record(tmp_path, "run.bin", "binary", steps=60, flush_every=8)
+        with open(path, "rb") as handle:
+            content = handle.read()
+        cut = os.path.join(str(tmp_path), "cut.bin")
+        with open(cut, "wb") as handle:
+            handle.write(content[: int(len(content) * 0.7)])  # kill mid-block
+        reader = TraceReader(cut)
+        assert reader.trace_format == "binary"
+        assert reader.event_count() > 0
+        assert reader.end_frame() is None
+        # The surviving prefix still replays and verifies.
+        assert replay_trace(cut).ok
+
+    def test_corrupt_block_drops_tail_only(self, tmp_path):
+        path, _ = record(tmp_path, "run.bin", "binary", steps=40, flush_every=8)
+        with open(path, "rb") as handle:
+            content = bytearray(handle.read())
+        # Flip bytes near the end: the final block fails to decompress, the
+        # prefix survives.
+        content[-10:] = b"\xff" * 10
+        bad = os.path.join(str(tmp_path), "bad.bin")
+        with open(bad, "wb") as handle:
+            handle.write(bytes(content))
+        reader = TraceReader(bad)
+        assert 0 < reader.event_count() <= 40
+
+
+class TestInterruptedRecording:
+    def test_buffered_frames_survive_a_mid_run_crash(self, tmp_path):
+        from repro.scenarios import CallbackProbe
+
+        class Boom(RuntimeError):
+            pass
+
+        def explode(engine, report, step_index):
+            if step_index == 37:
+                raise Boom()
+
+        path = os.path.join(str(tmp_path), "crash.bin")
+        with pytest.raises(Boom):
+            record_scenario(
+                small_scenario(steps=100),
+                trace_path=path,
+                index_every=1000,  # no index-frame flush before the crash
+                trace_format="binary",
+                flush_every=1000,  # everything rides the write buffer
+                probes=[CallbackProbe(explode, name="boom")],
+            )
+        # abort() flushed the buffered tail: the trace is complete to the
+        # interrupt point (36 applied events) and has no end frame.
+        reader = TraceReader(path)
+        assert reader.event_count() == 36
+        assert reader.end_frame() is None
+        assert replay_trace(path).ok
+
+
+class TestMixedFormatDiff:
+    def test_identical_runs_in_different_formats_do_not_diverge(self, tmp_path):
+        jsonl_path, _ = record(tmp_path, "a.jsonl", "jsonl", steps=50)
+        binary_path, _ = record(tmp_path, "b.bin", "binary", steps=50)
+        diff = trace_diff(jsonl_path, binary_path)
+        assert not diff.diverged, diff.summary()
+        assert diff.compared_events == 50
+        assert "headers record different scenarios" not in diff.notes
+
+    def test_mixed_format_diff_still_pinpoints_divergence(self, tmp_path):
+        jsonl_path, _ = record(tmp_path, "a.jsonl", "jsonl", steps=50, seed=7)
+        binary_path, _ = record(tmp_path, "b.bin", "binary", steps=50, seed=8)
+        diff = trace_diff(jsonl_path, binary_path)
+        assert diff.diverged
+        assert diff.step == 1
+
+    def test_mixed_format_diff_cli_exit_codes(self, tmp_path, capsys):
+        jsonl_path, _ = record(tmp_path, "a.jsonl", "jsonl", steps=30)
+        binary_path, _ = record(tmp_path, "b.bin", "binary", steps=30)
+        assert cli_main(["trace-diff", jsonl_path, binary_path]) == 0
+        assert "traces agree" in capsys.readouterr().out
+
+
+class TestCheckpointFromTrace:
+    def test_resuming_matches_uninterrupted_run(self, tmp_path):
+        straight = record_scenario(small_scenario(steps=60))
+        path, _ = record(tmp_path, "run.jsonl", "jsonl", steps=60)
+        checkpoint_path = os.path.join(str(tmp_path), "mid.ckpt.json")
+        result = checkpoint_from_trace(path, to_step=25, checkpoint_path=checkpoint_path)
+        assert result.steps_done == 25
+        assert result.hash_checks > 0
+        assert Checkpoint.load(checkpoint_path).steps_done == 25
+        resumed = resume_from_checkpoint(checkpoint_path)
+        assert resumed.final_state_hash == straight.final_state_hash
+
+    def test_works_from_binary_traces_and_simulated_mode(self, tmp_path):
+        options = {"engine_options": {"walk_mode": "simulated"}}
+        straight = record_scenario(small_scenario(seed=11, steps=40, **options))
+        path, _ = record(tmp_path, "run.bin", "binary", seed=11, steps=40, **options)
+        checkpoint_path = os.path.join(str(tmp_path), "mid.ckpt.json")
+        checkpoint_from_trace(path, to_step=15, checkpoint_path=checkpoint_path)
+        resumed = resume_from_checkpoint(checkpoint_path)
+        assert resumed.final_state_hash == straight.final_state_hash
+
+    def test_every_recorded_step_is_a_resume_point(self, tmp_path):
+        straight = record_scenario(small_scenario(steps=30))
+        path, _ = record(tmp_path, "run.jsonl", "jsonl", steps=30)
+        for to_step in (1, 13, 30):
+            checkpoint_path = os.path.join(str(tmp_path), f"at-{to_step}.ckpt.json")
+            checkpoint_from_trace(path, to_step=to_step, checkpoint_path=checkpoint_path)
+            resumed = resume_from_checkpoint(checkpoint_path)
+            assert resumed.final_state_hash == straight.final_state_hash, to_step
+
+    def test_rejects_step_beyond_the_trace(self, tmp_path):
+        path, _ = record(tmp_path, "run.jsonl", "jsonl", steps=20)
+        with pytest.raises(ConfigurationError, match="beyond the last recorded event"):
+            checkpoint_from_trace(
+                path, to_step=999, checkpoint_path=os.path.join(str(tmp_path), "x.json")
+            )
+
+    def test_rejects_inconsistent_index_frame(self, tmp_path):
+        import json
+
+        path, _ = record(tmp_path, "run.jsonl", "jsonl", steps=30, index_every=10)
+        lines = open(path, "r", encoding="utf-8").read().splitlines()
+        tampered = []
+        for line in lines:
+            frame = json.loads(line)
+            if frame.get("t") == "x" and frame["i"] == 20:
+                frame["ev"] += 1  # event count disagrees with the frames
+            tampered.append(json.dumps(frame, sort_keys=True, separators=(",", ":")))
+        bad = os.path.join(str(tmp_path), "bad-index.jsonl")
+        with open(bad, "w", encoding="utf-8") as handle:
+            handle.write("\n".join(tampered) + "\n")
+        # Fail-loud: an index frame that disagrees with the re-driven run is
+        # a divergence, never a silently skipped hash check.
+        with pytest.raises(ConfigurationError, match="index frame inconsistent"):
+            checkpoint_from_trace(
+                bad, to_step=30, checkpoint_path=os.path.join(str(tmp_path), "x.json")
+            )
+
+    def test_rejects_tampered_trace(self, tmp_path):
+        import json
+
+        path, _ = record(tmp_path, "run.jsonl", "jsonl", steps=30)
+        lines = open(path, "r", encoding="utf-8").read().splitlines()
+        tampered = []
+        for line in lines:
+            frame = json.loads(line)
+            if frame.get("t") == "ev" and frame["i"] == 10:
+                frame["sz"] += 1
+            tampered.append(json.dumps(frame, sort_keys=True, separators=(",", ":")))
+        bad = os.path.join(str(tmp_path), "bad.jsonl")
+        with open(bad, "w", encoding="utf-8") as handle:
+            handle.write("\n".join(tampered) + "\n")
+        with pytest.raises(ConfigurationError, match="diverged"):
+            checkpoint_from_trace(
+                bad, to_step=30, checkpoint_path=os.path.join(str(tmp_path), "x.json")
+            )
+
+
+class TestBinaryCli:
+    def test_record_replay_resume_round_trip(self, tmp_path, capsys):
+        trace = os.path.join(str(tmp_path), "run.bin")
+        assert cli_main([
+            "run-scenario", "--name", "uniform-churn", "--steps", "40",
+            "--record", trace, "--trace-format", "binary",
+            "--flush-every", "16", "--probe-buffer", "8", "--index-every", "10",
+        ]) == 0
+        capsys.readouterr()
+        assert sniff_trace_format(trace) == "binary"
+        assert TraceReader(trace).event_count() == 40
+
+        assert cli_main(["replay", "--trace", trace]) == 0
+        assert "replay OK" in capsys.readouterr().out
+
+        checkpoint = os.path.join(str(tmp_path), "mid.ckpt.json")
+        assert cli_main([
+            "replay", "--trace", trace, "--to-step", "20", "--checkpoint", checkpoint,
+        ]) == 0
+        assert "checkpoint written" in capsys.readouterr().out
+        assert cli_main(["resume", "--checkpoint", checkpoint, "--steps", "20"]) == 0
+
+    def test_to_step_requires_checkpoint(self, tmp_path, capsys):
+        trace = os.path.join(str(tmp_path), "run.jsonl")
+        assert cli_main([
+            "run-scenario", "--name", "uniform-churn", "--steps", "10", "--record", trace,
+        ]) == 0
+        capsys.readouterr()
+        assert cli_main(["replay", "--trace", trace, "--to-step", "5"]) == 2
+        assert "must be given together" in capsys.readouterr().err
