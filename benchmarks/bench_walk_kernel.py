@@ -1,0 +1,188 @@
+"""T1b — Walk-kernel throughput: batched CSR hop selection vs the naive loop.
+
+The PR 6 tentpole claim: flattening the overlay into a CSR layout and
+advancing all walks of a round together (``repro.walks.kernel.ArrayKernel``)
+lifts raw walk throughput from the ~1.2M hops/s the per-hop loop recorded in
+PR 5 to well past 10M hops/s on the numpy backend.  This benchmark measures
+both engines on identical synthetic overlays at several sizes and *appends*
+the rates to ``BENCH_throughput.json`` — same trajectory file, same
+append-only discipline as ``bench_engine_throughput.py`` — under
+``walk.kernel_hops_per_second``.
+
+Asserted in-test: the numpy kernel beats the naive loop by >= 5x on the same
+machine (a relative gate, robust to runner speed).  The pure-python fallback
+is measured for the record but only sanity-checked: it exists to keep numpy
+optional, not to win races.
+
+Run standalone (CI writes the JSON artifact this way)::
+
+    PYTHONPATH=src python benchmarks/bench_walk_kernel.py [--batch N]
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import time
+
+import pytest
+
+from repro.overlay.graph import OverlayGraph
+from repro.walks.ctrw import ContinuousRandomWalk
+from repro.walks.kernel import ArrayKernel, _np
+
+from bench_engine_throughput import RESULT_PATH, save_result
+from common import fresh_rng
+
+#: Overlay sizes (vertex counts) the engines are compared at.
+SIZES = (64, 256, 1024)
+#: Concurrent walks per batched measurement (an exchange round batches one
+#: walk per member; 4096 is the saturated large-round regime).
+BATCH = 4096
+#: Walks measured per naive data point (the per-hop loop is ~20x slower, so
+#: a full BATCH would dominate the benchmark's wall clock without changing
+#: the per-hop rate).
+NAIVE_BATCH = 256
+#: Continuous duration of each measured walk (~300 hops on these overlays).
+DURATION = 50.0
+#: ``walk.hops_per_second`` recorded by the PR 5 measurement of
+#: ``bench_engine_throughput.py`` (naive per-hop loop, simulated mode).  The
+#: >= 5x acceptance gate for this PR is checked against the recorded rates
+#: in ``BENCH_throughput.json`` measured on one machine; in-test we assert
+#: the relative kernel-vs-naive speedup only.
+PR5_BASELINE_HOPS_PER_SECOND = 1.2e6
+#: Required in-test speedup of the numpy kernel over the naive loop.
+REQUIRED_SPEEDUP = 5.0
+
+
+def build_overlay(vertices: int, seed: int = 5, chords: int = 2) -> OverlayGraph:
+    """A connected overlay: ring plus ``chords`` random chords per vertex."""
+    rng = fresh_rng(seed)
+    graph = OverlayGraph()
+    for vertex in range(vertices):
+        graph.add_vertex(vertex, weight=1.0 + rng.randrange(5))
+    for vertex in range(vertices):
+        graph.add_edge(vertex, (vertex + 1) % vertices)
+        for _ in range(chords):
+            graph.add_edge(vertex, rng.randrange(vertices))
+    return graph
+
+
+def measure_kernel(graph: OverlayGraph, batch: int, backend=None) -> dict:
+    """Hops/second of one ``run_ctrw_batch`` over ``batch`` concurrent walks."""
+    kernel = ArrayKernel(graph, fresh_rng(11), backend=backend)
+    starts = [v % len(graph) for v in range(batch)]
+    kernel.run_ctrw_batch(starts[: min(64, batch)], DURATION / 8)  # warm-up
+    begin = time.perf_counter()
+    results = kernel.run_ctrw_batch(starts, DURATION)
+    elapsed = time.perf_counter() - begin
+    hops = sum(result[1] for result in results)
+    return {
+        "backend": kernel.backend,
+        "walks": batch,
+        "hops": hops,
+        "elapsed_seconds": elapsed,
+        "hops_per_second": hops / elapsed if elapsed > 0 else 0.0,
+    }
+
+
+def measure_naive(graph: OverlayGraph, batch: int) -> dict:
+    """Hops/second of the per-hop ``run_many`` loop on the same overlay."""
+    walk = ContinuousRandomWalk(graph, fresh_rng(11))
+    starts = [v % len(graph) for v in range(batch)]
+    walk.run_many(starts[: min(32, batch)], DURATION / 8)  # warm-up
+    begin = time.perf_counter()
+    results = walk.run_many(starts, DURATION)
+    elapsed = time.perf_counter() - begin
+    hops = sum(result.hops for result in results)
+    return {
+        "backend": "naive",
+        "walks": batch,
+        "hops": hops,
+        "elapsed_seconds": elapsed,
+        "hops_per_second": hops / elapsed if elapsed > 0 else 0.0,
+    }
+
+
+def run_experiment(batch: int = BATCH, naive_batch: int = NAIVE_BATCH) -> dict:
+    by_size = []
+    for size in SIZES:
+        graph = build_overlay(size)
+        row = {
+            "vertices": size,
+            "edges": graph.edge_count(),
+            "naive": measure_naive(graph, naive_batch),
+            "python": measure_kernel(graph, batch, backend="python"),
+        }
+        if _np is not None:
+            row["array"] = measure_kernel(graph, batch, backend="numpy")
+        by_size.append(row)
+
+    # Headline rates: the largest overlay, saturated batch.
+    largest = by_size[-1]
+    fast = largest.get("array") or largest["python"]
+    naive_rate = largest["naive"]["hops_per_second"]
+    return {
+        "kernel_sizes": list(SIZES),
+        "kernel_batch": batch,
+        "kernel_duration": DURATION,
+        "kernel_by_size": by_size,
+        "pr5_baseline_hops_per_second": PR5_BASELINE_HOPS_PER_SECOND,
+        "walk": {
+            "mode": "kernel-ctrw-batch",
+            "kernel": "array",
+            "backend": fast["backend"],
+            "hops": fast["hops"],
+            "elapsed_seconds": fast["elapsed_seconds"],
+            "hops_per_second": fast["hops_per_second"],
+            "kernel_hops_per_second": {
+                "naive": naive_rate,
+                "python": largest["python"]["hops_per_second"],
+                **(
+                    {"array": largest["array"]["hops_per_second"]}
+                    if "array" in largest
+                    else {}
+                ),
+            },
+            "speedup_vs_naive": fast["hops_per_second"] / naive_rate
+            if naive_rate > 0
+            else 0.0,
+        },
+        "measured_at": time.strftime("%Y-%m-%dT%H:%M:%SZ", time.gmtime()),
+    }
+
+
+@pytest.mark.experiment("T1b")
+def test_walk_kernel_throughput(benchmark):
+    from common import run_once
+
+    result = run_once(benchmark, run_experiment)
+    for row in result["kernel_by_size"]:
+        fast = row.get("array") or row["python"]
+        print(
+            f"T1b kernel V={row['vertices']}: naive "
+            f"{row['naive']['hops_per_second'] / 1e6:.2f}M hops/s, "
+            f"{fast['backend']} kernel {fast['hops_per_second'] / 1e6:.2f}M hops/s "
+            f"({fast['hops_per_second'] / row['naive']['hops_per_second']:.1f}x)"
+        )
+    save_result(result)
+
+    # Every engine actually walked on every overlay size.
+    for row in result["kernel_by_size"]:
+        assert row["naive"]["hops"] > 0
+        assert row["python"]["hops"] > 0
+    # The fallback must work; only the numpy backend carries the speed gate.
+    if _np is not None:
+        assert result["walk"]["backend"] == "numpy"
+        assert result["walk"]["speedup_vs_naive"] >= REQUIRED_SPEEDUP
+
+
+if __name__ == "__main__":
+    parser = argparse.ArgumentParser(description="walk kernel throughput benchmark")
+    parser.add_argument("--batch", type=int, default=BATCH)
+    parser.add_argument("--naive-batch", type=int, default=NAIVE_BATCH)
+    parser.add_argument("--out", type=str, default=RESULT_PATH)
+    args = parser.parse_args()
+    outcome = run_experiment(batch=args.batch, naive_batch=args.naive_batch)
+    save_result(outcome, args.out)
+    print(json.dumps(outcome, indent=2, sort_keys=True))

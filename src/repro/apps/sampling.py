@@ -46,7 +46,12 @@ class SamplingService:
             metrics if metrics is not None else engine.metrics.scope("app-sampling")
         )
         self._randnum = RandNum(engine.state.rng)
-        self._randcl = RandCl(engine.state, self._randnum, walk_mode=engine.config.walk_mode)
+        self._randcl = RandCl(
+            engine.state,
+            self._randnum,
+            walk_mode=engine.config.walk_mode,
+            walk_kernel=engine.config.walk_kernel,
+        )
 
     def sample(self, origin_cluster: Optional[int] = None) -> SampleReport:
         """Draw one (approximately) uniform node and report the cost."""

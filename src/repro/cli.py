@@ -67,6 +67,7 @@ from .trace import (
     resume_from_checkpoint,
     trace_diff,
 )
+from .walks.kernel import KERNEL_NAMES
 from .workloads import MixedDriver, UniformChurn, drive
 from .workloads.record import RunRecord
 
@@ -144,6 +145,11 @@ def build_parser() -> argparse.ArgumentParser:
     scenario.add_argument(
         "--checkpoint-every", type=int, default=None, metavar="N",
         help="events between checkpoints (default: a quarter of the step budget)",
+    )
+    scenario.add_argument(
+        "--walk-kernel", type=str, default=None, choices=list(KERNEL_NAMES),
+        help="hop engine for the walks: 'naive' (per-hop loop) or 'array' "
+             "(batched CSR kernel; numpy-accelerated when numpy is installed)",
     )
 
     resume = subparsers.add_parser(
@@ -368,6 +374,16 @@ def run_scenario_command(args: argparse.Namespace) -> int:
         return 2
     if args.steps is not None:
         scenario.steps = args.steps
+    if args.walk_kernel is not None:
+        if scenario.engine != "now":
+            print(
+                f"run-scenario: --walk-kernel applies to the 'now' engine, "
+                f"not {scenario.engine!r}",
+                file=sys.stderr,
+            )
+            return 2
+        scenario.engine_options = dict(scenario.engine_options or {})
+        scenario.engine_options["walk_kernel"] = args.walk_kernel
 
     corruption = CorruptionTrajectoryProbe()
     costs = CostLedgerProbe()

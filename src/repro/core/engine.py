@@ -36,6 +36,7 @@ from ..errors import ClusterCompromisedError, ConfigurationError, NetworkSizeErr
 from ..network.metrics import MetricsRegistry
 from ..network.node import NodeId, NodeRole
 from ..params import ProtocolParameters
+from ..walks.kernel import resolve_kernel_name
 from ..walks.sampler import WalkMode
 from .cluster import ClusterId
 from .events import ChurnEvent, ChurnKind
@@ -71,6 +72,10 @@ class EngineConfig:
     """Behavioural switches of the engine (all default to the paper's protocol)."""
 
     walk_mode: WalkMode = WalkMode.ORACLE
+    #: Which hop engine serves simulated walks: ``naive`` (per-hop python
+    #: loop on the engine stream) or ``array`` (batched CSR kernel with its
+    #: own checkpointable stream; see ``repro.walks.kernel``).
+    walk_kernel: str = "naive"
     cascade_exchanges: bool = True
     strict_compromise: bool = False
     record_history: bool = True
@@ -83,8 +88,14 @@ class NowEngine:
     def __init__(self, state: SystemState, config: Optional[EngineConfig] = None) -> None:
         self.state = state
         self.config = config if config is not None else EngineConfig()
+        resolve_kernel_name(self.config.walk_kernel)  # fail fast on bad option
         self._randnum = RandNum(state.rng)
-        self._randcl = RandCl(state, self._randnum, walk_mode=self.config.walk_mode)
+        self._randcl = RandCl(
+            state,
+            self._randnum,
+            walk_mode=self.config.walk_mode,
+            walk_kernel=self.config.walk_kernel,
+        )
         self._exchange = ExchangeProtocol(state, self._randcl, self._randnum)
         self._join_op = JoinOperation(state, self._randcl, self._randnum, self._exchange)
         self._leave_op = LeaveOperation(
@@ -142,6 +153,7 @@ class NowEngine:
             "format": 1,
             "config": {
                 "walk_mode": self.config.walk_mode.value,
+                "walk_kernel": self.config.walk_kernel,
                 "cascade_exchanges": self.config.cascade_exchanges,
                 "strict_compromise": self.config.strict_compromise,
                 "record_history": self.config.record_history,
@@ -156,6 +168,8 @@ class NowEngine:
         """Rebuild an engine from :meth:`capture_snapshot` output."""
         config_data = dict(snapshot["config"])
         config_data["walk_mode"] = WalkMode(config_data["walk_mode"])
+        # Checkpoints from before the kernel option default to the naive path.
+        config_data.setdefault("walk_kernel", "naive")
         state = SystemState.restore_state(snapshot["state"])
         engine = cls(state, config=EngineConfig(**config_data))
         engine._randcl.restore_state(snapshot.get("randcl", {}))

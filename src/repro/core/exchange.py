@@ -88,11 +88,25 @@ class ExchangeProtocol:
         members = cluster.members
 
         original_members = cluster.member_list()
+        # Under the array kernel (simulated mode) the whole round's walks
+        # advance in lockstep: one prefetched outcome per original member,
+        # consumed in order and charged only when actually used.  Swaps keep
+        # cluster sizes, so the overlay and its weights are static for the
+        # round and every prefetched outcome is drawn from the same
+        # distribution a sequential walk would see.
+        prefetched = None
+        if self._randcl.batches_walks and len(original_members) > 1:
+            prefetched = iter(self._randcl.prefetch(cluster_id, len(original_members)))
         for node_id in original_members:
             if node_id not in members:
                 # Already swapped out by a previous iteration's partner choice.
                 continue
-            walk = select(cluster_id, metrics=ledger, label=label)
+            if prefetched is not None:
+                walk = self._randcl.finalize(
+                    cluster_id, next(prefetched), metrics=ledger, label=label
+                )
+            else:
+                walk = select(cluster_id, metrics=ledger, label=label)
             report.walk_hops += walk.hops
             report.messages += walk.messages
             report.rounds += walk.rounds

@@ -33,7 +33,8 @@ from typing import Optional
 from ..errors import WalkError
 from ..network.message import MessageKind
 from ..network.metrics import CommunicationMetrics
-from ..walks.sampler import ClusterSampler, WalkMode
+from ..walks.kernel import resolve_kernel_name
+from ..walks.sampler import ClusterSampler, SampleOutcome, WalkMode
 from .cluster import ClusterId
 from .randnum import RandNum
 from .state import SystemState
@@ -64,10 +65,12 @@ class RandCl:
         state: SystemState,
         randnum: Optional[RandNum] = None,
         walk_mode: WalkMode = WalkMode.ORACLE,
+        walk_kernel: str = "naive",
     ) -> None:
         self._state = state
         self._randnum = randnum if randnum is not None else RandNum(state.rng)
         self._walk_mode = walk_mode
+        self._walk_kernel = resolve_kernel_name(walk_kernel)
         # One sampler is reused across selections (it owns the cached biased
         # walk and its bulk exponential buffer); rebuilt only when the overlay
         # graph object or the walk mode changes.
@@ -85,6 +88,23 @@ class RandCl:
     def walk_mode(self) -> WalkMode:
         """Whether walks are simulated hop by hop or sampled from the stationary law."""
         return self._walk_mode
+
+    @property
+    def walk_kernel(self) -> str:
+        """The hop engine serving the walks (``naive`` or ``array``)."""
+        return self._walk_kernel
+
+    @property
+    def batches_walks(self) -> bool:
+        """Whether callers should prefetch whole walk rounds via :meth:`prefetch`.
+
+        Only the array kernel in simulated mode benefits: its walks run on a
+        private RNG stream, so a prefetched batch is outcome-for-outcome
+        identical to sequential sampling regardless of interleaved engine-
+        stream draws.  Oracle-mode draws consume the engine stream directly
+        and stay strictly sequential.
+        """
+        return self._walk_kernel == "array" and self._walk_mode is WalkMode.SIMULATED
 
     def set_walk_mode(self, mode: WalkMode) -> None:
         """Switch between simulated and oracle walk modes."""
@@ -105,6 +125,46 @@ class RandCl:
         The walk starts at ``start_cluster`` (the cluster initiating the
         selection).  Communication cost is charged to ``metrics``.
         """
+        sampler = self._prepare_sampler(start_cluster)
+        outcome = sampler.sample(start_cluster)
+        return self.finalize(start_cluster, outcome, metrics=metrics, label=label)
+
+    def prefetch(self, start_cluster: ClusterId, count: int) -> list:
+        """Run ``count`` walks from ``start_cluster`` up-front, uncharged.
+
+        The batched companion to :meth:`select` for callers that issue one
+        selection per member of a round (the exchange protocol): the whole
+        round advances through the array kernel in lockstep, and each
+        outcome is converted to a charged :class:`RandClResult` by
+        :meth:`finalize` only if the round actually consumes it.  Outcomes
+        are i.i.d. samples of the same distribution as :meth:`select`, so
+        discarding unconsumed ones does not bias the round.
+        """
+        sampler = self._prepare_sampler(start_cluster)
+        return sampler.sample_many([start_cluster] * count)
+
+    def finalize(
+        self,
+        start_cluster: ClusterId,
+        outcome: SampleOutcome,
+        metrics: Optional[CommunicationMetrics] = None,
+        label: str = "randcl",
+    ) -> RandClResult:
+        """Charge and package one prefetched walk outcome (see :meth:`prefetch`)."""
+        messages, rounds = self._charge_costs(outcome.hops, outcome.restarts, metrics, label)
+        return RandClResult(
+            cluster_id=outcome.cluster,
+            start_cluster=start_cluster,
+            hops=outcome.hops,
+            restarts=outcome.restarts,
+            messages=messages,
+            rounds=rounds,
+            mode=outcome.mode,
+            truncated=outcome.truncated,
+        )
+
+    def _prepare_sampler(self, start_cluster: ClusterId) -> ClusterSampler:
+        """Validate the start vertex and (re)configure the shared sampler."""
         overlay_graph = self._state.overlay.graph
         if start_cluster not in overlay_graph:
             raise WalkError(f"cluster {start_cluster} is not an overlay vertex")
@@ -135,22 +195,12 @@ class RandCl:
                 segment_duration=segment_duration,
                 mode=self._walk_mode,
                 max_restarts=max_restarts,
+                kernel=self._walk_kernel,
             )
             self._sampler = sampler
         else:
             sampler.configure(segment_duration=segment_duration, max_restarts=max_restarts)
-        outcome = sampler.sample(start_cluster)
-        messages, rounds = self._charge_costs(outcome.hops, outcome.restarts, metrics, label)
-        return RandClResult(
-            cluster_id=outcome.cluster,
-            start_cluster=start_cluster,
-            hops=outcome.hops,
-            restarts=outcome.restarts,
-            messages=messages,
-            rounds=rounds,
-            mode=outcome.mode,
-            truncated=outcome.truncated,
-        )
+        return sampler
 
     # ------------------------------------------------------------------
     # Checkpoint serialisation (repro.trace)
@@ -160,16 +210,24 @@ class RandCl:
 
         The derived-parameter caches are *not* serialised: they are keyed on
         the overlay version (which the graph snapshot preserves) and rebuild
-        to identical values.  Only the bulk exponential buffer matters — it
-        holds values already drawn from the engine RNG but not yet consumed.
+        to identical values.  What matters is the RNG-derived walk state
+        outside the generators: the bulk exponential buffer of the naive
+        path (values drawn from the engine RNG but not yet consumed) and,
+        under the array kernel, that kernel's private stream and buffers.
         """
-        buffer = self._sampler.snapshot_exp_buffer() if self._sampler is not None else []
-        return {"exp_buffer": buffer}
+        if self._sampler is None:
+            return {"exp_buffer": [], "kernel": None}
+        walk_state = self._sampler.snapshot_walk_state()
+        return {
+            "exp_buffer": walk_state.get("exp_buffer", []),
+            "kernel": walk_state.get("kernel"),
+        }
 
     def restore_state(self, data: dict) -> None:
         """Restore a snapshot taken by :meth:`snapshot_state`."""
         buffer = data.get("exp_buffer", [])
-        if not buffer:
+        kernel_state = data.get("kernel")
+        if not buffer and kernel_state is None:
             return
         overlay_graph = self._state.overlay.graph
         if self._sampler is None or self._sampler.graph is not overlay_graph:
@@ -179,8 +237,9 @@ class RandCl:
                 segment_duration=2.0,  # placeholder; select() reconfigures per call
                 mode=self._walk_mode,
                 max_restarts=4,
+                kernel=self._walk_kernel,
             )
-        self._sampler.restore_exp_buffer(buffer)
+        self._sampler.restore_walk_state({"exp_buffer": buffer, "kernel": kernel_state})
 
     # ------------------------------------------------------------------
     # Cost model

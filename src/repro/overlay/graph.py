@@ -15,6 +15,7 @@ from typing import Dict, Iterable, Iterator, List, Optional, Sequence, Set, Tupl
 
 from ..errors import UnknownClusterError
 from ..structures import LazyMaxTracker
+from ..walks.csr import CSRLayout
 from ..walks.interface import WalkableGraph
 
 ClusterId = int
@@ -28,16 +29,17 @@ class OverlayGraph(WalkableGraph):
     (the maximum via a lazy max-heap), so a ``randCl`` draw costs O(1)
     aggregate work instead of a sweep over all vertices.
 
-    Two transition-table caches back the walk fast path (see
-    ``docs/ARCHITECTURE.md``):
-
-    * per-vertex neighbour tuples (:meth:`neighbour_table`), invalidated for
-      the two endpoints of every edge mutation, so a CTRW hop reads a cached
-      tuple instead of materialising a neighbour list;
-    * a cumulative-weight vertex table (:meth:`sample_weighted_vertex`),
-      invalidated by any vertex/weight mutation and rebuilt lazily, so a
-      stationary-law (oracle) draw costs one binary search instead of an
-      O(#vertices) rebuild.
+    One shared CSR snapshot backs the walk fast path (see
+    ``docs/ARCHITECTURE.md``): :meth:`csr` flattens the adjacency into a
+    :class:`~repro.walks.csr.CSRLayout` (``indptr``/``indices`` plus degree
+    reciprocals, weights and a lazy cumulative-weight row).  Structural
+    mutations (vertex/edge add/remove) invalidate it wholesale; weight
+    updates are applied to it in place (O(1)).  Both the per-hop
+    :meth:`neighbour_table` and the stationary-law
+    :meth:`sample_weighted_vertex` draw are served from that one snapshot,
+    and the batched walk kernels (:mod:`repro.walks.kernel`) index it
+    directly — there is no separate per-vertex tuple cache or weight table
+    to keep in sync.
 
     Determinism contract (``repro.trace`` relies on this): every enumeration
     an RNG draw can observe — :meth:`vertices`, :meth:`neighbours`,
@@ -53,11 +55,10 @@ class OverlayGraph(WalkableGraph):
         self._weights = LazyMaxTracker()
         self._edge_count: int = 0
         self._total_weight: float = 0.0
-        # Walk fast-path caches (invalidated incrementally by mutations).
-        self._neighbour_tables: Dict[ClusterId, Tuple[ClusterId, ...]] = {}
-        self._weight_table_vertices: List[ClusterId] = []
-        self._weight_table_cumulative: List[float] = []
-        self._weight_table_dirty: bool = True
+        # Walk fast-path CSR snapshot: dropped on structural mutation,
+        # weight-patched in place by set_weight, rebuilt lazily by csr().
+        self._csr: Optional[CSRLayout] = None
+        self._structure_version: int = 0
         #: Monotonic mutation counter: bumped by every structural or weight
         #: change, letting walk-side caches key derived quantities (expected
         #: effort, segment durations) on graph identity + version.
@@ -74,8 +75,7 @@ class OverlayGraph(WalkableGraph):
         weight = float(weight)
         self._weights.set(cluster_id, weight)
         self._total_weight += weight
-        self._weight_table_dirty = True
-        self.version += 1
+        self._invalidate_structure()
 
     def remove_vertex(self, cluster_id: ClusterId) -> Set[ClusterId]:
         """Remove ``cluster_id``; returns its former neighbours."""
@@ -83,13 +83,10 @@ class OverlayGraph(WalkableGraph):
         neighbours = self._adjacency.pop(cluster_id)
         for other in neighbours:
             self._adjacency[other].discard(cluster_id)
-            self._neighbour_tables.pop(other, None)
         self._edge_count -= len(neighbours)
         self._total_weight -= self._weights.get(cluster_id, 0.0)
         self._weights.discard(cluster_id)
-        self._neighbour_tables.pop(cluster_id, None)
-        self._weight_table_dirty = True
-        self.version += 1
+        self._invalidate_structure()
         return neighbours
 
     def add_edge(self, first: ClusterId, second: ClusterId) -> bool:
@@ -103,9 +100,7 @@ class OverlayGraph(WalkableGraph):
         self._adjacency[first].add(second)
         self._adjacency[second].add(first)
         self._edge_count += 1
-        self._neighbour_tables.pop(first, None)
-        self._neighbour_tables.pop(second, None)
-        self.version += 1
+        self._invalidate_structure()
         return True
 
     def remove_edge(self, first: ClusterId, second: ClusterId) -> bool:
@@ -117,18 +112,28 @@ class OverlayGraph(WalkableGraph):
         self._adjacency[first].discard(second)
         self._adjacency[second].discard(first)
         self._edge_count -= 1
-        self._neighbour_tables.pop(first, None)
-        self._neighbour_tables.pop(second, None)
-        self.version += 1
+        self._invalidate_structure()
         return True
 
     def set_weight(self, cluster_id: ClusterId, weight: float) -> None:
-        """Update the weight (cluster size) of ``cluster_id``."""
+        """Update the weight (cluster size) of ``cluster_id``.
+
+        The live CSR snapshot (when built) is patched in place — an O(1)
+        write plus marking its cumulative row dirty — so the engine's
+        per-event weight churn never forces a structural rebuild.
+        """
         self._require(cluster_id)
         weight = float(weight)
         self._total_weight += weight - self._weights[cluster_id]
         self._weights.set(cluster_id, weight)
-        self._weight_table_dirty = True
+        self.version += 1
+        if self._csr is not None:
+            self._csr.set_weight(cluster_id, weight, weights_version=self.version)
+
+    def _invalidate_structure(self) -> None:
+        """Drop the CSR snapshot after a structural (vertex/edge) mutation."""
+        self._csr = None
+        self._structure_version += 1
         self.version += 1
 
     # ------------------------------------------------------------------
@@ -141,14 +146,32 @@ class OverlayGraph(WalkableGraph):
         self._require(vertex)
         return sorted(self._adjacency[vertex])
 
+    def csr(self) -> CSRLayout:
+        """The current CSR snapshot of the overlay (rebuilt lazily).
+
+        Structural mutations drop the snapshot; weight mutations patch it in
+        place, so between structural changes every caller — per-hop
+        neighbour lookups, oracle draws and the batched walk kernels —
+        shares one flat layout.
+        """
+        csr = self._csr
+        if csr is None:
+            csr = CSRLayout.build(
+                self,
+                structure_version=self._structure_version,
+                weights_version=self.version,
+            )
+            self._csr = csr
+        elif csr.weights_version != self.version:
+            # Only reachable when `version` was assigned directly (snapshot
+            # restore); mutations keep the stamps in sync themselves.
+            csr.refresh_weights(self, weights_version=self.version)
+        return csr
+
     def neighbour_table(self, vertex: ClusterId) -> Tuple[ClusterId, ...]:
         """Cached neighbour tuple of ``vertex`` (same order as :meth:`neighbours`)."""
-        table = self._neighbour_tables.get(vertex)
-        if table is None:
-            self._require(vertex)
-            table = tuple(sorted(self._adjacency[vertex]))
-            self._neighbour_tables[vertex] = table
-        return table
+        self._require(vertex)
+        return self.csr().neighbour_tuple(vertex)
 
     def weight(self, vertex: ClusterId) -> float:
         self._require(vertex)
@@ -157,33 +180,20 @@ class OverlayGraph(WalkableGraph):
     def sample_weighted_vertex(self, rng: random.Random) -> ClusterId:
         """A vertex drawn from ``weight(v) / total_weight`` in amortised O(1).
 
-        Consumes exactly one ``rng.random()`` draw against the cached
-        cumulative-weight table (rebuilt lazily after vertex or weight
+        Consumes exactly one ``rng.random()`` draw against the CSR
+        snapshot's cumulative-weight row (rebuilt lazily after weight
         mutations), selecting the same vertex the naive rebuild-per-draw
         implementation would for the same draw.
         """
-        if self._weight_table_dirty:
-            self._rebuild_weight_table()
-        cumulative = self._weight_table_cumulative
+        csr = self.csr()
+        cumulative = csr.cum_weights()
         if not cumulative:
             raise ValueError("cannot sample a vertex of an empty graph")
         total = cumulative[-1]
         if total <= 0.0:
             raise ValueError("graph has no positive vertex weight")
         index = bisect.bisect_right(cumulative, rng.random() * total, 0, len(cumulative) - 1)
-        return self._weight_table_vertices[index]
-
-    def _rebuild_weight_table(self) -> None:
-        weights = self._weights
-        vertices = sorted(self._adjacency.keys())
-        cumulative: List[float] = []
-        total = 0.0
-        for vertex in vertices:
-            total += max(0.0, weights[vertex])
-            cumulative.append(total)
-        self._weight_table_vertices = vertices
-        self._weight_table_cumulative = cumulative
-        self._weight_table_dirty = False
+        return csr.vertices[index]
 
     # ------------------------------------------------------------------
     # Queries

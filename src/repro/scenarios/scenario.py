@@ -118,6 +118,12 @@ class Scenario:
                 config=EngineConfig(**options) if options else None,
             )
         if self.engine in BASELINE_ENGINES:
+            now_only = set(self.engine_options) & set(EngineConfig.__dataclass_fields__)
+            if now_only:
+                raise ConfigurationError(
+                    f"engine_options {sorted(now_only)} configure the NOW engine; "
+                    f"baseline engine {self.engine!r} does not accept them"
+                )
             return BASELINE_ENGINES[self.engine].bootstrap(
                 params,
                 initial_size=self.initial_size,

@@ -10,6 +10,9 @@ biased so that the endpoint cluster ``C`` is selected with probability
 This package provides:
 
 * :mod:`repro.walks.interface`  — the minimal graph interface walks need,
+* :mod:`repro.walks.csr`        — the flat CSR snapshot the fast paths index,
+* :mod:`repro.walks.kernel`     — the batched array hop engine (numpy backend
+  plus a pure-python fallback), selected via ``engine_options.walk_kernel``,
 * :mod:`repro.walks.ctrw`       — continuous random walks (exponential holding
   times, uniform neighbour choice) and their discrete skeletons,
 * :mod:`repro.walks.biased`     — the biased CTRW of the paper (Metropolis
@@ -20,6 +23,8 @@ This package provides:
 """
 
 from .interface import WalkableGraph, MappingGraph
+from .csr import CSRLayout
+from .kernel import ArrayKernel, KERNEL_NAMES, resolve_kernel_name
 from .ctrw import ContinuousRandomWalk, WalkResult
 from .biased import BiasedClusterWalk, BiasedWalkOutcome
 from .mixing import total_variation_distance, empirical_distribution, estimate_mixing_time
@@ -28,6 +33,10 @@ from .sampler import ClusterSampler, SampleOutcome, WalkMode
 __all__ = [
     "WalkableGraph",
     "MappingGraph",
+    "CSRLayout",
+    "ArrayKernel",
+    "KERNEL_NAMES",
+    "resolve_kernel_name",
     "ContinuousRandomWalk",
     "WalkResult",
     "BiasedClusterWalk",

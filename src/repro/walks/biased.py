@@ -19,7 +19,7 @@ from __future__ import annotations
 
 import random
 from dataclasses import dataclass, field
-from typing import Hashable, List, Optional
+from typing import Hashable, List, Optional, Sequence
 
 from ..errors import WalkError
 from .ctrw import ContinuousRandomWalk
@@ -69,6 +69,7 @@ class BiasedClusterWalk:
         rng: random.Random,
         segment_duration: float,
         max_restarts: int = 64,
+        kernel: str = "naive",
     ) -> None:
         if segment_duration <= 0:
             raise WalkError("segment duration must be positive")
@@ -78,7 +79,13 @@ class BiasedClusterWalk:
         self._rng = rng
         self._segment_duration = float(segment_duration)
         self._max_restarts = max_restarts
-        self._ctrw = ContinuousRandomWalk(graph, rng)
+        self._ctrw = ContinuousRandomWalk(graph, rng, kernel=kernel)
+        self._kernel_name = self._ctrw.kernel_name
+
+    @property
+    def kernel_name(self) -> str:
+        """The selected walk kernel (``naive`` or ``array``)."""
+        return self._kernel_name
 
     @property
     def segment_duration(self) -> float:
@@ -98,6 +105,8 @@ class BiasedClusterWalk:
         """Run the biased walk from ``start`` and return the accepted cluster."""
         if not self._graph.has_vertex(start):
             raise WalkError(f"start vertex {start!r} is not in the graph")
+        if self._kernel_name == "array":
+            return self._run_kernel([start])[0]
         max_weight = self._graph.max_weight()
         if max_weight <= 0:
             raise WalkError("graph has no positive vertex weight")
@@ -132,6 +141,40 @@ class BiasedClusterWalk:
             truncated=True,
         )
 
+    def run_batch(self, starts: Sequence[Vertex]) -> List[BiasedWalkOutcome]:
+        """Run one biased walk from each of ``starts``.
+
+        Under the array kernel the whole batch advances in lockstep through
+        the CSR hop engine; under the naive kernel this is a plain loop over
+        :meth:`run`.  Outcomes are returned in ``starts`` order.
+        """
+        starts = list(starts)
+        if not starts:
+            return []
+        if self._kernel_name == "array":
+            for start in starts:
+                if not self._graph.has_vertex(start):
+                    raise WalkError(f"start vertex {start!r} is not in the graph")
+            return self._run_kernel(starts)
+        return [self.run(start) for start in starts]
+
+    def _run_kernel(self, starts: List[Vertex]) -> List[BiasedWalkOutcome]:
+        outcomes = self._ctrw.array_kernel().run_biased_batch(
+            starts, self._segment_duration, self._max_restarts
+        )
+        # The kernel does not track per-segment endpoints, so `visited` (a
+        # diagnostics-only field) stays empty on this path.
+        return [
+            BiasedWalkOutcome(
+                cluster=cluster,
+                hops=hops,
+                restarts=restarts,
+                acceptance_tests=acceptance_tests,
+                truncated=truncated,
+            )
+            for cluster, hops, restarts, acceptance_tests, truncated in outcomes
+        ]
+
     def snapshot_exp_buffer(self) -> List[float]:
         """Unconsumed bulk exponentials of the underlying CTRW (checkpointing)."""
         return self._ctrw.snapshot_exp_buffer()
@@ -139,6 +182,14 @@ class BiasedClusterWalk:
     def restore_exp_buffer(self, values) -> None:
         """Restore a buffer captured by :meth:`snapshot_exp_buffer`."""
         self._ctrw.restore_exp_buffer(values)
+
+    def snapshot_walk_state(self) -> dict:
+        """Exponential buffer + array-kernel state of the underlying CTRW."""
+        return self._ctrw.snapshot_walk_state()
+
+    def restore_walk_state(self, data: dict) -> None:
+        """Restore a snapshot taken by :meth:`snapshot_walk_state`."""
+        self._ctrw.restore_walk_state(data)
 
     def expected_restarts(self) -> float:
         """Expected number of restarts: ``max |C| * #C / n`` under uniform endpoints.

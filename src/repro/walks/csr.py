@@ -1,0 +1,244 @@
+"""Contiguous CSR snapshot of a walkable graph.
+
+The walk kernels (:mod:`repro.walks.kernel`) advance many concurrent walks
+per step, which needs the graph in a flat, indexable form rather than a
+dict-of-sets: :class:`CSRLayout` is that form — the classic compressed
+sparse row layout (``indptr``/``indices``) over the graph's sorted vertex
+enumeration, augmented with the derived rows every hop reads:
+
+* ``inv_degree`` — cached degree reciprocals, so an ``Exp(d)`` holding time
+  is one multiply of a unit exponential (``Exp(d) = Exp(1) / d``);
+* ``weights`` and a lazily rebuilt cumulative-weight row, backing both the
+  biased walk's acceptance test and the stationary-law (oracle) draw.
+
+Rows are *row indices*, not vertex ids: ``indices`` stores the neighbour's
+row so a hop never leaves integer-array space; :attr:`CSRLayout.vertices`
+maps rows back to ids at the boundary.  All arrays are ``array``-module
+buffers, so the layout works without numpy; when numpy is installed,
+:meth:`numpy_views` exposes zero-copy ``frombuffer`` views over the same
+memory for the vectorised kernel.
+
+Invalidation contract (see ``docs/ARCHITECTURE.md``): a layout is a
+snapshot keyed on the owning graph's mutation counters.  Structural
+mutations (vertex/edge add/remove) discard it wholesale — the next walk
+rebuilds in O(V + E).  Weight mutations are applied *in place* through
+:meth:`set_weight` (O(1), plus marking the cumulative row dirty), so the
+per-event weight churn of the engine never pays a structural rebuild.
+The sorted-vertex enumeration makes the layout deterministic: the same
+graph state always flattens to byte-identical rows, which the trace
+subsystem's resume-equals-uninterrupted property relies on.
+"""
+
+from __future__ import annotations
+
+import bisect
+from array import array
+from typing import Dict, Hashable, List, Optional, Tuple
+
+try:  # numpy is optional: the pure-python kernel works without it.
+    import numpy as _np
+except ImportError:  # pragma: no cover - exercised by the no-numpy CI job
+    _np = None
+
+Vertex = Hashable
+
+
+class CSRLayout:
+    """One immutable-structure CSR snapshot of a walkable graph."""
+
+    __slots__ = (
+        "vertices",
+        "_row_of",
+        "indptr",
+        "indices",
+        "inv_degree",
+        "weights",
+        "structure_version",
+        "weights_version",
+        "_cum",
+        "_tuples",
+        "_np_static",
+        "_np_cum",
+    )
+
+    def __init__(
+        self,
+        vertices: List[Vertex],
+        indptr: array,
+        indices: array,
+        inv_degree: array,
+        weights: array,
+        structure_version=None,
+        weights_version=None,
+    ) -> None:
+        self.vertices = vertices
+        self._row_of: Dict[Vertex, int] = {v: row for row, v in enumerate(vertices)}
+        self.indptr = indptr
+        self.indices = indices
+        self.inv_degree = inv_degree
+        self.weights = weights
+        #: Stamp of the owning graph's structural mutation counter at build time.
+        self.structure_version = structure_version
+        #: Stamp of the owning graph's full mutation counter the weights row
+        #: reflects (kept current by :meth:`set_weight`).
+        self.weights_version = weights_version
+        self._cum: Optional[array] = None
+        self._tuples: List[Optional[Tuple[Vertex, ...]]] = [None] * len(vertices)
+        self._np_static = None
+        self._np_cum = None
+
+    # ------------------------------------------------------------------
+    # Construction
+    # ------------------------------------------------------------------
+    @classmethod
+    def build(cls, graph, structure_version=None, weights_version=None) -> "CSRLayout":
+        """Flatten ``graph`` (any :class:`~repro.walks.interface.WalkableGraph`).
+
+        The row order is the graph's own :meth:`vertices` enumeration and each
+        row lists neighbours in :meth:`neighbours` order, so the flat layout
+        inherits the graph's determinism contract verbatim.
+        """
+        vertices = list(graph.vertices())
+        row_of = {v: row for row, v in enumerate(vertices)}
+        indptr = array("q", [0])
+        indices = array("q")
+        inv_degree = array("d")
+        weights = array("d")
+        for vertex in vertices:
+            neighbours = graph.neighbours(vertex)
+            for neighbour in neighbours:
+                indices.append(row_of[neighbour])
+            degree = len(neighbours)
+            indptr.append(len(indices))
+            inv_degree.append(1.0 / degree if degree else 0.0)
+            weights.append(float(graph.weight(vertex)))
+        return cls(
+            vertices,
+            indptr,
+            indices,
+            inv_degree,
+            weights,
+            structure_version=structure_version,
+            weights_version=weights_version,
+        )
+
+    # ------------------------------------------------------------------
+    # Row addressing
+    # ------------------------------------------------------------------
+    def __len__(self) -> int:
+        return len(self.vertices)
+
+    def row_of(self, vertex: Vertex) -> int:
+        """Row index of ``vertex`` (KeyError when absent)."""
+        return self._row_of[vertex]
+
+    def has_vertex(self, vertex: Vertex) -> bool:
+        return vertex in self._row_of
+
+    def degree_of_row(self, row: int) -> int:
+        return self.indptr[row + 1] - self.indptr[row]
+
+    def neighbour_tuple(self, vertex: Vertex) -> Tuple[Vertex, ...]:
+        """The neighbours of ``vertex`` as a memoised id tuple (row order)."""
+        row = self._row_of[vertex]
+        table = self._tuples[row]
+        if table is None:
+            vertices = self.vertices
+            table = tuple(
+                vertices[neighbour_row]
+                for neighbour_row in self.indices[self.indptr[row] : self.indptr[row + 1]]
+            )
+            self._tuples[row] = table
+        return table
+
+    # ------------------------------------------------------------------
+    # Weights
+    # ------------------------------------------------------------------
+    def set_weight(self, vertex: Vertex, weight: float, weights_version=None) -> None:
+        """In-place weight update (O(1)); marks the cumulative row dirty."""
+        self.weights[self._row_of[vertex]] = float(weight)
+        self.weights_version = weights_version
+        self._cum = None
+        self._np_cum = None
+
+    def refresh_weights(self, graph, weights_version=None) -> None:
+        """Re-read every weight from ``graph`` (safety net for bulk updates)."""
+        weights = self.weights
+        for row, vertex in enumerate(self.vertices):
+            weights[row] = float(graph.weight(vertex))
+        self.weights_version = weights_version
+        self._cum = None
+        self._np_cum = None
+
+    def cum_weights(self) -> array:
+        """Cumulative ``max(0, weight)`` row (rebuilt lazily after weight churn)."""
+        cum = self._cum
+        if cum is None:
+            cum = array("d")
+            total = 0.0
+            for weight in self.weights:
+                total += weight if weight > 0.0 else 0.0
+                cum.append(total)
+            self._cum = cum
+        return cum
+
+    def sample_row(self, draw: float) -> int:
+        """The row selected by one uniform ``draw`` under the stationary law.
+
+        Exactly the pre-CSR cached-table semantics: one binary search over
+        the cumulative row, same bisection bounds, so the same draw selects
+        the same vertex the previous implementation (and the naive
+        rebuild-per-draw one) would.
+        """
+        cum = self.cum_weights()
+        if not cum:
+            raise ValueError("cannot sample a vertex of an empty graph")
+        total = cum[-1]
+        if total <= 0.0:
+            raise ValueError("graph has no positive vertex weight")
+        return bisect.bisect_right(cum, draw * total, 0, len(cum) - 1)
+
+    # ------------------------------------------------------------------
+    # Numpy views
+    # ------------------------------------------------------------------
+    def numpy_views(self):
+        """Zero-copy numpy views over the CSR rows (``None`` without numpy).
+
+        ``indptr``/``indices``/``inv_degree``/``weights`` are ``frombuffer``
+        views of the same memory, so :meth:`set_weight` updates are visible
+        through them without any copying; the cumulative row is viewed
+        per-rebuild (it is replaced, not mutated, on weight churn).
+        """
+        if _np is None:
+            return None
+        views = self._np_static
+        if views is None:
+            views = {
+                "indptr": _np.frombuffer(self.indptr, dtype=_np.int64),
+                "indices": _np.frombuffer(self.indices, dtype=_np.int64)
+                if len(self.indices)
+                else _np.empty(0, dtype=_np.int64),
+                "inv_degree": _np.frombuffer(self.inv_degree, dtype=_np.float64)
+                if len(self.inv_degree)
+                else _np.empty(0, dtype=_np.float64),
+                "weights": _np.frombuffer(self.weights, dtype=_np.float64)
+                if len(self.weights)
+                else _np.empty(0, dtype=_np.float64),
+            }
+            self._np_static = views
+        return views
+
+    def numpy_cum_weights(self):
+        """Numpy view of :meth:`cum_weights` (``None`` without numpy)."""
+        if _np is None:
+            return None
+        view = self._np_cum
+        if view is None:
+            cum = self.cum_weights()
+            view = (
+                _np.frombuffer(cum, dtype=_np.float64)
+                if len(cum)
+                else _np.empty(0, dtype=_np.float64)
+            )
+            self._np_cum = view
+        return view

@@ -32,6 +32,7 @@ from typing import Dict, Hashable, List, Optional, Sequence
 
 from ..errors import WalkError
 from .interface import WalkableGraph
+from .kernel import ArrayKernel, resolve_kernel_name
 
 Vertex = Hashable
 
@@ -70,11 +71,31 @@ class WalkResult:
 class ContinuousRandomWalk:
     """Continuous-time random walk simulator on a :class:`WalkableGraph`."""
 
-    def __init__(self, graph: WalkableGraph, rng: random.Random) -> None:
+    def __init__(
+        self, graph: WalkableGraph, rng: random.Random, kernel: str = "naive"
+    ) -> None:
         self._graph = graph
         self._rng = rng
         # Bulk unit-exponential buffer used by the batched entry points.
         self._exp_buffer: List[float] = []
+        # Which hop engine serves the batched entry points: "naive" keeps
+        # the historical per-hop loop on the engine stream; "array" routes
+        # batches through the CSR kernel (its own checkpointable stream).
+        self._kernel_name = resolve_kernel_name(kernel)
+        self._array_kernel: Optional[ArrayKernel] = None
+
+    @property
+    def kernel_name(self) -> str:
+        """The selected walk kernel (``naive`` or ``array``)."""
+        return self._kernel_name
+
+    def array_kernel(self) -> ArrayKernel:
+        """The lazily created batched CSR kernel bound to this walk's graph."""
+        kernel = self._array_kernel
+        if kernel is None:
+            kernel = ArrayKernel(self._graph, self._rng)
+            self._array_kernel = kernel
+        return kernel
 
     # ------------------------------------------------------------------
     # Continuous-time walk
@@ -136,6 +157,13 @@ class ContinuousRandomWalk:
             if not graph.has_vertex(start):
                 raise WalkError(f"start vertex {start!r} is not in the graph")
         duration = float(duration)
+        if self._kernel_name == "array" and not record_path:
+            return [
+                WalkResult(endpoint=endpoint, hops=hops, duration=duration, elapsed=elapsed)
+                for endpoint, hops, elapsed in self.array_kernel().run_ctrw_batch(
+                    starts, duration
+                )
+            ]
         return [self._run_buffered(start, duration, record_path) for start in starts]
 
     def run_buffered(self, start: Vertex, duration: float, record_path: bool = False) -> WalkResult:
@@ -201,6 +229,30 @@ class ContinuousRandomWalk:
     def restore_exp_buffer(self, values: Sequence[float]) -> None:
         """Restore a buffer captured by :meth:`snapshot_exp_buffer`."""
         self._exp_buffer = [float(value) for value in values]
+
+    def snapshot_walk_state(self) -> dict:
+        """Full RNG-derived walk state: exponential buffer + kernel state.
+
+        Extends :meth:`snapshot_exp_buffer` with the array kernel's private
+        stream and buffers when that kernel has been instantiated; restoring
+        the result reproduces the uninterrupted draw sequence bit-exactly
+        under either kernel.
+        """
+        return {
+            "exp_buffer": list(self._exp_buffer),
+            "kernel": (
+                self._array_kernel.snapshot_state()
+                if self._array_kernel is not None
+                else None
+            ),
+        }
+
+    def restore_walk_state(self, data: dict) -> None:
+        """Restore a snapshot taken by :meth:`snapshot_walk_state`."""
+        self._exp_buffer = [float(value) for value in data.get("exp_buffer", ())]
+        kernel_state = data.get("kernel")
+        if kernel_state is not None:
+            self.array_kernel().restore_state(kernel_state)
 
     # ------------------------------------------------------------------
     # Discrete skeleton

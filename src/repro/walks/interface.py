@@ -14,6 +14,7 @@ import random
 from typing import Dict, Hashable, Iterable, List, Mapping, Sequence, Tuple
 
 from ..rng import choice_weighted
+from .csr import CSRLayout
 
 Vertex = Hashable
 
@@ -59,6 +60,22 @@ class WalkableGraph(abc.ABC):
         :meth:`neighbours`.
         """
         return tuple(self.neighbours(vertex))
+
+    def csr(self) -> CSRLayout:
+        """A CSR snapshot of the graph for the batched walk kernels.
+
+        The default keys one cached :class:`~repro.walks.csr.CSRLayout` on
+        the graph's ``version`` attribute when it has one (rebuilding after
+        any mutation) and caches it forever on static graphs.  Mutable
+        graphs with finer-grained invalidation (the overlay) override this.
+        """
+        version = getattr(self, "version", None)
+        cached = getattr(self, "_csr_cache", None)
+        if cached is not None and cached[0] == version:
+            return cached[1]
+        layout = CSRLayout.build(self, weights_version=version)
+        self._csr_cache = (version, layout)
+        return layout
 
     def sample_weighted_vertex(self, rng: random.Random) -> Vertex:
         """A vertex sampled with probability ``weight(v) / total_weight``.

@@ -1,0 +1,488 @@
+"""Batched array walk kernel over the CSR graph layout.
+
+The naive walk implementations in :mod:`repro.walks.ctrw` advance one walk
+at a time, paying python-interpreter overhead per hop (a ``randrange`` call,
+a tuple index, a buffer pop).  :class:`ArrayKernel` replaces that hot loop
+with batched hop selection over a :class:`~repro.walks.csr.CSRLayout`: all
+concurrent walks of a sampling round advance together, one vectorised step
+per hop generation — bulk unit exponentials scaled by the cached degree
+reciprocals for the holding times (``Exp(d) = Exp(1) / d``), and hop
+targets picked straight out of the flat ``indices`` row by offset
+(``indices[indptr[pos] + floor(u * deg)]``; with uniform neighbour choice
+the weighted-row ``searchsorted`` generalisation collapses to this single
+gather).
+
+Two backends share the same code paths and on-disk state format:
+
+* ``numpy`` — the fast one: walks advance in lockstep over zero-copy views
+  of the CSR buffers, and randomness is generated in bulk blocks from a
+  dedicated ``Generator(PCG64)`` stream.
+* ``python`` — a pure-``array``/list fallback used when numpy is not
+  installed, so the dependency stays optional.  It serves every batch
+  through the scalar CSR path with a dedicated ``random.Random`` stream.
+
+Batches smaller than :data:`MIN_VECTOR_BATCH` also take the scalar CSR path
+on the numpy backend: per-step numpy dispatch overhead swamps the win below
+a few dozen concurrent walks (an exchange round batches one walk per
+cluster member), while the scalar path still beats the naive loop by
+reading pre-drawn uniforms from the bulk buffers.  The path choice depends
+only on batch size and backend, never on drawn values, so it is
+deterministic.
+
+Determinism contract (``repro.trace``): the kernel owns its *own* RNG
+stream, seeded lazily from the parent (engine) stream via one
+``getrandbits(64)`` at first use.  Pre-drawn exponential/uniform buffers
+and the stream state are checkpointed by :meth:`ArrayKernel.snapshot_state`
+and restored bit-exactly by :meth:`ArrayKernel.restore_state` — a resumed
+run consumes the exact buffered values, then continues the stream where the
+uninterrupted run would, and never re-consumes the parent stream.  Buffered
+values are consumed strictly in generation order, so refill block
+boundaries cannot perturb the draw sequence.
+"""
+
+from __future__ import annotations
+
+import math
+import random
+from typing import Hashable, List, Sequence, Tuple
+
+from ..errors import ConfigurationError, WalkError
+from ..rng import rng_state_from_json, rng_state_to_json
+
+try:  # numpy is optional: the python backend covers its absence.
+    import numpy as _np
+except ImportError:  # pragma: no cover - exercised by the no-numpy CI job
+    _np = None
+
+Vertex = Hashable
+
+#: The walk kernel implementations selectable via ``engine_options.walk_kernel``.
+KERNEL_NAMES: Tuple[str, ...] = ("naive", "array")
+
+#: Randomness is generated into buffers of this many values per refill.
+_REFILL = 4096
+
+#: Batches below this size take the scalar CSR path even on the numpy
+#: backend: per-step numpy dispatch overhead swamps the win until a few
+#: dozen walks advance together (measured crossover ~64 on engine-sized
+#: overlays, where exchange rounds batch ~40 walks).
+MIN_VECTOR_BATCH = 64
+
+
+def resolve_kernel_name(name) -> str:
+    """Validate a ``walk_kernel`` option value; returns the canonical name."""
+    if isinstance(name, str) and name in KERNEL_NAMES:
+        return name
+    raise ConfigurationError(
+        f"unknown walk kernel {name!r}; expected one of {', '.join(KERNEL_NAMES)}"
+    )
+
+
+class ArrayKernel:
+    """Batched CSR hop engine with a checkpointable private RNG stream."""
+
+    def __init__(self, graph, parent_rng: random.Random, backend: str = None) -> None:
+        if backend is None:
+            backend = "numpy" if _np is not None else "python"
+        if backend not in ("numpy", "python"):
+            raise ConfigurationError(f"unknown array-kernel backend {backend!r}")
+        if backend == "numpy" and _np is None:
+            raise ConfigurationError(
+                "the numpy array-kernel backend requires numpy; install it or "
+                "use the python backend"
+            )
+        self._graph = graph
+        self._parent_rng = parent_rng
+        self._backend = backend
+        # Private stream, seeded lazily from the parent at first use so an
+        # unused kernel never perturbs the engine stream.
+        self._gen = None
+        if backend == "numpy":
+            self._exp_buf = _np.empty(0, dtype=_np.float64)
+            self._uni_buf = _np.empty(0, dtype=_np.float64)
+        else:
+            self._exp_buf: List[float] = []
+            self._uni_buf: List[float] = []
+        self._exp_cur = 0
+        self._uni_cur = 0
+
+    @property
+    def backend(self) -> str:
+        """Which backend this kernel runs on (``numpy`` or ``python``)."""
+        return self._backend
+
+    # ------------------------------------------------------------------
+    # Private RNG stream and buffers
+    # ------------------------------------------------------------------
+    def _ensure_gen(self):
+        gen = self._gen
+        if gen is None:
+            seed = self._parent_rng.getrandbits(64)
+            if self._backend == "numpy":
+                gen = _np.random.Generator(_np.random.PCG64(seed))
+            else:
+                gen = random.Random(seed)
+            self._gen = gen
+        return gen
+
+    def _generate_exp(self, count):
+        """``count`` fresh unit exponentials from the private stream."""
+        gen = self._ensure_gen()
+        if self._backend == "numpy":
+            # -log1p(-u) == -log(1-u) for u in [0,1): exact at u == 0.
+            return -_np.log1p(-gen.random(count))
+        gen_random = gen.random
+        log = math.log
+        return [-log(1.0 - gen_random()) for _ in range(count)]
+
+    def _generate_uni(self, count):
+        """``count`` fresh uniforms in ``[0, 1)`` from the private stream."""
+        gen = self._ensure_gen()
+        if self._backend == "numpy":
+            return gen.random(count)
+        gen_random = gen.random
+        return [gen_random() for _ in range(count)]
+
+    def _next_exp(self) -> float:
+        cursor = self._exp_cur
+        if cursor >= len(self._exp_buf):
+            self._exp_buf = self._generate_exp(_REFILL)
+            cursor = 0
+        self._exp_cur = cursor + 1
+        return float(self._exp_buf[cursor])
+
+    def _next_uni(self) -> float:
+        cursor = self._uni_cur
+        if cursor >= len(self._uni_buf):
+            self._uni_buf = self._generate_uni(_REFILL)
+            cursor = 0
+        self._uni_cur = cursor + 1
+        return float(self._uni_buf[cursor])
+
+    def _take_exp_vec(self, count):
+        """``count`` unit exponentials as a numpy view (buffer remainder first)."""
+        buf, cursor = self._exp_buf, self._exp_cur
+        available = len(buf) - cursor
+        if available >= count:
+            self._exp_cur = cursor + count
+            return buf[cursor : cursor + count]
+        remainder = buf[cursor:]
+        needed = count - available
+        fresh = self._generate_exp(max(_REFILL, needed))
+        self._exp_buf = fresh
+        self._exp_cur = needed
+        return _np.concatenate((remainder, fresh[:needed]))
+
+    def _take_uni_vec(self, count):
+        """``count`` uniforms as a numpy view (buffer remainder first)."""
+        buf, cursor = self._uni_buf, self._uni_cur
+        available = len(buf) - cursor
+        if available >= count:
+            self._uni_cur = cursor + count
+            return buf[cursor : cursor + count]
+        remainder = buf[cursor:]
+        needed = count - available
+        fresh = self._generate_uni(max(_REFILL, needed))
+        self._uni_buf = fresh
+        self._uni_cur = needed
+        return _np.concatenate((remainder, fresh[:needed]))
+
+    # ------------------------------------------------------------------
+    # CTRW batches
+    # ------------------------------------------------------------------
+    def run_ctrw_batch(self, starts: Sequence[Vertex], duration: float) -> List[tuple]:
+        """One CTRW of ``duration`` from each start; ``(endpoint, hops, elapsed)``.
+
+        Distributionally identical to the naive per-hop simulation (exact
+        exponential holding times, uniform neighbour choice); only the order
+        in which the private stream's draws are consumed differs between the
+        scalar and vectorised paths.
+        """
+        if duration < 0:
+            raise WalkError("walk duration must be non-negative")
+        csr = self._graph.csr()
+        rows = self._rows_for(csr, starts)
+        duration = float(duration)
+        if self._backend == "numpy" and len(rows) >= MIN_VECTOR_BATCH:
+            return self._ctrw_vector(rows, duration, csr)
+        vertices = csr.vertices
+        out = []
+        for row in rows:
+            end_row, hops, elapsed = self._ctrw_scalar(row, duration, csr)
+            out.append((vertices[end_row], hops, elapsed))
+        return out
+
+    def _ctrw_scalar(self, row: int, duration: float, csr) -> tuple:
+        indptr = csr.indptr
+        indices = csr.indices
+        inv_degree = csr.inv_degree
+        remaining = duration
+        hops = 0
+        while remaining > 0:
+            base = indptr[row]
+            degree = indptr[row + 1] - base
+            if degree == 0:
+                break
+            holding = self._next_exp() * inv_degree[row]
+            if holding >= remaining:
+                remaining = 0.0
+                break
+            remaining -= holding
+            offset = int(self._next_uni() * degree)
+            if offset >= degree:  # guard against u*d rounding up to d
+                offset = degree - 1
+            row = indices[base + offset]
+            hops += 1
+        return (row, hops, duration - remaining)
+
+    def _ctrw_vector(self, rows: List[int], duration: float, csr) -> List[tuple]:
+        views = csr.numpy_views()
+        indptr = views["indptr"]
+        indices = views["indices"]
+        inv_degree = views["inv_degree"]
+        count = len(rows)
+        pos = _np.array(rows, dtype=_np.int64)
+        remaining = _np.full(count, duration, dtype=_np.float64)
+        hops = _np.zeros(count, dtype=_np.int64)
+        done = _np.zeros(count, dtype=bool)
+        if duration <= 0:
+            done[:] = True
+        alive = _np.nonzero(~done)[0]
+        while alive.size:
+            p = pos[alive]
+            base = indptr[p]
+            degree = indptr[p + 1] - base
+            isolated = degree == 0
+            if isolated.any():
+                done[alive[isolated]] = True  # remaining untouched: elapsed 0
+                keep = ~isolated
+                alive = alive[keep]
+                base = base[keep]
+                degree = degree[keep]
+                if not alive.size:
+                    break
+                p = pos[alive]
+            holding = self._take_exp_vec(alive.size) * inv_degree[p]
+            rem = remaining[alive]
+            finished = holding >= rem
+            if finished.any():
+                f_idx = alive[finished]
+                done[f_idx] = True
+                remaining[f_idx] = 0.0
+            hopping = ~finished
+            if hopping.any():
+                h_idx = alive[hopping]
+                remaining[h_idx] = rem[hopping] - holding[hopping]
+                d = degree[hopping]
+                offsets = (self._take_uni_vec(h_idx.size) * d).astype(_np.int64)
+                _np.minimum(offsets, d - 1, out=offsets)
+                pos[h_idx] = indices[base[hopping] + offsets]
+                hops[h_idx] += 1
+            alive = alive[hopping]
+        vertices = csr.vertices
+        elapsed = duration - remaining
+        return [
+            (vertices[int(row)], int(hop_count), float(spent))
+            for row, hop_count, spent in zip(pos.tolist(), hops.tolist(), elapsed.tolist())
+        ]
+
+    # ------------------------------------------------------------------
+    # Biased-walk batches
+    # ------------------------------------------------------------------
+    def run_biased_batch(
+        self, starts: Sequence[Vertex], segment_duration: float, max_restarts: int
+    ) -> List[tuple]:
+        """One biased CTRW from each start (the ``randCl`` rejection loop).
+
+        Returns ``(cluster, hops, restarts, acceptance_tests, truncated)``
+        tuples matching :class:`~repro.walks.biased.BiasedWalkOutcome`
+        semantics: CTRW segments of ``segment_duration`` each, endpoint
+        accepted with probability ``weight / max_weight``, truncation after
+        ``max_restarts`` rejected segments.
+        """
+        if segment_duration <= 0:
+            raise WalkError("segment duration must be positive")
+        if max_restarts < 1:
+            raise WalkError("max_restarts must be at least 1")
+        max_weight = self._graph.max_weight()
+        if max_weight <= 0:
+            raise WalkError("graph has no positive vertex weight")
+        csr = self._graph.csr()
+        rows = self._rows_for(csr, starts)
+        segment_duration = float(segment_duration)
+        if self._backend == "numpy" and len(rows) >= MIN_VECTOR_BATCH:
+            return self._biased_vector(rows, segment_duration, max_restarts, csr, max_weight)
+        vertices = csr.vertices
+        out = []
+        for row in rows:
+            end_row, hops, restarts, truncated = self._biased_scalar(
+                row, segment_duration, max_restarts, csr, max_weight
+            )
+            out.append((vertices[end_row], hops, restarts, restarts, truncated))
+        return out
+
+    def _biased_scalar(
+        self, row: int, segment_duration: float, max_restarts: int, csr, max_weight: float
+    ) -> tuple:
+        indptr = csr.indptr
+        indices = csr.indices
+        inv_degree = csr.inv_degree
+        weights = csr.weights
+        hops = 0
+        restarts = 0
+        while True:
+            restarts += 1
+            remaining = segment_duration
+            while True:
+                base = indptr[row]
+                degree = indptr[row + 1] - base
+                if degree == 0:
+                    break
+                holding = self._next_exp() * inv_degree[row]
+                if holding >= remaining:
+                    break
+                remaining -= holding
+                offset = int(self._next_uni() * degree)
+                if offset >= degree:
+                    offset = degree - 1
+                row = indices[base + offset]
+                hops += 1
+            if self._next_uni() * max_weight < weights[row]:
+                return (row, hops, restarts, False)
+            if restarts >= max_restarts:
+                return (row, hops, restarts, True)
+
+    def _biased_vector(
+        self,
+        rows: List[int],
+        segment_duration: float,
+        max_restarts: int,
+        csr,
+        max_weight: float,
+    ) -> List[tuple]:
+        views = csr.numpy_views()
+        indptr = views["indptr"]
+        indices = views["indices"]
+        inv_degree = views["inv_degree"]
+        weights = views["weights"]
+        count = len(rows)
+        pos = _np.array(rows, dtype=_np.int64)
+        remaining = _np.full(count, segment_duration, dtype=_np.float64)
+        hops = _np.zeros(count, dtype=_np.int64)
+        restarts = _np.zeros(count, dtype=_np.int64)
+        truncated = _np.zeros(count, dtype=bool)
+        done = _np.zeros(count, dtype=bool)
+        alive = _np.arange(count)
+        while alive.size:
+            p = pos[alive]
+            base = indptr[p]
+            degree = indptr[p + 1] - base
+            # Isolated vertices end their segment immediately (no holding
+            # time is drawn), exactly like the scalar/naive loop.
+            segment_over = degree == 0
+            active = _np.nonzero(~segment_over)[0]
+            if active.size:
+                holding = self._take_exp_vec(active.size) * inv_degree[p[active]]
+                rem = remaining[alive[active]]
+                finished = holding >= rem
+                segment_over[active[finished]] = True
+                hop_local = active[~finished]
+                if hop_local.size:
+                    h_idx = alive[hop_local]
+                    remaining[h_idx] = rem[~finished] - holding[~finished]
+                    d = degree[hop_local]
+                    offsets = (self._take_uni_vec(h_idx.size) * d).astype(_np.int64)
+                    _np.minimum(offsets, d - 1, out=offsets)
+                    pos[h_idx] = indices[base[hop_local] + offsets]
+                    hops[h_idx] += 1
+            if segment_over.any():
+                e_idx = alive[segment_over]
+                restarts[e_idx] += 1
+                accepted = self._take_uni_vec(e_idx.size) * max_weight < weights[pos[e_idx]]
+                done[e_idx[accepted]] = True
+                rejected = e_idx[~accepted]
+                if rejected.size:
+                    capped = restarts[rejected] >= max_restarts
+                    cap_idx = rejected[capped]
+                    done[cap_idx] = True
+                    truncated[cap_idx] = True
+                    remaining[rejected[~capped]] = segment_duration
+            alive = _np.nonzero(~done)[0]
+        vertices = csr.vertices
+        return [
+            (vertices[int(row)], int(hop_count), int(restart), int(restart), bool(trunc))
+            for row, hop_count, restart, trunc in zip(
+                pos.tolist(), hops.tolist(), restarts.tolist(), truncated.tolist()
+            )
+        ]
+
+    # ------------------------------------------------------------------
+    # Checkpoint serialisation (repro.trace)
+    # ------------------------------------------------------------------
+    def snapshot_state(self) -> dict:
+        """JSON-ready snapshot: backend, private stream state, buffers + cursors.
+
+        Buffers are trimmed to their unconsumed tail (cursor 0 in the
+        snapshot); a resumed kernel consumes these exact values first, then
+        refills from the restored stream, reproducing the uninterrupted
+        draw sequence bit-identically.
+        """
+        if self._gen is None:
+            rng_state = None
+        elif self._backend == "numpy":
+            rng_state = self._gen.bit_generator.state
+        else:
+            rng_state = rng_state_to_json(self._gen.getstate())
+        return {
+            "backend": self._backend,
+            "rng": rng_state,
+            "exp_buffer": [float(value) for value in self._exp_buf[self._exp_cur :]],
+            "exp_cursor": 0,
+            "uni_buffer": [float(value) for value in self._uni_buf[self._uni_cur :]],
+            "uni_cursor": 0,
+        }
+
+    def restore_state(self, data: dict) -> None:
+        """Restore a snapshot taken by :meth:`snapshot_state` (bit-exact).
+
+        Never consumes the parent stream: a restored, already-seeded kernel
+        resumes its own stream in place.
+        """
+        backend = data.get("backend")
+        if backend != self._backend:
+            raise ConfigurationError(
+                f"walk-kernel checkpoint was taken with the {backend!r} backend "
+                f"but this process uses {self._backend!r} (numpy availability "
+                "changed between record and resume?)"
+            )
+        rng_state = data.get("rng")
+        if rng_state is None:
+            self._gen = None
+        elif self._backend == "numpy":
+            bit_generator = _np.random.PCG64()
+            bit_generator.state = rng_state
+            self._gen = _np.random.Generator(bit_generator)
+        else:
+            gen = random.Random()
+            gen.setstate(rng_state_from_json(rng_state))
+            self._gen = gen
+        exp = [float(v) for v in data.get("exp_buffer", ())][int(data.get("exp_cursor", 0)) :]
+        uni = [float(v) for v in data.get("uni_buffer", ())][int(data.get("uni_cursor", 0)) :]
+        if self._backend == "numpy":
+            self._exp_buf = _np.asarray(exp, dtype=_np.float64)
+            self._uni_buf = _np.asarray(uni, dtype=_np.float64)
+        else:
+            self._exp_buf = exp
+            self._uni_buf = uni
+        self._exp_cur = 0
+        self._uni_cur = 0
+
+    # ------------------------------------------------------------------
+    # Internals
+    # ------------------------------------------------------------------
+    @staticmethod
+    def _rows_for(csr, starts: Sequence[Vertex]) -> List[int]:
+        try:
+            return [csr.row_of(start) for start in starts]
+        except KeyError as error:
+            raise WalkError(f"start vertex {error.args[0]!r} is not in the graph") from None

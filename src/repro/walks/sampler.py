@@ -23,11 +23,12 @@ from __future__ import annotations
 import enum
 import random
 from dataclasses import dataclass
-from typing import Hashable, Optional
+from typing import Hashable, List, Optional, Sequence
 
 from ..errors import WalkError
 from .biased import BiasedClusterWalk
 from .interface import WalkableGraph
+from .kernel import resolve_kernel_name
 
 Vertex = Hashable
 
@@ -63,12 +64,14 @@ class ClusterSampler:
         segment_duration: float,
         mode: WalkMode = WalkMode.SIMULATED,
         max_restarts: int = 64,
+        kernel: str = "naive",
     ) -> None:
         self._graph = graph
         self._rng = rng
         self._segment_duration = float(segment_duration)
         self._mode = mode
         self._max_restarts = max_restarts
+        self._kernel_name = resolve_kernel_name(kernel)
         # Constructed lazily and reused across samples (the biased walk in
         # turn reuses one CTRW and its bulk exponential buffer).
         self._walk: Optional[BiasedClusterWalk] = None
@@ -81,6 +84,11 @@ class ClusterSampler:
     def mode(self) -> WalkMode:
         """The sampling mode currently in use."""
         return self._mode
+
+    @property
+    def kernel_name(self) -> str:
+        """The selected walk kernel (``naive`` or ``array``)."""
+        return self._kernel_name
 
     @property
     def graph(self) -> WalkableGraph:
@@ -103,10 +111,31 @@ class ClusterSampler:
             return self._sample_simulated(start)
         return self._sample_oracle(start)
 
+    def sample_many(self, starts: Sequence[Vertex]) -> List[SampleOutcome]:
+        """Sample one cluster per start vertex (in ``starts`` order).
+
+        In simulated mode with the array kernel the whole batch advances in
+        lockstep through the CSR hop engine; otherwise this is a sequential
+        loop with semantics identical to calling :meth:`sample` repeatedly.
+        """
+        if self._mode is WalkMode.SIMULATED:
+            outcomes = self._ensure_walk().run_batch(starts)
+            return [
+                SampleOutcome(
+                    cluster=outcome.cluster,
+                    hops=outcome.hops,
+                    restarts=outcome.restarts,
+                    mode=WalkMode.SIMULATED,
+                    truncated=outcome.truncated,
+                )
+                for outcome in outcomes
+            ]
+        return [self._sample_oracle(start) for start in starts]
+
     # ------------------------------------------------------------------
     # Simulated mode
     # ------------------------------------------------------------------
-    def _sample_simulated(self, start: Vertex) -> SampleOutcome:
+    def _ensure_walk(self) -> BiasedClusterWalk:
         walk = self._walk
         if walk is None:
             walk = BiasedClusterWalk(
@@ -114,9 +143,13 @@ class ClusterSampler:
                 self._rng,
                 segment_duration=self._segment_duration,
                 max_restarts=self._max_restarts,
+                kernel=self._kernel_name,
             )
             self._walk = walk
-        outcome = walk.run(start)
+        return walk
+
+    def _sample_simulated(self, start: Vertex) -> SampleOutcome:
+        outcome = self._ensure_walk().run(start)
         return SampleOutcome(
             cluster=outcome.cluster,
             hops=outcome.hops,
@@ -190,14 +223,25 @@ class ClusterSampler:
         """
         if not values:
             return
+        self._ensure_walk().restore_exp_buffer(values)
+
+    def snapshot_walk_state(self) -> dict:
+        """Full RNG-derived walk state: exponential buffer + kernel state."""
         if self._walk is None:
-            self._walk = BiasedClusterWalk(
-                self._graph,
-                self._rng,
-                segment_duration=self._segment_duration,
-                max_restarts=self._max_restarts,
-            )
-        self._walk.restore_exp_buffer(values)
+            return {"exp_buffer": [], "kernel": None}
+        return self._walk.snapshot_walk_state()
+
+    def restore_walk_state(self, data: dict) -> None:
+        """Restore a snapshot taken by :meth:`snapshot_walk_state`.
+
+        A no-op when the snapshot holds no state, so an oracle-mode or
+        never-walked sampler is not instantiated eagerly.
+        """
+        if not data:
+            return
+        if not data.get("exp_buffer") and not data.get("kernel"):
+            return
+        self._ensure_walk().restore_walk_state(data)
 
     def with_mode(self, mode: WalkMode) -> "ClusterSampler":
         """Return a sampler sharing graph and RNG but using ``mode``."""
@@ -207,4 +251,5 @@ class ClusterSampler:
             segment_duration=self._segment_duration,
             mode=mode,
             max_restarts=self._max_restarts,
+            kernel=self._kernel_name,
         )

@@ -1,0 +1,236 @@
+"""CSR invalidation contract tests for :class:`OverlayGraph`.
+
+The walk fast path is served from one shared :class:`CSRLayout` snapshot
+(``docs/ARCHITECTURE.md``, "CSR layout and invalidation").  Two properties
+carry the whole contract:
+
+* every *effective* mutation — vertex/edge add/remove, weight update —
+  bumps ``version``, so walk-side caches keyed on ``(graph id, version)``
+  can never serve a stale answer;
+* after any mutation sequence, the incrementally maintained snapshot is
+  field-for-field identical to a from-scratch :meth:`CSRLayout.build` of
+  the same graph (hypothesis stateful test below drives this through
+  arbitrary interleavings).
+
+Weight updates must additionally be *in place*: the snapshot object
+survives ``set_weight`` (only its cumulative row is re-derived), while any
+structural mutation discards it wholesale.
+"""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+from hypothesis.stateful import RuleBasedStateMachine, initialize, invariant, rule
+
+from repro.overlay.graph import OverlayGraph
+from repro.walks.csr import CSRLayout
+
+from test_walk_fastpath import OPERATION, apply_operations, seeded_overlay
+
+
+def assert_csr_matches_fresh_build(graph: OverlayGraph) -> None:
+    """The maintained snapshot equals a from-scratch flatten, field by field."""
+    maintained = graph.csr()
+    fresh = CSRLayout.build(graph)
+    assert maintained.vertices == fresh.vertices
+    assert list(maintained.indptr) == list(fresh.indptr)
+    assert list(maintained.indices) == list(fresh.indices)
+    assert list(maintained.inv_degree) == list(fresh.inv_degree)
+    assert list(maintained.weights) == list(fresh.weights)
+    assert list(maintained.cum_weights()) == list(fresh.cum_weights())
+    for vertex in graph.vertices():
+        assert maintained.neighbour_tuple(vertex) == tuple(graph.neighbours(vertex))
+
+
+class TestVersionBumps:
+    """Every effective mutation path bumps ``version`` exactly once."""
+
+    def test_add_vertex_bumps(self):
+        graph = seeded_overlay()
+        before = graph.version
+        graph.add_vertex(99, weight=2.0)
+        assert graph.version == before + 1
+
+    def test_remove_vertex_bumps(self):
+        graph = seeded_overlay()
+        before = graph.version
+        graph.remove_vertex(0)
+        assert graph.version == before + 1
+
+    def test_add_edge_bumps_only_when_effective(self):
+        graph = seeded_overlay()
+        graph.remove_edge(0, 1)
+        before = graph.version
+        assert graph.add_edge(0, 1) is True
+        assert graph.version == before + 1
+        before = graph.version
+        assert graph.add_edge(0, 1) is False  # already present: no-op
+        assert graph.add_edge(0, 0) is False  # loop: no-op
+        assert graph.version == before
+
+    def test_remove_edge_bumps_only_when_effective(self):
+        graph = seeded_overlay()
+        graph.add_edge(0, 1)
+        before = graph.version
+        assert graph.remove_edge(0, 1) is True
+        assert graph.version == before + 1
+        before = graph.version
+        assert graph.remove_edge(0, 1) is False  # already absent: no-op
+        assert graph.version == before
+
+    def test_set_weight_bumps(self):
+        graph = seeded_overlay()
+        before = graph.version
+        graph.set_weight(0, 7.5)
+        assert graph.version == before + 1
+
+    @settings(max_examples=50, deadline=None)
+    @given(operations=st.lists(OPERATION, min_size=1, max_size=20), seed=st.integers(0, 2**16))
+    def test_version_is_monotone_under_churn(self, operations, seed):
+        graph = seeded_overlay(seed=seed % 13)
+        history = [graph.version]
+        for operation in operations:
+            apply_operations(graph, [operation], random.Random(seed))
+            history.append(graph.version)
+        assert history == sorted(history)
+
+
+class TestSnapshotLifecycle:
+    def test_structural_mutation_discards_snapshot(self):
+        graph = seeded_overlay()
+        first = graph.csr()
+        graph.add_edge(0, 3)
+        second = graph.csr()
+        assert second is not first
+        assert second.structure_version != first.structure_version
+        assert_csr_matches_fresh_build(graph)
+
+    def test_set_weight_patches_snapshot_in_place(self):
+        graph = seeded_overlay()
+        snapshot = graph.csr()
+        old_cum = list(snapshot.cum_weights())
+        graph.set_weight(2, 42.0)
+        assert graph.csr() is snapshot  # same object: O(1) patch, no rebuild
+        assert snapshot.weights[snapshot.row_of(2)] == 42.0
+        assert snapshot.weights_version == graph.version
+        assert list(snapshot.cum_weights()) != old_cum  # cumulative row re-derived
+        assert_csr_matches_fresh_build(graph)
+
+    def test_weight_patch_is_visible_through_numpy_views(self):
+        np = pytest.importorskip("numpy")
+        graph = seeded_overlay()
+        views = graph.csr().numpy_views()
+        row = graph.csr().row_of(1)
+        graph.set_weight(1, 13.0)
+        # frombuffer views share memory with the array-module rows.
+        assert views["weights"][row] == 13.0
+        assert isinstance(views["weights"], np.ndarray)
+
+    def test_direct_version_assignment_refreshes_weights(self):
+        # from_snapshot restores `version` by assignment rather than through
+        # set_weight; the csr() accessor must notice the stamp mismatch.
+        graph = seeded_overlay()
+        graph.csr()
+        restored = OverlayGraph.from_snapshot(graph.snapshot_state())
+        restored.csr()  # build at the restored version
+        restored.version += 5  # simulate an out-of-band version jump
+        restored._weights.set(0, 99.0)
+        assert restored.csr().weights[restored.csr().row_of(0)] == 99.0
+        assert restored.csr().weights_version == restored.version
+
+    def test_sample_row_matches_graph_draw(self):
+        graph = seeded_overlay(vertices=7, seed=11)
+        rng_a, rng_b = random.Random(5), random.Random(5)
+        csr = graph.csr()
+        for _ in range(200):
+            picked = graph.sample_weighted_vertex(rng_a)
+            assert picked == csr.vertices[csr.sample_row(rng_b.random())]
+
+    def test_sample_row_error_paths(self):
+        empty = OverlayGraph()
+        with pytest.raises(ValueError):
+            CSRLayout.build(empty).sample_row(0.5)
+        zero = OverlayGraph()
+        zero.add_vertex(0, weight=0.0)
+        with pytest.raises(ValueError):
+            zero.csr().sample_row(0.5)
+
+
+class CSRConsistencyMachine(RuleBasedStateMachine):
+    """Arbitrary mutation interleavings never desynchronise the snapshot.
+
+    Half the rules read ``csr()`` (materialising the snapshot so later
+    mutations exercise the invalidate/patch paths rather than the cold
+    build); the invariant recompares against a from-scratch build after
+    every step.
+    """
+
+    def __init__(self):
+        super().__init__()
+        self.graph = OverlayGraph()
+        self.next_vertex = 0
+
+    @initialize()
+    def seed_graph(self):
+        for _ in range(3):
+            self.add_vertex()
+        self.graph.add_edge(0, 1)
+        self.graph.add_edge(1, 2)
+
+    @rule()
+    def add_vertex(self):
+        self.graph.add_vertex(self.next_vertex, weight=1.0 + self.next_vertex % 5)
+        self.next_vertex += 1
+
+    @rule(pick=st.integers(0, 63))
+    def remove_vertex(self, pick):
+        vertices = self.graph.vertices()
+        if len(vertices) > 2:
+            self.graph.remove_vertex(vertices[pick % len(vertices)])
+
+    @rule(a=st.integers(0, 63), b=st.integers(0, 63))
+    def add_edge(self, a, b):
+        vertices = self.graph.vertices()
+        if len(vertices) >= 2:
+            self.graph.add_edge(vertices[a % len(vertices)], vertices[b % len(vertices)])
+
+    @rule(a=st.integers(0, 63), b=st.integers(0, 63))
+    def remove_edge(self, a, b):
+        vertices = self.graph.vertices()
+        if len(vertices) >= 2:
+            self.graph.remove_edge(vertices[a % len(vertices)], vertices[b % len(vertices)])
+
+    @rule(pick=st.integers(0, 63), weight=st.floats(0.5, 50.0))
+    def set_weight(self, pick, weight):
+        vertices = self.graph.vertices()
+        if vertices:
+            self.graph.set_weight(vertices[pick % len(vertices)], weight)
+
+    @rule()
+    def materialise_snapshot(self):
+        self.graph.csr()
+
+    @rule(draw=st.floats(0.0, 0.999))
+    def sample(self, draw):
+        csr = self.graph.csr()
+        if csr.cum_weights() and csr.cum_weights()[-1] > 0:
+            row = csr.sample_row(draw)
+            assert 0 <= row < len(csr)
+
+    @invariant()
+    def snapshot_matches_fresh_build(self):
+        assert_csr_matches_fresh_build(self.graph)
+
+    @invariant()
+    def aggregates_match(self):
+        csr = self.graph.csr()
+        assert len(csr) == len(self.graph)
+        assert len(csr.indices) == 2 * self.graph.edge_count()
+
+
+CSRConsistencyMachine.TestCase.settings = settings(max_examples=40, deadline=None)
+TestCSRConsistency = CSRConsistencyMachine.TestCase

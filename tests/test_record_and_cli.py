@@ -13,6 +13,15 @@ from repro.cli import build_parser, main
 from repro.workloads import UniformChurn, drive
 from repro.workloads.record import RunRecord, compare_runs, load_run, parameters_to_dict
 
+try:
+    import numpy as _np
+except ImportError:
+    _np = None
+
+requires_numpy = pytest.mark.skipif(
+    _np is None, reason="requires numpy (least-squares complexity fits)"
+)
+
 
 @pytest.fixture
 def recorded_engine():
@@ -137,6 +146,7 @@ class TestCli:
         assert "NOW (full exchange)" in captured
         assert "no shuffling" in captured
 
+    @requires_numpy
     def test_costs_command_fits_exponents(self, capsys):
         code = main(
             [
