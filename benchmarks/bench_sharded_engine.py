@@ -1,0 +1,159 @@
+"""T1c — Sharded engine throughput: worker-process scaling of one run.
+
+PR 7's tentpole claim: splitting one scenario's population into logical
+shards (``repro.shard``) lets the per-shard engine work fan out across
+worker processes while the run stays bit-identical for every worker count.
+This benchmark measures the same sharded scenario at 1, 2 and 4 worker
+processes next to the classic single-engine run, and *appends* the rates to
+``BENCH_throughput.json`` — same trajectory file, same append-only
+discipline as ``bench_engine_throughput.py`` — under ``sharded.workers``.
+
+Asserted in-test: every configuration applies events, and the composite
+state hash is identical across worker counts (the determinism contract, on
+the benchmark's own large run).  The multi-worker *speedup* is recorded but
+deliberately not asserted: it depends on the runner's core count
+(``cpu_count`` is recorded next to the rates so the trajectory is honest
+about single-core machines, where process transports can only add overhead).
+The acceptance target — >= 2.5x the single-process rate at 4 workers for
+10^5+-node populations — is checked against the recorded trajectory from a
+multi-core CI runner, like the other absolute-throughput gates.
+
+Run standalone (CI writes the JSON artifact this way)::
+
+    PYTHONPATH=src python benchmarks/bench_sharded_engine.py [--initial-size N]
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import time
+
+import pytest
+
+from repro import Scenario
+from repro.shard import ShardCoordinator
+
+from bench_engine_throughput import save_result
+
+MAX_SIZE = 4096
+INITIAL = 1200
+TAU = 0.12
+STEPS = 800
+SHARDS = 4
+WORKER_COUNTS = (1, 2, 4)
+
+
+def _scenario(initial_size: int, steps: int, shards: int) -> Scenario:
+    return Scenario(
+        name="sharded-throughput",
+        max_size=MAX_SIZE,
+        initial_size=initial_size,
+        tau=TAU,
+        seed=37,
+        steps=steps,
+        workload={"kind": "uniform"},
+        shards=shards,
+    )
+
+
+def _measure_sharded(initial_size: int, steps: int, shards: int, workers: int):
+    coordinator = ShardCoordinator(_scenario(initial_size, steps, shards), workers=workers)
+    try:
+        result = coordinator.run(steps)
+        return {
+            "workers": coordinator.workers,
+            "events": result.events,
+            "elapsed_seconds": result.elapsed_seconds,
+            "events_per_second": result.events_per_second,
+            "final_network_size": result.final_size,
+            "state_hash": coordinator.state_hash(),
+        }
+    finally:
+        coordinator.close()
+
+
+def run_experiment(
+    initial_size: int = INITIAL,
+    steps: int = STEPS,
+    shards: int = SHARDS,
+    worker_counts=WORKER_COUNTS,
+):
+    # Classic single-engine reference: same population, same workload, no
+    # sharding — what the sharded run's overhead and scaling compare against.
+    classic_scenario = _scenario(initial_size, steps, shards=0)
+    classic_scenario.shards = 0
+    classic = classic_scenario.run()
+
+    runs = [
+        _measure_sharded(initial_size, steps, shards, workers)
+        for workers in sorted(set(min(workers, shards) for workers in worker_counts))
+    ]
+    single = runs[0]["events_per_second"]
+    return {
+        "benchmark": "sharded_engine",
+        "max_size": MAX_SIZE,
+        "initial_size": initial_size,
+        "tau": TAU,
+        "steps": steps,
+        "shards": shards,
+        "cpu_count": os.cpu_count(),
+        "classic": {
+            "events": classic.events,
+            "elapsed_seconds": classic.elapsed_seconds,
+            "events_per_second": classic.events_per_second,
+        },
+        "sharded": {
+            "workers": [
+                dict(
+                    run,
+                    speedup_vs_single_process=(
+                        run["events_per_second"] / single if single > 0 else 0.0
+                    ),
+                )
+                for run in runs
+            ],
+            "hash_identical_across_workers": len({run["state_hash"] for run in runs}) == 1,
+        },
+        "measured_at": time.strftime("%Y-%m-%dT%H:%M:%SZ", time.gmtime()),
+    }
+
+
+@pytest.mark.experiment("T1c")
+def test_sharded_engine_throughput(benchmark):
+    from common import run_once
+
+    result = run_once(
+        benchmark, lambda: run_experiment(initial_size=600, steps=300)
+    )
+    per_worker = ", ".join(
+        f"{run['workers']}w={run['events_per_second']:.0f}ev/s"
+        for run in result["sharded"]["workers"]
+    )
+    print(
+        f"T1c sharded throughput ({result['cpu_count']} cpus): "
+        f"classic {result['classic']['events_per_second']:.0f} ev/s; {per_worker}"
+    )
+    save_result(result)
+
+    assert result["classic"]["events"] > 0
+    for run in result["sharded"]["workers"]:
+        assert run["events"] > 0
+        assert run["events_per_second"] > 0
+    # The determinism contract on the benchmark's own run: every worker
+    # count produced the same composite state hash.
+    assert result["sharded"]["hash_identical_across_workers"]
+
+
+if __name__ == "__main__":
+    parser = argparse.ArgumentParser(description="sharded engine throughput benchmark")
+    parser.add_argument("--initial-size", type=int, default=INITIAL)
+    parser.add_argument("--steps", type=int, default=STEPS)
+    parser.add_argument("--shards", type=int, default=SHARDS)
+    args = parser.parse_args()
+    outcome = run_experiment(
+        initial_size=args.initial_size, steps=args.steps, shards=args.shards
+    )
+    save_result(outcome)
+    print(json.dumps(outcome, indent=2, sort_keys=True))

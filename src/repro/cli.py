@@ -151,6 +151,17 @@ def build_parser() -> argparse.ArgumentParser:
         help="hop engine for the walks: 'naive' (per-hop loop) or 'array' "
              "(batched CSR kernel; numpy-accelerated when numpy is installed)",
     )
+    scenario.add_argument(
+        "--shards", type=int, default=None, metavar="W",
+        help="run through the sharded coordinator with W worker processes "
+             "(results are bit-identical for any W; a scenario without a "
+             "shards field defaults to 4 logical shards)",
+    )
+    scenario.add_argument(
+        "--barrier-interval", type=int, default=None, metavar="N",
+        help="events between sharded handoff barriers (sharded runs only; "
+             "default: 64 or the scenario's shard_options value)",
+    )
 
     resume = subparsers.add_parser(
         "resume", help="continue an interrupted run-scenario from its checkpoint file"
@@ -163,6 +174,11 @@ def build_parser() -> argparse.ArgumentParser:
     resume.add_argument(
         "--checkpoint-every", type=int, default=None, metavar="N",
         help="keep checkpointing to the same file every N events",
+    )
+    resume.add_argument(
+        "--shards", type=int, default=None, metavar="W",
+        help="worker processes when resuming a sharded checkpoint "
+             "(ignored for classic checkpoints; any W resumes bit-identically)",
     )
 
     replay = subparsers.add_parser(
@@ -385,20 +401,57 @@ def run_scenario_command(args: argparse.Namespace) -> int:
         scenario.engine_options = dict(scenario.engine_options or {})
         scenario.engine_options["walk_kernel"] = args.walk_kernel
 
+    sharded = args.shards is not None or scenario.shards > 0
+    if args.shards is not None and args.shards < 1:
+        print("run-scenario: --shards must be >= 1", file=sys.stderr)
+        return 2
+    if args.barrier_interval is not None and not sharded:
+        print(
+            "run-scenario: --barrier-interval applies to sharded runs "
+            "(give --shards or a scenario with a shards field)",
+            file=sys.stderr,
+        )
+        return 2
+
     corruption = CorruptionTrajectoryProbe()
     costs = CostLedgerProbe()
     try:
-        session = record_scenario(
-            scenario,
-            trace_path=args.record,
-            index_every=args.index_every,
-            checkpoint_path=args.checkpoint,
-            checkpoint_every=args.checkpoint_every,
-            probes=[corruption, costs],
-            trace_format=args.trace_format,
-            flush_every=args.flush_every,
-            probe_buffer=args.probe_buffer,
-        )
+        if sharded:
+            if scenario.shards == 0:
+                # Worker count is an execution choice; the *logical* shard
+                # count is semantic.  Give shard-less scenarios a stable
+                # default so `--shards W` alone means "same results, W
+                # processes".
+                scenario.shards = 4
+            # Local import: keeps the classic CLI path free of the shard
+            # subsystem.
+            from .shard import run_sharded_scenario
+
+            session = run_sharded_scenario(
+                scenario,
+                workers=args.shards if args.shards is not None else 1,
+                trace_path=args.record,
+                index_every=args.index_every,
+                checkpoint_path=args.checkpoint,
+                checkpoint_every=args.checkpoint_every,
+                probes=[corruption, costs],
+                trace_format=args.trace_format,
+                flush_every=args.flush_every,
+                probe_buffer=args.probe_buffer,
+                barrier_interval=args.barrier_interval,
+            )
+        else:
+            session = record_scenario(
+                scenario,
+                trace_path=args.record,
+                index_every=args.index_every,
+                checkpoint_path=args.checkpoint,
+                checkpoint_every=args.checkpoint_every,
+                probes=[corruption, costs],
+                trace_format=args.trace_format,
+                flush_every=args.flush_every,
+                probe_buffer=args.probe_buffer,
+            )
     except (ConfigurationError, OSError, ValueError) as error:
         # OSError covers unwritable --record/--checkpoint paths.
         print(f"run-scenario: {error}", file=sys.stderr)
@@ -431,11 +484,15 @@ def run_scenario_command(args: argparse.Namespace) -> int:
 
 
 def run_resume_command(args: argparse.Namespace) -> int:
+    if args.shards is not None and args.shards < 1:
+        print("resume: --shards must be >= 1", file=sys.stderr)
+        return 2
     try:
         session = resume_from_checkpoint(
             args.checkpoint,
             steps=args.steps,
             checkpoint_every=args.checkpoint_every,
+            workers=args.shards if args.shards is not None else 1,
         )
     except (ConfigurationError, OSError, ValueError) as error:
         print(f"resume: {error}", file=sys.stderr)
@@ -549,6 +606,17 @@ def run_sweep_command(args: argparse.Namespace) -> int:
         )
     print(result.summary_table(metrics=metrics))
     print("cells are mean ± 95% CI half-width over seeds (normal approximation)")
+    failures = result.failures()
+    if failures:
+        print(
+            f"run-sweep: {len(failures)} unit(s) failed after retry "
+            "(excluded from aggregates; re-run with --resume to retry them):",
+            file=sys.stderr,
+        )
+        for record in failures:
+            label = ", ".join(f"{k}={v}" for k, v in sorted(record["point"].items())) or "(base)"
+            print(f"  {label} seed={record['seed']}: {record['error']}", file=sys.stderr)
+        return 1
     return 0
 
 

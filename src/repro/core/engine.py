@@ -218,6 +218,17 @@ class NowEngine:
         """Identifiers of the nodes currently in the system."""
         return self.state.nodes.active_nodes()
 
+    def state_hash(self) -> str:
+        """Canonical digest of the full engine state.
+
+        Convenience front for :func:`repro.trace.hashing.state_hash` (shard
+        workers report per-engine hashes through this); imported lazily
+        because ``repro.trace`` builds on top of the core.
+        """
+        from ..trace.hashing import state_hash
+
+        return state_hash(self)
+
     def random_member(self, honest_only: bool = False, rng: Optional[random.Random] = None) -> NodeId:
         """A uniformly random active node in O(1) (used by workload generators).
 

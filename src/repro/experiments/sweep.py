@@ -283,9 +283,21 @@ class SweepResult:
                 seen.append(record["point"])
         return seen
 
+    def failures(self) -> List[Dict[str, Any]]:
+        """Units that failed even after their retry (empty on a clean sweep)."""
+        return [record for record in self.records if record.get("failed")]
+
     def records_for(self, point: Dict[str, Any]) -> List[Dict[str, Any]]:
-        """All per-seed records of one grid point."""
-        return [record for record in self.records if record["point"] == point]
+        """All *successful* per-seed records of one grid point.
+
+        Failed units (see :meth:`failures`) are excluded so aggregates never
+        mix placeholder records into the statistics.
+        """
+        return [
+            record
+            for record in self.records
+            if record["point"] == point and not record.get("failed")
+        ]
 
     def aggregate(self, point: Dict[str, Any]) -> Dict[str, MeanConfidence]:
         """Mean/std/CI over seeds for every aggregated metric of ``point``."""
@@ -376,6 +388,25 @@ def load_sweep_progress(path: str) -> Dict[str, Dict[str, Any]]:
     return completed
 
 
+def failed_sweep_record(payload: Dict[str, Any], error: BaseException) -> Dict[str, Any]:
+    """The placeholder record for a unit that failed its run and its retry.
+
+    Carries the full unit identity (point, seed, spec digest) so a resume
+    file keeps the failure addressable — a later ``run(resume_path=...)``
+    recognises the unit and re-runs it instead of serving the failure as a
+    completed result.
+    """
+    return {
+        "sweep": payload["sweep"],
+        "point": dict(payload["point"]),
+        "seed": payload["seed"],
+        "spec_digest": payload.get("spec_digest"),
+        "scenario": payload["scenario"].get("name", "scenario"),
+        "failed": True,
+        "error": f"{type(error).__name__}: {error}",
+    }
+
+
 class SweepRunner:
     """Executes a :class:`SweepSpec`, fanning runs out across processes."""
 
@@ -401,6 +432,13 @@ class SweepRunner:
         is appended to the file immediately (JSONL), and on a re-run any
         unit already present is served from the file instead of being
         re-executed — an interrupted sweep re-runs only unfinished points.
+
+        A unit whose worker raises is retried exactly once (transient
+        failures — an OOM-killed worker, a flaky filesystem — should not
+        void an hours-long sweep); a second failure yields a placeholder
+        record with ``failed: True`` and the error text.  Failed records
+        land in the progress file too, but are never served as completed on
+        resume — re-running the sweep retries them.
         """
         payloads = self.spec.payloads()
         completed = load_sweep_progress(resume_path) if resume_path else {}
@@ -418,7 +456,7 @@ class SweepRunner:
         pending: List[Tuple[int, Dict[str, Any]]] = []
         for index, payload in enumerate(payloads):
             cached = completed.get(_payload_key(payload))
-            if cached is not None:
+            if cached is not None and not cached.get("failed"):
                 records[index] = cached
             else:
                 pending.append((index, payload))
@@ -429,22 +467,37 @@ class SweepRunner:
             if workers <= 1 or not pending:
                 used = 1
                 for index, payload in pending:
-                    record = run_sweep_payload(payload)
+                    try:
+                        record = run_sweep_payload(payload)
+                    except Exception:
+                        try:
+                            record = run_sweep_payload(payload)  # the one retry
+                        except Exception as error:
+                            record = failed_sweep_record(payload, error)
                     records[index] = record
                     record_done(record)
             else:
                 used = min(workers, len(pending)) or 1
                 with ProcessPoolExecutor(max_workers=used) as pool:
                     futures = {
-                        pool.submit(run_sweep_payload, payload): index
+                        pool.submit(run_sweep_payload, payload): (index, payload, 0)
                         for index, payload in pending
                     }
                     remaining = set(futures)
                     while remaining:
                         done, remaining = wait(remaining, return_when=FIRST_COMPLETED)
                         for future in done:
-                            record = future.result()
-                            records[futures[future]] = record
+                            index, payload, attempt = futures.pop(future)
+                            try:
+                                record = future.result()
+                            except Exception as error:
+                                if attempt == 0:
+                                    retry = pool.submit(run_sweep_payload, payload)
+                                    futures[retry] = (index, payload, 1)
+                                    remaining.add(retry)
+                                    continue
+                                record = failed_sweep_record(payload, error)
+                            records[index] = record
                             record_done(record)
         finally:
             if progress is not None:

@@ -149,6 +149,20 @@ class ObservationBus:
             if len(self._buffer) >= self.buffer_size:
                 self.flush()
 
+    def publish_record(self, record: StepRecord) -> None:
+        """Deliver one pre-built record (the sharded merge layer's entry point).
+
+        Sharded runs assemble composite :class:`StepRecord` objects away from
+        any live engine, so there is no report to extract from — and no
+        inline lane: inline probes are rejected up front by the shard
+        coordinator because there is no single engine for them to read.
+        """
+        if self.buffered_probes:
+            self._buffer.append(record)
+            self.records_published += 1
+            if len(self._buffer) >= self.buffer_size:
+                self.flush()
+
     def flush(self) -> None:
         """Deliver the pending batch to every buffered probe.
 

@@ -115,6 +115,10 @@ class RunResult:
     stop_reason: str
     probes: Dict[str, Any] = field(default_factory=dict)
     reports: List = field(default_factory=list)
+    #: Logical shard count of a sharded run (0 for the classic single-engine
+    #: path); under sharding, ``compromised_clusters`` holds
+    #: ``(shard, cluster_id)`` pairs because cluster ids are shard-local.
+    shards: int = 0
 
     @property
     def events_per_second(self) -> float:
@@ -130,7 +134,7 @@ class RunResult:
 
     def summary_rows(self) -> List[List[Any]]:
         """The result as (metric, value) rows for table rendering."""
-        return [
+        return ([["shards", self.shards]] if self.shards else []) + [
             ["scenario", self.scenario],
             ["steps", self.steps],
             ["events applied", self.events],

@@ -88,6 +88,15 @@ class Scenario:
     engine_options: Dict[str, Any] = field(default_factory=dict)
     max_idle_streak: Optional[int] = None
     keep_reports: bool = False
+    #: Logical shard count: 0 runs the classic single engine; >= 1 runs the
+    #: scenario as that many shard engines under ``repro.shard``.  A semantic
+    #: field — changing it changes results — unlike the *worker* count, which
+    #: is an execution choice (``run-scenario --shards N`` picks workers).
+    shards: int = 0
+    #: Sharded-execution tuning: ``barrier_interval``, ``rebalance_threshold``,
+    #: ``min_shard_size`` (see ``repro.shard.coordinator``).  Semantic too:
+    #: the barrier/handoff schedule shapes the run.
+    shard_options: Dict[str, Any] = field(default_factory=dict)
 
     # ------------------------------------------------------------------
     # Building blocks
@@ -185,6 +194,12 @@ class Scenario:
         probe_buffer: int = DEFAULT_PROBE_BUFFER,
     ) -> SimulationRunner:
         """An engine + runner ready to :meth:`SimulationRunner.run`."""
+        if self.shards:
+            raise ConfigurationError(
+                f"scenario {self.name!r} declares shards={self.shards}; build a "
+                "repro.shard.ShardCoordinator (or call Scenario.run / "
+                "run_sharded_scenario) instead of a single-engine runner"
+            )
         if engine is None:
             engine = self.build_engine()
         return SimulationRunner(
@@ -204,7 +219,23 @@ class Scenario:
         stop_conditions: Sequence[StopCondition] = (),
         steps: Optional[int] = None,
     ) -> RunResult:
-        """Build everything and execute the scenario once."""
+        """Build everything and execute the scenario once.
+
+        A scenario with ``shards >= 1`` runs through the sharded coordinator
+        (inline, one worker — results are worker-count independent, so this
+        is *the* result for any worker count).
+        """
+        if self.shards:
+            # Local import: repro.shard builds on top of scenarios.
+            from ..shard.coordinator import ShardCoordinator
+
+            coordinator = ShardCoordinator(
+                self, workers=1, probes=probes, stop_conditions=stop_conditions
+            )
+            try:
+                return coordinator.run(self.steps if steps is None else steps)
+            finally:
+                coordinator.close()
         runner = self.build_runner(probes=probes, stop_conditions=stop_conditions)
         return runner.run(self.steps if steps is None else steps)
 

@@ -1,0 +1,52 @@
+"""Sharded execution: one scenario run split across worker processes.
+
+``repro.shard`` is the first multi-process execution path for the engine
+itself (sweeps parallelise across independent runs; this parallelises
+*within* one run).  A scenario with ``shards = S`` is executed as ``S``
+independent NOW engines — one per shard, each owning a slice of the
+population and its own cluster partition — coordinated by a single
+deterministic event router:
+
+* the :class:`~repro.shard.router.ShardDirectory` owns global node
+  identities, roles and liveness, and serves the workload/adversary's
+  sampling needs through a :class:`~repro.shard.router.ShardedEngineFacade`;
+* the :class:`~repro.shard.coordinator.ShardCoordinator` pulls events from
+  the scenario's event source, routes each to its owning shard (joins to the
+  least-loaded shard, leaves to the owner), and dispatches per-shard batches
+  to :class:`~repro.shard.worker.ShardWorker` processes in *barrier windows*;
+* at every barrier, cross-shard node moves are drained as explicit
+  seq-numbered :class:`~repro.shard.messages.HandoffMessage` records — never
+  shared memory — so the whole run is replayable and bit-identical
+  **regardless of the worker-process count** (``workers=1`` runs the same
+  logical shards inline and is the correctness oracle);
+* the merge layer (:mod:`repro.shard.merge`) recombines per-shard
+  observation batches at flush boundaries into composite step records and
+  folds per-shard ``state_hash`` digests into one composite hash.
+
+``docs/SHARDING.md`` describes the protocol in detail.
+"""
+
+from .coordinator import ShardCoordinator
+from .merge import composite_state_hash
+from .messages import HandoffMessage
+from .router import ShardDirectory, ShardedEngineFacade, plan_rebalance, slice_sizes
+from .session import (
+    SHARDED_CHECKPOINT_FORMAT,
+    resume_sharded_checkpoint,
+    run_sharded_scenario,
+)
+from .worker import ShardWorker
+
+__all__ = [
+    "HandoffMessage",
+    "SHARDED_CHECKPOINT_FORMAT",
+    "ShardCoordinator",
+    "ShardDirectory",
+    "ShardWorker",
+    "ShardedEngineFacade",
+    "composite_state_hash",
+    "plan_rebalance",
+    "resume_sharded_checkpoint",
+    "run_sharded_scenario",
+    "slice_sizes",
+]

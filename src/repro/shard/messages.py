@@ -1,0 +1,93 @@
+"""Wire-level records of the shard protocol.
+
+Everything that crosses a shard boundary is an explicit, picklable message —
+never shared memory — so a sharded run is replayable and auditable at the
+protocol level (the same design point as the related work's stabilizing
+message-passing protocols: correctness must not depend on delivery sharing
+state with the sender).
+
+Three record kinds cross the coordinator/worker boundary:
+
+* **routed events** — compact tuples ``(step, kind, node_id, role, fresh)``
+  built by :meth:`~repro.shard.router.EventRouter.route`; ``node_id`` is the
+  *global* identity, which the worker maps onto its shard-local registry;
+* **handoff messages** — :class:`HandoffMessage`, one per node moved between
+  shards at a barrier.  Each carries a per-``(src, dst)`` sequence number;
+  recipients apply handoffs sorted by ``(src, seq)``, which makes the drain
+  order deterministic and independent of worker scheduling;
+* **worker commands** — ``(method, args)`` pairs executed by the worker loop
+  (:func:`repro.shard.worker.worker_main`), with ``(ok, payload)`` replies.
+"""
+
+from __future__ import annotations
+
+from typing import NamedTuple
+
+#: Wire codes for routed event kinds (kept one byte; batches are hot).
+JOIN = "j"
+LEAVE = "l"
+
+#: Seed offset of shard engine ``s``: ``scenario.seed + SHARD_SEED_OFFSET + s``.
+#: Far above the scenario's own fan-out (``seed + 1 .. seed + 3`` drive the
+#: workload, adversary and mixer) so the streams never collide.
+SHARD_SEED_OFFSET = 1000
+
+
+class HandoffMessage(NamedTuple):
+    """One cross-shard node move, drained at a barrier step.
+
+    ``seq`` numbers the messages of one ``(src, dst)`` channel monotonically;
+    the receiving shard applies messages sorted by ``(src, seq)``, so the
+    resulting join order (and hence every RNG draw it causes) is a pure
+    function of the routed event history, not of worker timing.  ``role``
+    travels with the node: a Byzantine node stays Byzantine on its new shard.
+    """
+
+    seq: int
+    src: int
+    dst: int
+    node_id: int
+    role: str
+
+    def to_json(self) -> dict:
+        """JSON-ready form (used by tests and protocol debugging dumps)."""
+        return {
+            "seq": self.seq,
+            "src": self.src,
+            "dst": self.dst,
+            "node_id": self.node_id,
+            "role": self.role,
+        }
+
+    @classmethod
+    def from_json(cls, data: dict) -> "HandoffMessage":
+        """Inverse of :meth:`to_json`."""
+        return cls(
+            seq=int(data["seq"]),
+            src=int(data["src"]),
+            dst=int(data["dst"]),
+            node_id=int(data["node_id"]),
+            role=str(data["role"]),
+        )
+
+
+class RoutedEvent(NamedTuple):
+    """One event after routing: the owning shard plus the wire tuple.
+
+    ``size_after`` is the composite network size immediately after the event
+    (the directory updates synchronously at route time); the merge layer
+    stamps it onto the composite step record, so record sizes are exact even
+    though shards apply their batches concurrently.
+    """
+
+    shard: int
+    step: int
+    kind: str
+    node_id: int
+    role: str
+    fresh: bool
+    size_after: int
+
+    def wire(self) -> tuple:
+        """The compact tuple shipped to the worker."""
+        return (self.step, self.kind, self.node_id, self.role, self.fresh)

@@ -1,0 +1,336 @@
+"""Deterministic event routing: global identities, ownership, sampling.
+
+The router is the single-threaded heart of the sharded execution model.  It
+owns the one piece of state every shard must agree on — *which global node
+lives where* — and it makes every placement decision with **no randomness**
+beyond the scenario's own RNG streams:
+
+* fresh joins go to the least-loaded shard (ties broken by lowest shard
+  index), so the placement is a pure function of the routed event history;
+* leaves go to the shard that owns the departing node;
+* re-joins of previously departed nodes (the oblivious adversary's churn)
+  are fresh placements: the node keeps its global identity and role but may
+  land on a different shard.
+
+The directory reuses :class:`~repro.core.state.NodeRegistry` over *global*
+node ids, which buys the O(1) swap-delete sampling arrays and the exact
+RNG-visible ordering semantics of the single-engine path for free — the
+workload's ``random_member`` draws inside a sharded run consume its stream
+exactly like a classic run would, indexing the directory's arrays.  Those
+array orders are part of the composite state fingerprint
+(:meth:`ShardDirectory.fingerprint`) for the same reason they are part of
+the classic one: a uniform draw indexes into them.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Any, Dict, List, Optional, Tuple
+
+from ..core.events import ChurnEvent, ChurnKind
+from ..core.state import NodeRegistry
+from ..errors import ConfigurationError
+from ..network.node import NodeRole
+from .messages import JOIN, LEAVE, RoutedEvent
+
+
+def slice_sizes(initial_size: int, shards: int) -> List[int]:
+    """Initial population slice per shard: as even as integers allow.
+
+    The first ``initial_size % shards`` shards take one extra node, so the
+    assignment is deterministic and independent of everything but the two
+    arguments.
+    """
+    if shards < 1:
+        raise ConfigurationError("shards must be >= 1")
+    if initial_size < shards:
+        raise ConfigurationError(
+            f"initial_size {initial_size} cannot populate {shards} shard(s)"
+        )
+    base, extra = divmod(initial_size, shards)
+    return [base + (1 if shard < extra else 0) for shard in range(shards)]
+
+
+def plan_rebalance(
+    sizes: List[int], threshold: int, floor: int
+) -> Optional[Tuple[int, int, int]]:
+    """One rebalance move for the current shard sizes, or ``None``.
+
+    Evaluated at every barrier.  The donor is the largest shard, the
+    recipient the smallest (ties: lowest index).  A move happens when the
+    spread exceeds ``threshold`` (move half the gap) or the smallest shard
+    fell below ``floor`` (pull it back up to the floor — the guard that
+    keeps a draining shard from losing its last cluster).  The donor is
+    never drained below ``floor`` itself.  One move per barrier: multi-shard
+    imbalances converge over consecutive barriers, and the single-move rule
+    keeps the handoff schedule trivially deterministic.
+    """
+    if len(sizes) < 2:
+        return None
+    src = max(range(len(sizes)), key=lambda shard: (sizes[shard], -shard))
+    dst = min(range(len(sizes)), key=lambda shard: (sizes[shard], shard))
+    if src == dst:
+        return None
+    gap = sizes[src] - sizes[dst]
+    count = gap // 2 if gap > threshold else 0
+    count = max(count, floor - sizes[dst])
+    count = min(count, sizes[src] - floor)
+    if count <= 0:
+        return None
+    return (src, dst, count)
+
+
+class ShardDirectory:
+    """Global node directory: identity allocation, roles, liveness, ownership.
+
+    The coordinator mutates it synchronously while routing (so the event
+    source always samples the exact post-event population) and at barriers
+    when handoffs move ownership.  Shard sizes are tracked incrementally;
+    they always equal each shard engine's ``network_size`` at barrier
+    boundaries (asserted by the worker protocol's summaries).
+    """
+
+    def __init__(self, num_shards: int) -> None:
+        if num_shards < 1:
+            raise ConfigurationError("shards must be >= 1")
+        self.num_shards = num_shards
+        self.nodes = NodeRegistry()
+        self.owner: Dict[int, int] = {}
+        self.sizes: List[int] = [0] * num_shards
+
+    # ------------------------------------------------------------------
+    # Population
+    # ------------------------------------------------------------------
+    def register_initial(self, shard: int, node_id: int, role: NodeRole) -> None:
+        """Register one bootstrap-population node with its fixed global id."""
+        self.nodes.register(role=role, joined_at=0, node_id=node_id)
+        self.owner[node_id] = shard
+        self.sizes[shard] += 1
+
+    def least_loaded(self) -> int:
+        """The shard new joiners go to (smallest size, lowest index on ties)."""
+        return min(range(self.num_shards), key=lambda shard: (self.sizes[shard], shard))
+
+    def place_join(self, node_id: Optional[int], role: NodeRole, time_step: int) -> Tuple[int, int, bool]:
+        """Place a join: allocate/reactivate the identity, pick the shard.
+
+        Returns ``(shard, global_id, fresh)`` — ``fresh`` is False for the
+        re-join of a known identity (which keeps its descriptor but is
+        placed like a newcomer).
+        """
+        fresh = True
+        if node_id is not None and node_id in self.nodes:
+            descriptor = self.nodes.reactivate(node_id, time_step)
+            if descriptor.role is not role:
+                # The event's role wins (it is what the shard engine will
+                # register locally); the flip keeps directory sampling lanes
+                # and ground truth consistent with the shard's view.
+                descriptor.role = role
+            fresh = False
+        elif node_id is not None:
+            self.nodes.register(role=role, joined_at=time_step, node_id=node_id)
+        else:
+            node_id = self.nodes.register(role=role, joined_at=time_step).node_id
+        shard = self.least_loaded()
+        self.owner[node_id] = shard
+        self.sizes[shard] += 1
+        return shard, node_id, fresh
+
+    def remove_leave(self, node_id: int, time_step: int) -> int:
+        """Record a departure and return the shard that owned the node."""
+        shard = self.owner.pop(node_id, None)
+        if shard is None:
+            raise ConfigurationError(
+                f"leave event names node {node_id}, which no shard owns"
+            )
+        self.nodes.mark_left(node_id, time_step)
+        self.sizes[shard] -= 1
+        return shard
+
+    def move(self, node_id: int, dst: int) -> None:
+        """Transfer ownership of an active node (a barrier handoff)."""
+        src = self.owner.get(node_id)
+        if src is None:
+            raise ConfigurationError(f"cannot hand off unowned node {node_id}")
+        self.owner[node_id] = dst
+        self.sizes[src] -= 1
+        self.sizes[dst] += 1
+
+    # ------------------------------------------------------------------
+    # Queries
+    # ------------------------------------------------------------------
+    def active_count(self) -> int:
+        """Composite network size (O(1))."""
+        return self.nodes.active_count()
+
+    # ------------------------------------------------------------------
+    # Fingerprinting and checkpoint serialisation
+    # ------------------------------------------------------------------
+    def fingerprint(self) -> Dict[str, Any]:
+        """Canonical view of the router state that shapes future behaviour.
+
+        Folded into the composite state hash next to the per-shard engine
+        hashes: the sampling-array orders are RNG-visible (the workload's
+        draws index into them), and ownership determines where every future
+        event lands.
+        """
+        orders = self.nodes.sampling_orders()
+        return {
+            "active_order": orders["active"],
+            "honest_order": orders["honest"],
+            "next_node_id": orders["next_id"],
+            "byzantine": sorted(self.nodes.active_byzantine()),
+            "owner": sorted(self.owner.items()),
+            "sizes": list(self.sizes),
+        }
+
+    def snapshot_state(self) -> Dict[str, Any]:
+        """JSON-ready full snapshot (checkpoint payload)."""
+        return {
+            "num_shards": self.num_shards,
+            "nodes": self.nodes.snapshot_state(),
+            "owner": sorted(self.owner.items()),
+            "sizes": list(self.sizes),
+        }
+
+    @classmethod
+    def from_snapshot(cls, data: Dict[str, Any]) -> "ShardDirectory":
+        """Rebuild a directory from :meth:`snapshot_state` output."""
+        directory = cls(int(data["num_shards"]))
+        directory.nodes = NodeRegistry.from_snapshot(data["nodes"])
+        directory.owner = {int(node_id): int(shard) for node_id, shard in data["owner"]}
+        directory.sizes = [int(size) for size in data["sizes"]]
+        return directory
+
+
+class EventRouter:
+    """Splits the scenario's event stream by owning shard, deterministically."""
+
+    def __init__(self, directory: ShardDirectory) -> None:
+        self.directory = directory
+        self.events_routed = 0
+
+    def route(self, event: ChurnEvent, step: int) -> RoutedEvent:
+        """Assign ``event`` to its shard and update the directory in place."""
+        directory = self.directory
+        self.events_routed += 1
+        if event.kind is ChurnKind.JOIN:
+            if event.contact_cluster is not None:
+                raise ConfigurationError(
+                    "sharded runs do not support contact_cluster-targeted joins "
+                    "(cluster ids are shard-local)"
+                )
+            shard, node_id, fresh = directory.place_join(event.node_id, event.role, step)
+            return RoutedEvent(
+                shard=shard,
+                step=step,
+                kind=JOIN,
+                node_id=node_id,
+                role=event.role.value,
+                fresh=fresh,
+                size_after=directory.active_count(),
+            )
+        if event.node_id is None:
+            raise ConfigurationError("a leave event must name the departing node")
+        shard = directory.remove_leave(event.node_id, step)
+        return RoutedEvent(
+            shard=shard,
+            step=step,
+            kind=LEAVE,
+            node_id=event.node_id,
+            role=event.role.value,
+            fresh=False,
+            size_after=directory.active_count(),
+        )
+
+
+class _FacadeState:
+    """Minimal ``engine.state`` shim: exposes the directory as ``.nodes``.
+
+    Enough for :meth:`~repro.adversary.base.AdversaryContext.controlled_nodes`
+    (the oblivious adversary's only state read) and for any probe or helper
+    that samples the active population.  Cluster-level attributes are absent
+    on purpose: cluster ids are shard-local, so any source reaching for them
+    fails loudly instead of acting on the wrong namespace.
+    """
+
+    def __init__(self, directory: ShardDirectory) -> None:
+        self.nodes = directory.nodes
+
+
+class ShardedEngineFacade:
+    """The engine-shaped object workloads and adversaries drive in a sharded run.
+
+    Serves exactly the surface the supported event sources consume:
+    ``parameters`` (the *global* protocol parameters — size bounds and tau
+    are system-wide properties), ``network_size`` (the composite size, O(1)
+    from the directory), ``random_member`` (uniform over the composite
+    active/honest population, consuming the caller's stream), and
+    ``state.nodes`` for the adversary context.  Composite cluster-level
+    observables (cluster count, worst corruption, compromised set) are
+    pushed in by the coordinator as windows merge, at barrier granularity —
+    they exist for stop conditions, not for event sources.
+    """
+
+    def __init__(self, parameters, directory: ShardDirectory) -> None:
+        self.parameters = parameters
+        self.state = _FacadeState(directory)
+        self._directory = directory
+        self._cluster_count = 0
+        self._worst_fraction = 0.0
+        self._compromised: List[Tuple[int, int]] = []
+
+    @property
+    def network_size(self) -> int:
+        """Composite number of active nodes across every shard."""
+        return self._directory.active_count()
+
+    @property
+    def cluster_count(self) -> int:
+        """Composite cluster count (updated at barrier boundaries)."""
+        return self._cluster_count
+
+    def worst_cluster_fraction(self) -> float:
+        """Worst per-cluster corruption across shards (barrier granularity)."""
+        return self._worst_fraction
+
+    def compromised_clusters(self) -> List[Tuple[int, int]]:
+        """Compromised clusters as ``(shard, cluster_id)`` pairs."""
+        return list(self._compromised)
+
+    def random_member(self, honest_only: bool = False, rng: Optional[random.Random] = None):
+        """A uniformly random active node from the composite population.
+
+        Unlike the classic engine there is no engine-stream fallback: the
+        sharded execution model has no single engine stream to fall back to,
+        and every supported source passes its own generator anyway.
+        """
+        if rng is None:
+            raise ConfigurationError(
+                "sharded runs require event sources to pass their own rng to "
+                "random_member (there is no single engine stream)"
+            )
+        if honest_only:
+            return self._directory.nodes.sample_active_honest(rng)
+        return self._directory.nodes.sample_active(rng)
+
+    def random_cluster(self, rng: Optional[random.Random] = None):
+        """Unsupported: cluster ids are shard-local, not a composite namespace."""
+        raise ConfigurationError(
+            "sharded runs do not expose a composite cluster namespace; "
+            "cluster-targeting sources are unsupported"
+        )
+
+    # ------------------------------------------------------------------
+    # Coordinator-side updates
+    # ------------------------------------------------------------------
+    def update_composite(
+        self,
+        cluster_count: int,
+        worst_fraction: float,
+        compromised: List[Tuple[int, int]],
+    ) -> None:
+        """Refresh the barrier-granularity composite observables."""
+        self._cluster_count = cluster_count
+        self._worst_fraction = worst_fraction
+        self._compromised = list(compromised)

@@ -1,0 +1,188 @@
+"""Session entry points for sharded runs: record, checkpoint, resume.
+
+Mirrors :mod:`repro.trace.session` for the sharded execution path:
+:func:`run_sharded_scenario` is the ``run-scenario --shards N`` backing
+function (trace recording + periodic checkpointing around one
+:class:`~repro.shard.coordinator.ShardCoordinator` run), and
+:func:`resume_sharded_checkpoint` continues an interrupted sharded run —
+with **any** worker count, since the worker count never influences results.
+
+The sharded checkpoint is its own format (``repro-sharded-checkpoint``): one
+JSON document holding the scenario spec, the event-source snapshot, the
+router/directory snapshot, handoff sequence counters, the merge-layer
+running state and one full engine snapshot per logical shard, sealed with
+the composite state hash.  Checkpoints are captured at barrier boundaries
+only — the one place the composite hash is well-defined.
+
+Sharded traces reuse the classic frame format with ``engine:"sharded"`` in
+the header; event frames carry merged composite records and index/end
+frames carry composite hashes, so ``trace-diff`` compares two sharded runs
+(or detects divergence between worker counts) unchanged.  ``replay``
+rejects sharded traces: replay rebuilds a single engine, which cannot
+re-derive a composite run.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+from typing import Any, Dict, Optional, Sequence
+
+from ..errors import ConfigurationError
+from ..scenarios.bus import DEFAULT_PROBE_BUFFER
+from ..scenarios.runner import StopCondition
+from ..scenarios.scenario import Scenario
+from ..trace.checkpoint import write_json_atomic
+from ..trace.codec import DEFAULT_FLUSH_EVERY
+from ..trace.log import DEFAULT_INDEX_EVERY, TraceWriter
+from ..trace.session import SessionResult
+from .coordinator import ShardCoordinator
+
+SHARDED_CHECKPOINT_FORMAT = "repro-sharded-checkpoint"
+SHARDED_CHECKPOINT_VERSION = 1
+
+
+def capture_sharded_checkpoint(coordinator: ShardCoordinator) -> Dict[str, Any]:
+    """The full checkpoint document for a coordinator at a barrier."""
+    data = coordinator.capture_state()
+    data["format"] = SHARDED_CHECKPOINT_FORMAT
+    data["version"] = SHARDED_CHECKPOINT_VERSION
+    return data
+
+
+def write_sharded_checkpoint(path: str, data: Dict[str, Any]) -> None:
+    """Atomically persist a sharded checkpoint document."""
+    write_json_atomic(path, data)
+
+
+def is_sharded_checkpoint(data: Dict[str, Any]) -> bool:
+    """Whether a loaded checkpoint document is the sharded format."""
+    return data.get("format") == SHARDED_CHECKPOINT_FORMAT
+
+
+def load_sharded_checkpoint(path: str) -> Dict[str, Any]:
+    """Load and validate a sharded checkpoint document."""
+    if not os.path.exists(path):
+        raise ConfigurationError(f"checkpoint file {path!r} does not exist")
+    with open(path, "r", encoding="utf-8") as handle:
+        data = json.load(handle)
+    if not is_sharded_checkpoint(data):
+        raise ConfigurationError(f"{path!r} is not a sharded checkpoint document")
+    if data.get("version") != SHARDED_CHECKPOINT_VERSION:
+        raise ConfigurationError(
+            f"unsupported sharded checkpoint version {data.get('version')!r}"
+        )
+    return data
+
+
+def run_sharded_scenario(
+    scenario: Scenario,
+    workers: int = 1,
+    steps: Optional[int] = None,
+    trace_path: Optional[str] = None,
+    index_every: int = DEFAULT_INDEX_EVERY,
+    checkpoint_path: Optional[str] = None,
+    checkpoint_every: Optional[int] = None,
+    probes: Sequence = (),
+    stop_conditions: Sequence[StopCondition] = (),
+    trace_format: str = "jsonl",
+    flush_every: int = DEFAULT_FLUSH_EVERY,
+    probe_buffer: int = DEFAULT_PROBE_BUFFER,
+    barrier_interval: Optional[int] = None,
+) -> SessionResult:
+    """Run a sharded scenario with optional trace recording / checkpointing.
+
+    As with :func:`~repro.trace.session.record_scenario`, a final checkpoint
+    is always written when ``checkpoint_path`` is set, and a run that dies
+    mid-way leaves a trace complete to the last flushed frame (no end frame).
+    """
+    writer: Optional[TraceWriter] = None
+    if trace_path is not None:
+        writer = TraceWriter(
+            trace_path,
+            index_every=index_every,
+            trace_format=trace_format,
+            flush_every=flush_every,
+        )
+        writer.write_header(scenario.to_dict(), engine_kind="sharded")
+    coordinator = ShardCoordinator(
+        scenario,
+        workers=workers,
+        probes=probes,
+        stop_conditions=stop_conditions,
+        probe_buffer=probe_buffer,
+        barrier_interval=barrier_interval,
+        trace_writer=writer,
+        checkpoint_path=checkpoint_path,
+        checkpoint_every=checkpoint_every,
+    )
+    try:
+        result = coordinator.run(scenario.steps if steps is None else steps)
+        final_hash = coordinator.state_hash()
+        if writer is not None:
+            writer.close(final_hash=final_hash)
+        if checkpoint_path is not None:
+            coordinator.write_checkpoint()
+    except BaseException:
+        if writer is not None:
+            writer.close()  # flush without an end frame (crashed-run shape)
+        coordinator.close()
+        raise
+    coordinator.close()
+    return SessionResult(
+        result=result,
+        engine=coordinator.facade,
+        final_state_hash=final_hash,
+        trace_path=trace_path,
+        checkpoint_path=checkpoint_path,
+    )
+
+
+def resume_sharded_checkpoint(
+    checkpoint_path: str,
+    workers: int = 1,
+    steps: Optional[int] = None,
+    checkpoint_every: Optional[int] = None,
+    probes: Sequence = (),
+    stop_conditions: Sequence[StopCondition] = (),
+    probe_buffer: int = DEFAULT_PROBE_BUFFER,
+) -> SessionResult:
+    """Continue an interrupted sharded run from its checkpoint.
+
+    ``steps`` is the number of *additional* time steps (default: the
+    remainder of the scenario's budget).  ``workers`` is free to differ from
+    the original run — results are worker-count independent.  The checkpoint
+    file is always advanced to the resumed run's end state.
+    """
+    data = load_sharded_checkpoint(checkpoint_path)
+    scenario = Scenario.from_dict(data["scenario"])
+    coordinator = ShardCoordinator(
+        scenario,
+        workers=workers,
+        probes=probes,
+        stop_conditions=stop_conditions,
+        probe_buffer=probe_buffer,
+        checkpoint_path=checkpoint_path,
+        checkpoint_every=checkpoint_every,
+        _checkpoint=data,
+    )
+    try:
+        remaining = (
+            steps
+            if steps is not None
+            else max(0, scenario.steps - int(data.get("steps_done", 0)))
+        )
+        result = coordinator.run(remaining)
+        coordinator.write_checkpoint()
+        final_hash = coordinator.state_hash()
+    except BaseException:
+        coordinator.close()
+        raise
+    coordinator.close()
+    return SessionResult(
+        result=result,
+        engine=coordinator.facade,
+        final_state_hash=final_hash,
+        trace_path=None,
+        checkpoint_path=checkpoint_path,
+    )

@@ -136,13 +136,33 @@ class TraceWriter:
 
     def write_event(self, step_index: int, engine, report) -> None:
         """Write one event frame and, on the index cadence, an index frame."""
-        self._write(event_frame_from_record(step_record(report, step_index)))
-        self.events_written += 1
+        self.write_record(step_record(report, step_index))
         if self.events_written % self.index_every == 0:
             self.write_index(step_index, engine)
 
+    def write_record(self, record: StepRecord) -> None:
+        """Write one event frame from a pre-built observation record.
+
+        No automatic index frame: callers without a live engine (the sharded
+        merge layer) schedule their own :meth:`write_index_frame` calls at
+        the points where their state hash is well-defined.
+        """
+        self._write(event_frame_from_record(record))
+        self.events_written += 1
+
     def write_index(self, step_index: int, engine) -> None:
-        """Write a state-hash index frame for the engine's current state.
+        """Write a state-hash index frame for the engine's current state."""
+        self.write_index_frame(
+            step_index=step_index,
+            time_step=engine.state.time_step,
+            state_hash=state_hash(engine),
+            network_size=engine.network_size,
+        )
+
+    def write_index_frame(
+        self, step_index: int, time_step: int, state_hash: str, network_size: int
+    ) -> None:
+        """Write an index frame from explicit values (engine-free form).
 
         Index frames are durability anchors: the write buffer is flushed to
         disk here, so a crashed run's trace is complete at least up to its
@@ -152,23 +172,27 @@ class TraceWriter:
             {
                 "t": "x",
                 "i": step_index,
-                "ts": engine.state.time_step,
+                "ts": time_step,
                 "ev": self.events_written,
-                "h": state_hash(engine),
-                "sz": engine.network_size,
+                "h": state_hash,
+                "sz": network_size,
             }
         )
         self.index_frames_written += 1
         self._codec.flush()
 
-    def close(self, engine=None) -> None:
-        """Write the end frame (when an engine is given) and close the file."""
+    def close(self, engine=None, final_hash: Optional[str] = None) -> None:
+        """Write the end frame (when a hash or engine is given) and close.
+
+        ``final_hash`` takes a precomputed hash (sharded runs close with
+        their composite hash); otherwise an ``engine`` is hashed in place.
+        """
         if self._closed:
             return
-        if engine is not None:
-            self._write(
-                {"t": "end", "ev": self.events_written, "h": state_hash(engine)}
-            )
+        if final_hash is None and engine is not None:
+            final_hash = state_hash(engine)
+        if final_hash is not None:
+            self._write({"t": "end", "ev": self.events_written, "h": final_hash})
         self._codec.close()
         self._closed = True
 

@@ -93,6 +93,12 @@ class ReplayEngine:
 
     def __init__(self, trace: "TraceReader | str", engine=None) -> None:
         self.reader = trace if isinstance(trace, TraceReader) else TraceReader(trace)
+        if self.reader.header.get("engine") == "sharded":
+            raise ConfigurationError(
+                "this trace records a sharded run; replay rebuilds a single "
+                "engine and cannot re-derive a composite run — compare sharded "
+                "traces with trace-diff, or resume from a sharded checkpoint"
+            )
         if engine is None:
             engine = self._build_engine()
         self.engine = engine
@@ -269,4 +275,20 @@ def trace_diff(first_path: str, second_path: str) -> TraceDiff:
                 compared_events=compared,
                 notes=notes,
             )
+    first_end = first.end_frame()
+    second_end = second.end_frame()
+    if (
+        first_end is not None
+        and second_end is not None
+        and first_end.get("h") != second_end.get("h")
+    ):
+        return TraceDiff(
+            diverged=True,
+            step=None,
+            reason="identical events but final state hashes differ",
+            first_frame=first_end,
+            second_frame=second_end,
+            compared_events=compared,
+            notes=notes,
+        )
     return TraceDiff(diverged=False, compared_events=compared, notes=notes)

@@ -21,6 +21,8 @@ recorded step — the CLI's ``replay --to-step N --checkpoint out.json``.
 
 from __future__ import annotations
 
+import json
+import os
 from dataclasses import dataclass
 from typing import Optional, Sequence
 
@@ -119,6 +121,7 @@ def resume_from_checkpoint(
     steps: Optional[int] = None,
     checkpoint_every: Optional[int] = None,
     probes: Sequence[Probe] = (),
+    workers: int = 1,
 ) -> SessionResult:
     """Continue an interrupted run from its last checkpoint.
 
@@ -126,8 +129,29 @@ def resume_from_checkpoint(
     default the run completes its original budget
     (``scenario.steps - steps_done``).  When ``checkpoint_every`` is set
     the resumed run keeps checkpointing to the same file.
+
+    Sharded checkpoints (``repro-sharded-checkpoint`` documents, written by
+    ``run-scenario --shards``) are detected by format and delegated to
+    :func:`repro.shard.session.resume_sharded_checkpoint`; ``workers`` sets
+    the resumed run's worker-process count (results never depend on it) and
+    is ignored for classic checkpoints.
     """
-    checkpoint = Checkpoint.load(checkpoint_path)
+    if not os.path.exists(checkpoint_path):
+        raise ConfigurationError(f"checkpoint file {checkpoint_path!r} does not exist")
+    with open(checkpoint_path, "r", encoding="utf-8") as handle:
+        data = json.load(handle)
+    if data.get("format") == "repro-sharded-checkpoint":
+        # Local import: repro.shard builds on top of repro.trace.
+        from ..shard.session import resume_sharded_checkpoint
+
+        return resume_sharded_checkpoint(
+            checkpoint_path,
+            workers=workers,
+            steps=steps,
+            checkpoint_every=checkpoint_every,
+            probes=probes,
+        )
+    checkpoint = Checkpoint(data)
     scenario_dict = checkpoint.scenario_dict
     if scenario_dict is None:
         raise ConfigurationError(

@@ -1,0 +1,175 @@
+"""Handoff edge cases of the sharded barrier protocol (``repro.shard``).
+
+Scripted event sources drive the coordinator into the awkward corners of
+cross-shard ownership transfer: one identity churning across shards several
+times inside a single barrier window, and a shard drained towards losing its
+last cluster (the ``min_shard_size`` floor pull must replenish it).  Every
+case is checked for worker-count bit-identity as well — the edge cases are
+exactly where a transport-order bug would surface.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Optional
+
+import pytest
+
+from repro import Scenario
+from repro.core.events import ChurnEvent
+from repro.network.node import NodeRole
+from repro.shard import ShardCoordinator
+from repro.shard.worker import InlineTransport
+
+
+class _ScriptedSource:
+    """Replays a fixed list of events (``None`` idles), then idles forever."""
+
+    def __init__(self, events: List[Optional[ChurnEvent]]) -> None:
+        self._events = list(events)
+        self._cursor = 0
+
+    def next_event(self, engine) -> Optional[ChurnEvent]:
+        if self._cursor >= len(self._events):
+            return None
+        event = self._events[self._cursor]
+        self._cursor += 1
+        return event
+
+
+@dataclass
+class _ScriptedScenario(Scenario):
+    """A scenario whose event stream is a fixed script (handoff tests only)."""
+
+    script: List[Optional[ChurnEvent]] = field(default_factory=list, repr=False)
+
+    def build_source(self, engine):
+        return _ScriptedSource(self.script)
+
+    def to_dict(self):
+        data = super().to_dict()
+        data.pop("script", None)  # workers rebuild a plain Scenario
+        return data
+
+
+def _scenario(script, **overrides):
+    fields = dict(
+        name="handoff",
+        max_size=256,
+        initial_size=200,
+        tau=0.1,
+        seed=5,
+        steps=len(script),
+        shards=2,
+        max_idle_streak=3,
+    )
+    fields.update(overrides)
+    return _ScriptedScenario(script=script, **fields)
+
+
+def _run(scenario, workers):
+    coordinator = ShardCoordinator(scenario, workers=workers)
+    try:
+        result = coordinator.run(scenario.steps)
+        return result, coordinator.state_hash(), list(coordinator.directory.sizes)
+    finally:
+        coordinator.close()
+
+
+def test_identity_churning_twice_within_one_window():
+    # Node 0 (shard 0's block) leaves, rejoins, leaves and rejoins again —
+    # all inside one 64-event barrier window.  Each rejoin is a fresh
+    # placement of a known identity; the shard engines must track the
+    # global id through every local reincarnation.
+    script = [
+        ChurnEvent.leave(0),
+        ChurnEvent.join(role=NodeRole.BYZANTINE, node_id=0),
+        ChurnEvent.leave(0),
+        ChurnEvent.join(role=NodeRole.HONEST, node_id=0),
+    ]
+    scenario = _scenario(script)
+    result, state_hash, sizes = _run(scenario, workers=1)
+    assert result.events == 4
+    assert result.final_size == 200
+    result2, state_hash2, sizes2 = _run(scenario, workers=2)
+    assert (result2.final_size, sizes2, state_hash2) == (
+        result.final_size,
+        sizes,
+        state_hash,
+    )
+
+
+def test_rejoin_lands_on_least_loaded_shard():
+    # Leaving two shard-0 nodes makes shard 0 the least-loaded shard, so the
+    # rejoin goes back there; the directory must reactivate, not reallocate.
+    script = [
+        ChurnEvent.leave(0),
+        ChurnEvent.leave(1),
+        ChurnEvent.join(role=NodeRole.HONEST, node_id=0),
+    ]
+    scenario = _scenario(script)
+    coordinator = ShardCoordinator(scenario, workers=1)
+    try:
+        coordinator.run(scenario.steps)
+        assert coordinator.directory.owner[0] == 0
+        assert coordinator.directory.sizes == [99, 100]
+    finally:
+        coordinator.close()
+
+
+def test_draining_shard_is_pulled_back_above_floor():
+    # Drain shard 0's initial block (gids 0..99) far below the floor with a
+    # small barrier interval: every barrier must plan a floor pull before
+    # the shard loses its last cluster, and the run must stay worker-count
+    # identical through the repeated handoffs.
+    script = [ChurnEvent.leave(gid) for gid in range(70)]
+    scenario = _scenario(
+        script, shard_options={"barrier_interval": 10, "min_shard_size": 48}
+    )
+    result, state_hash, sizes = _run(scenario, workers=1)
+    assert result.final_size == 130
+    assert min(sizes) >= 48  # the floor held at every barrier
+    _, state_hash2, sizes2 = _run(scenario, workers=2)
+    assert (sizes2, state_hash2) == (sizes, state_hash)
+
+
+def test_handoff_messages_are_sequenced_and_pick_largest_gids():
+    # Force one deterministic handoff and inspect the messages themselves.
+    script = [ChurnEvent.leave(gid) for gid in range(30)]
+    scenario = _scenario(
+        script,
+        steps=len(script),
+        shard_options={"barrier_interval": len(script), "min_shard_size": 90},
+    )
+    coordinator = ShardCoordinator(scenario, workers=1)
+    try:
+        coordinator.run(scenario.steps)
+        messages = coordinator.last_handoffs
+        assert messages, "the drained shard should have forced a floor pull"
+        assert all(m.src == 1 and m.dst == 0 for m in messages)
+        assert [m.seq for m in messages] == list(range(len(messages)))
+        # Emigrants are the donor's largest global ids, in descending order.
+        gids = [m.node_id for m in messages]
+        assert gids == sorted(gids, reverse=True)
+        assert gids[0] == 199
+    finally:
+        coordinator.close()
+
+
+def test_emigrate_returns_largest_active_gids():
+    scenario = Scenario(
+        name="emigrate",
+        max_size=256,
+        initial_size=120,
+        tau=0.1,
+        seed=9,
+        shards=1,
+    )
+    transport = InlineTransport(scenario.to_dict(), [0], [120])
+    try:
+        moves = transport.call("emigrate", 0, 5)
+        gids = [gid for gid, _role in moves]
+        assert gids == [119, 118, 117, 116, 115]
+        assert transport.call("summaries")[0]["size"] == 115
+    finally:
+        transport.close()

@@ -1,0 +1,170 @@
+"""Trace, checkpoint and CLI integration of sharded runs (``repro.shard.session``).
+
+The determinism contract extended to sharded execution: traces recorded
+under different worker counts diff clean, a checkpointed run resumed with
+*any* worker count lands bit-identical to the uninterrupted run, and the
+``replay`` command refuses sharded traces loudly (there is no single engine
+to re-drive) while ``trace-diff`` handles them like any other trace.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+
+import pytest
+
+from repro import Scenario
+from repro.cli import main as cli_main
+from repro.errors import ConfigurationError
+from repro.shard import (
+    SHARDED_CHECKPOINT_FORMAT,
+    resume_sharded_checkpoint,
+    run_sharded_scenario,
+)
+from repro.trace import replay_trace, resume_from_checkpoint, trace_diff
+
+FIELDS = dict(
+    name="session",
+    max_size=256,
+    initial_size=200,
+    tau=0.12,
+    seed=21,
+    steps=150,
+    shards=4,
+    adversary={"kind": "oblivious"},
+    adversary_weight=0.3,
+)
+
+
+def _scenario(**overrides):
+    fields = dict(FIELDS)
+    fields.update(overrides)
+    return Scenario.from_dict(fields)
+
+
+def test_traces_from_different_worker_counts_diff_clean(tmp_path):
+    first = str(tmp_path / "w1.jsonl")
+    second = str(tmp_path / "w4.binary")
+    s1 = run_sharded_scenario(_scenario(), workers=1, trace_path=first)
+    s4 = run_sharded_scenario(
+        _scenario(), workers=4, trace_path=second, trace_format="binary"
+    )
+    assert s1.final_state_hash == s4.final_state_hash
+    diff = trace_diff(first, second)
+    assert not diff.diverged
+    assert diff.compared_events == s1.result.events
+
+
+def test_sharded_trace_header_and_end_frame(tmp_path):
+    path = str(tmp_path / "sharded.jsonl")
+    session = run_sharded_scenario(_scenario(), workers=2, trace_path=path, index_every=64)
+    with open(path, "r", encoding="utf-8") as handle:
+        frames = [json.loads(line) for line in handle]
+    assert frames[0]["engine"] == "sharded"
+    assert frames[-1]["t"] == "end"
+    assert frames[-1]["h"] == session.final_state_hash
+    assert any(frame["t"] == "x" for frame in frames)  # barrier index frames
+
+
+def test_replay_refuses_sharded_traces(tmp_path):
+    path = str(tmp_path / "sharded.jsonl")
+    run_sharded_scenario(_scenario(steps=80), workers=1, trace_path=path)
+    with pytest.raises(ConfigurationError, match="sharded"):
+        replay_trace(path)
+
+
+def test_checkpoint_resume_equals_uninterrupted(tmp_path):
+    checkpoint = str(tmp_path / "ck.json")
+    straight = run_sharded_scenario(_scenario(), workers=1)
+    run_sharded_scenario(_scenario(), workers=2, steps=80, checkpoint_path=checkpoint)
+    with open(checkpoint, "r", encoding="utf-8") as handle:
+        assert json.load(handle)["format"] == SHARDED_CHECKPOINT_FORMAT
+    # Resume with a different worker count than the recording run used.
+    resumed = resume_sharded_checkpoint(checkpoint, workers=4, steps=70)
+    assert resumed.final_state_hash == straight.final_state_hash
+    assert resumed.result.steps == 70
+
+
+def test_resume_default_steps_finish_the_budget(tmp_path):
+    checkpoint = str(tmp_path / "ck.json")
+    straight = run_sharded_scenario(_scenario(), workers=1)
+    run_sharded_scenario(_scenario(), workers=1, steps=100, checkpoint_path=checkpoint)
+    resumed = resume_sharded_checkpoint(checkpoint, workers=1)
+    assert resumed.result.steps == 50
+    assert resumed.final_state_hash == straight.final_state_hash
+
+
+def test_classic_resume_entry_point_dispatches_sharded(tmp_path):
+    checkpoint = str(tmp_path / "ck.json")
+    straight = run_sharded_scenario(_scenario(), workers=1)
+    run_sharded_scenario(_scenario(), workers=1, steps=90, checkpoint_path=checkpoint)
+    session = resume_from_checkpoint(checkpoint, workers=2)
+    assert session.final_state_hash == straight.final_state_hash
+
+
+def test_cli_run_scenario_sharded_and_resume(tmp_path, capsys):
+    spec = str(tmp_path / "spec.json")
+    trace = str(tmp_path / "trace.jsonl")
+    checkpoint = str(tmp_path / "ck.json")
+    with open(spec, "w", encoding="utf-8") as handle:
+        handle.write(_scenario().to_json())
+
+    code = cli_main(
+        [
+            "run-scenario",
+            "--spec", spec,
+            "--shards", "2",
+            "--record", trace,
+            "--checkpoint", checkpoint,
+            "--steps", "100",
+        ]
+    )
+    out = capsys.readouterr().out
+    assert code == 0
+    assert "shards" in out
+    assert "final state hash:" in out
+    assert os.path.exists(trace) and os.path.exists(checkpoint)
+
+    code = cli_main(["resume", "--checkpoint", checkpoint, "--shards", "2"])
+    out = capsys.readouterr().out
+    assert code == 0
+    assert "resumed from" in out
+
+
+def test_cli_shards_flag_defaults_logical_shards(tmp_path, capsys):
+    # A spec without a shards field still runs sharded under --shards W,
+    # with the documented default of 4 logical shards.
+    spec = str(tmp_path / "spec.json")
+    scenario = _scenario()
+    scenario.shards = 0
+    with open(spec, "w", encoding="utf-8") as handle:
+        handle.write(scenario.to_json())
+    code = cli_main(["run-scenario", "--spec", spec, "--shards", "1", "--steps", "60"])
+    out = capsys.readouterr().out
+    assert code == 0
+    assert "| shards" in out
+
+
+def test_cli_rejects_bad_shard_flags(tmp_path, capsys):
+    spec = str(tmp_path / "spec.json")
+    with open(spec, "w", encoding="utf-8") as handle:
+        handle.write(_scenario().to_json())
+    assert cli_main(["run-scenario", "--spec", spec, "--shards", "0"]) == 2
+    assert (
+        cli_main(["run-scenario", "--spec", spec.replace("spec", "missing"),
+                  "--shards", "2"])
+        == 2
+    )
+    # --barrier-interval without a sharded run is a usage error.
+    assert (
+        cli_main(["run-scenario", "--name", "uniform-churn", "--barrier-interval", "8"])
+        == 2
+    )
+    capsys.readouterr()
+
+
+def test_resume_rejects_missing_checkpoint(tmp_path, capsys):
+    missing = str(tmp_path / "nope.json")
+    assert cli_main(["resume", "--checkpoint", missing]) == 2
+    capsys.readouterr()

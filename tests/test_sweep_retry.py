@@ -1,0 +1,135 @@
+"""Retry-on-worker-failure semantics of :class:`~repro.experiments.sweep.SweepRunner`.
+
+A transient failure must cost one retry, not the sweep; a persistent failure
+must yield an addressable ``failed: True`` record that aggregation excludes
+and that a later ``--resume`` run re-executes instead of serving as done.
+"""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.experiments.sweep import (
+    SweepRunner,
+    SweepSpec,
+    failed_sweep_record,
+    load_sweep_progress,
+    run_sweep_payload,
+)
+
+SPEC_FIELDS = dict(
+    name="retry-sweep",
+    scenario=dict(
+        name="tiny",
+        max_size=256,
+        initial_size=100,
+        tau=0.1,
+        steps=10,
+    ),
+    seeds=[1, 2],
+    workers=1,
+)
+
+
+def _spec(**overrides):
+    fields = dict(SPEC_FIELDS)
+    fields.update(overrides)
+    return SweepSpec.from_dict(fields)
+
+
+class _FlakyPayload:
+    """Stands in for ``run_sweep_payload``: fails the first N calls per unit."""
+
+    def __init__(self, failures_per_unit):
+        self.failures_per_unit = failures_per_unit
+        self.attempts = {}
+
+    def __call__(self, payload):
+        key = payload["seed"]
+        count = self.attempts.get(key, 0)
+        self.attempts[key] = count + 1
+        if count < self.failures_per_unit:
+            raise RuntimeError(f"transient failure for seed {key}")
+        return run_sweep_payload(payload)
+
+
+def test_transient_failure_is_retried_once(monkeypatch):
+    flaky = _FlakyPayload(failures_per_unit=1)
+    monkeypatch.setattr("repro.experiments.sweep.run_sweep_payload", flaky)
+    result = SweepRunner(_spec()).run()
+    assert result.failures() == []
+    assert len(result.records) == 2
+    assert flaky.attempts == {1: 2, 2: 2}  # one failure + one success each
+
+
+def test_persistent_failure_yields_failed_record(monkeypatch):
+    flaky = _FlakyPayload(failures_per_unit=99)
+    monkeypatch.setattr("repro.experiments.sweep.run_sweep_payload", flaky)
+    result = SweepRunner(_spec(seeds=[1])).run()
+    assert flaky.attempts == {1: 2}  # first try + exactly one retry
+    failures = result.failures()
+    assert len(failures) == 1
+    record = failures[0]
+    assert record["failed"] is True
+    assert "transient failure" in record["error"]
+    assert record["seed"] == 1
+    # Failed units never reach the aggregates.
+    assert result.records_for(record["point"]) == []
+    assert result.aggregate(record["point"]) == {}
+
+
+def test_failed_units_are_rerun_on_resume(monkeypatch, tmp_path):
+    progress = str(tmp_path / "progress.jsonl")
+    always_fail = _FlakyPayload(failures_per_unit=99)
+    monkeypatch.setattr("repro.experiments.sweep.run_sweep_payload", always_fail)
+    runner = SweepRunner(_spec(seeds=[1]))
+    first = runner.run(resume_path=progress)
+    assert len(first.failures()) == 1
+    # The failure is in the progress file, addressable by unit identity...
+    assert any(record.get("failed") for record in load_sweep_progress(progress).values())
+
+    # ...but a resume does NOT serve it as completed: the unit re-runs, and
+    # with the fault gone it succeeds and overwrites the failure (last wins).
+    monkeypatch.setattr("repro.experiments.sweep.run_sweep_payload", run_sweep_payload)
+    second = SweepRunner(_spec(seeds=[1]))
+    result = second.run(resume_path=progress)
+    assert second.resumed_count == 0
+    assert result.failures() == []
+    assert result.records[0]["events"] > 0
+    cached = load_sweep_progress(progress)
+    assert all(not record.get("failed") for record in cached.values())
+
+    # A third run serves the now-successful record from the file.
+    third = SweepRunner(_spec(seeds=[1]))
+    third_result = third.run(resume_path=progress)
+    assert third.resumed_count == 1
+    assert third_result.records == result.records
+
+
+def test_failed_record_carries_unit_identity():
+    payload = {
+        "sweep": "s",
+        "point": {"tau": 0.2},
+        "seed": 7,
+        "spec_digest": "abc123",
+        "scenario": {"name": "unit"},
+    }
+    record = failed_sweep_record(payload, ValueError("boom"))
+    assert record["failed"] is True
+    assert record["error"] == "ValueError: boom"
+    assert record["point"] == {"tau": 0.2}
+    assert record["seed"] == 7
+    assert record["spec_digest"] == "abc123"
+    assert record["scenario"] == "unit"
+    json.dumps(record)  # must stay JSONL-serialisable
+
+
+def test_multiprocess_path_still_succeeds():
+    # The retry bookkeeping must not disturb the happy path of the process
+    # pool (futures are re-keyed by (index, payload, attempt) now).
+    result = SweepRunner(_spec(workers=2)).run()
+    assert result.failures() == []
+    assert len(result.records) == 2
+    assert all(record["events"] > 0 for record in result.records)
