@@ -162,6 +162,18 @@ def build_parser() -> argparse.ArgumentParser:
         help="events between sharded handoff barriers (sharded runs only; "
              "default: 64 or the scenario's shard_options value)",
     )
+    scenario.add_argument(
+        "--no-pipeline", action="store_true",
+        help="run the sharded coordinator without routing/execution overlap "
+             "(sharded runs only; an execution choice — results are "
+             "bit-identical either way)",
+    )
+    scenario.add_argument(
+        "--profile", type=str, default=None, metavar="FILE",
+        help="profile the run loop with cProfile and write pstats data to "
+             "FILE (works for classic and sharded runs; load with "
+             "pstats.Stats)",
+    )
 
     resume = subparsers.add_parser(
         "resume", help="continue an interrupted run-scenario from its checkpoint file"
@@ -412,9 +424,22 @@ def run_scenario_command(args: argparse.Namespace) -> int:
             file=sys.stderr,
         )
         return 2
+    if args.no_pipeline and not sharded:
+        print(
+            "run-scenario: --no-pipeline applies to sharded runs "
+            "(give --shards or a scenario with a shards field)",
+            file=sys.stderr,
+        )
+        return 2
 
     corruption = CorruptionTrajectoryProbe()
     costs = CostLedgerProbe()
+    profiler = None
+    if args.profile is not None:
+        import cProfile
+
+        profiler = cProfile.Profile()
+        profiler.enable()
     try:
         if sharded:
             if scenario.shards == 0:
@@ -439,6 +464,7 @@ def run_scenario_command(args: argparse.Namespace) -> int:
                 flush_every=args.flush_every,
                 probe_buffer=args.probe_buffer,
                 barrier_interval=args.barrier_interval,
+                pipeline=not args.no_pipeline,
             )
         else:
             session = record_scenario(
@@ -454,8 +480,17 @@ def run_scenario_command(args: argparse.Namespace) -> int:
             )
     except (ConfigurationError, OSError, ValueError) as error:
         # OSError covers unwritable --record/--checkpoint paths.
+        if profiler is not None:
+            profiler.disable()
         print(f"run-scenario: {error}", file=sys.stderr)
         return 2
+    if profiler is not None:
+        profiler.disable()
+        try:
+            profiler.dump_stats(args.profile)
+        except OSError as error:
+            print(f"run-scenario: cannot write profile: {error}", file=sys.stderr)
+            return 2
     result = session.result
 
     print(f"scenario {scenario.name!r}: engine={scenario.engine}, N={scenario.max_size}, "
@@ -466,6 +501,8 @@ def run_scenario_command(args: argparse.Namespace) -> int:
         print(f"trace recorded to {args.record}")
     if args.checkpoint:
         print(f"checkpoint written to {args.checkpoint}")
+    if args.profile:
+        print(f"profile written to {args.profile}")
     summary = corruption.summary()
     print(
         format_table(

@@ -26,25 +26,46 @@ deterministic event router:
 ``docs/SHARDING.md`` describes the protocol in detail.
 """
 
-from .coordinator import ShardCoordinator
+from .coordinator import PHASE_KEYS, ShardCoordinator
 from .merge import composite_state_hash
-from .messages import HandoffMessage
-from .router import ShardDirectory, ShardedEngineFacade, plan_rebalance, slice_sizes
+from .messages import (
+    HandoffMessage,
+    iter_events,
+    iter_rows,
+    pack_events,
+    pack_rows,
+)
+from .router import (
+    EventRouter,
+    ShardDirectory,
+    ShardedEngineFacade,
+    WindowBatch,
+    plan_rebalance,
+    slice_sizes,
+)
 from .session import (
     SHARDED_CHECKPOINT_FORMAT,
     resume_sharded_checkpoint,
     run_sharded_scenario,
 )
-from .worker import ShardWorker
+from .worker import ShardWorker, ShardWorkerError
 
 __all__ = [
+    "EventRouter",
     "HandoffMessage",
+    "PHASE_KEYS",
     "SHARDED_CHECKPOINT_FORMAT",
     "ShardCoordinator",
     "ShardDirectory",
     "ShardWorker",
+    "ShardWorkerError",
     "ShardedEngineFacade",
+    "WindowBatch",
     "composite_state_hash",
+    "iter_events",
+    "iter_rows",
+    "pack_events",
+    "pack_rows",
     "plan_rebalance",
     "resume_sharded_checkpoint",
     "run_sharded_scenario",

@@ -6,25 +6,35 @@ state — and drives the shard workers in **barrier windows**:
 
 1. pull up to ``barrier_interval`` events from the workload/adversary (which
    sample the *composite* population through the
-   :class:`~repro.shard.router.ShardedEngineFacade`), routing each to its
-   owning shard as it is produced;
-2. dispatch each shard's batch to its worker (send-all-then-recv-all, so
-   worker processes overlap) and fold the returned observation rows back
-   into the global event order (:class:`~repro.shard.merge.ObservationMerger`);
-3. publish the merged records to the observation bus / trace writer and
-   evaluate stop conditions against them;
-4. drain the barrier: plan at most one rebalance move
-   (:func:`~repro.shard.router.plan_rebalance`), carry it out as
-   seq-numbered :class:`~repro.shard.messages.HandoffMessage` records, and
-   re-anchor the merge state from post-handoff shard summaries.
+   :class:`~repro.shard.router.ShardedEngineFacade`), routing the window in
+   one batched pass (:meth:`~repro.shard.router.EventRouter.route_window`)
+   into packed per-shard wire buffers;
+2. **dispatch** the window — queue each shard's packed batch on its worker
+   transport, plan the barrier's rebalance move from the directory and
+   queue its handoff commands behind the batches;
+3. **route the next window while the workers execute** (the pipelining that
+   gives the overlap): routing depends only on the directory and the
+   source's own RNG streams, both coordinator-owned, so routing window
+   *k+1* before window *k*'s replies arrive is bit-identical to the serial
+   order.  Due index frames/checkpoints, idle exhaustion and stop
+   conditions flush the pipeline (see :meth:`ShardCoordinator.run`);
+4. receive window *k*'s replies, fold the packed observation rows back into
+   the global event order (:class:`~repro.shard.merge.ObservationMerger`),
+   publish the merged records to the observation bus / trace writer,
+   evaluate stop conditions, and drain the barrier's seq-numbered
+   :class:`~repro.shard.messages.HandoffMessage` replies.
 
 Everything that decides future behaviour happens on this single thread in a
-fixed order, so the run is **bit-identical for every worker count**: the
+fixed order — route *k*, plan barrier *k*, route *k+1* — so the run is
+**bit-identical for every worker count and for both pipeline modes**: the
 workers only execute the per-shard event batches, whose content never
-depends on how shards are packed into processes.  ``workers=1`` executes the
-same logical shards through the in-process
-:class:`~repro.shard.worker.InlineTransport` and is the correctness oracle
-the property tests compare against.
+depends on how shards are packed into processes or on when replies are
+collected.  ``workers=1`` executes the same logical shards through the
+in-process :class:`~repro.shard.worker.InlineTransport` and is the
+correctness oracle the property tests compare against.  ``phase_times``
+accumulates a per-phase wall-time breakdown
+(route / serialize / worker_execute / merge / idle) that the throughput
+benchmark records next to its rates.
 
 Two semantics differ from the single-engine runner, both barrier-granular by
 construction and documented in ``docs/SHARDING.md``:
@@ -52,10 +62,14 @@ from .router import (
     EventRouter,
     ShardDirectory,
     ShardedEngineFacade,
+    WindowBatch,
     plan_rebalance,
     slice_sizes,
 )
 from .worker import InlineTransport, ProcessTransport, ShardWorkerError
+
+#: The coordinator's per-phase wall-time buckets (see ``phase_times``).
+PHASE_KEYS = ("route", "serialize", "worker_execute", "merge", "idle")
 
 #: Events per barrier window (cross-shard handoffs drain on this cadence).
 DEFAULT_BARRIER_INTERVAL = 64
@@ -118,6 +132,7 @@ class ShardCoordinator:
         trace_writer=None,
         checkpoint_path: Optional[str] = None,
         checkpoint_every: Optional[int] = None,
+        pipeline: bool = True,
         _checkpoint: Optional[Dict[str, Any]] = None,
     ) -> None:
         self.scenario = scenario
@@ -258,6 +273,19 @@ class ShardCoordinator:
         self.barriers_run = 0
         self._last_indexed = 0
         self._events_since_checkpoint = 0
+        #: ``pipeline=False`` forces the serial route→execute→merge loop
+        #: (the oracle the pipelined ≡ unpipelined property compares
+        #: against); pipelining is an execution choice, never semantic.
+        self.pipeline = bool(pipeline)
+        #: Windows whose routing overlapped the previous window's execution.
+        self.windows_pipelined = 0
+        #: Cumulative per-phase wall seconds across ``run`` calls.
+        #: ``route``/``serialize``/``merge`` are coordinator work;
+        #: ``worker_execute`` sums the workers' self-timed apply seconds
+        #: (an aggregate across processes, so it can exceed wall time);
+        #: ``idle`` is coordinator time blocked on apply replies beyond the
+        #: matching self-timed seconds — the residual pipelining removes.
+        self.phase_times: Dict[str, float] = {key: 0.0 for key in PHASE_KEYS}
 
     # ------------------------------------------------------------------
     # Validation
@@ -345,7 +373,25 @@ class ShardCoordinator:
     # The barrier-window loop
     # ------------------------------------------------------------------
     def run(self, steps: int) -> RunResult:
-        """Run up to ``steps`` time steps and return the result summary."""
+        """Run up to ``steps`` time steps and return the result summary.
+
+        The loop is **double-buffered**: window *k*'s apply batches and
+        barrier commands are dispatched (queued on the transport pipes),
+        window *k+1* is routed while the workers execute them, and only
+        then are *k*'s replies received and merged.  Every decision is
+        still made on this thread in the serial order — route *k*, plan
+        barrier *k*, route *k+1* — so the pipelined run is bit-identical
+        to the serial one (``pipeline=False``), which the equivalence
+        property tests pin.
+
+        Three conditions flush the pipeline (window *k+1* is not routed
+        ahead): a due trace index frame or checkpoint (both hash worker
+        state, so the pipe must drain first — predicted exactly from the
+        window's event count before dispatch), an idle-exhausted window,
+        and stop conditions, which disable pipelining outright: a stop can
+        truncate the run mid-window, and routing ahead would consume
+        source RNG for events that never execute.
+        """
         if steps < 0:
             raise ConfigurationError("steps must be non-negative")
         self.bus.sync(self.probes)
@@ -356,51 +402,85 @@ class ShardCoordinator:
             self.bus.buffered_probes or self.trace_writer or self.stop_conditions
         )
         max_idle_streak = self.scenario.max_idle_streak
+        pipelining = self.pipeline and not self.stop_conditions
+        phase = self.phase_times
+        perf = time.perf_counter
 
         events = 0
         idle = 0
-        idle_streak = 0
         executed = 0
         peak_worst = 0.0
         stop_reason = "steps exhausted"
         stopping = False
-        started_at = time.perf_counter()
-        try:
-            while executed < steps and not stopping:
-                # -- 1. pull and route one window's events ---------------
-                routed_window: List[RoutedEvent] = []
-                batches: Dict[int, List[tuple]] = {}
-                idle_reason: Optional[str] = None
-                while len(routed_window) < self.barrier_interval and executed < steps:
-                    executed += 1
-                    event = self._next_event()
-                    if event is None:
-                        idle += 1
-                        idle_streak += 1
-                        if (
-                            max_idle_streak is not None
-                            and idle_streak >= max_idle_streak
-                        ):
-                            idle_reason = "source idle"
-                            break
-                        continue
-                    idle_streak = 0
-                    routed = self.router.route(event, executed)
-                    routed_window.append(routed)
-                    batches.setdefault(routed.shard, []).append(routed.wire())
+        started_at = perf()
 
-                # -- 2. dispatch batches and merge observations ----------
+        def route_next(next_step: int, remaining: int, streak: int) -> WindowBatch:
+            clock = perf()
+            window = self.router.route_window(
+                self._next_event,
+                next_step=next_step,
+                limit=self.barrier_interval,
+                max_steps=remaining,
+                idle_streak=streak,
+                max_idle_streak=max_idle_streak,
+            )
+            phase["route"] += perf() - clock
+            return window
+
+        try:
+            window = route_next(1, steps, 0) if steps > 0 else None
+            while window is not None and window.steps > 0 and not stopping:
+                executed += window.steps
+                idle += window.idle
+                routed_window = window.routed
+
+                # -- 1. dispatch window k (send only; replies stay queued)
+                order: List[Tuple[int, Any]] = []
+                apply_expected: Dict[int, int] = {}
                 if routed_window:
-                    replies = self._gather_shards(
-                        [
-                            (shard, (batch, observe))
-                            for shard, batch in sorted(batches.items())
-                        ],
-                        "apply",
+                    apply_expected = {
+                        shard: self.directory.sizes[shard] for shard in window.batches
+                    }
+                    clock = perf()
+                    for shard, batch in sorted(window.batches.items()):
+                        transport = self._transport_of[shard]
+                        transport.send("apply", shard, batch, observe)
+                        order.append((shard, transport))
+                    phase["serialize"] += perf() - clock
+
+                # -- 2. plan barrier k from the directory and queue it ---
+                barrier = self._send_barrier()
+
+                # -- 3. route window k+1 while the workers execute k -----
+                next_window: Optional[WindowBatch] = None
+                if (
+                    pipelining
+                    and routed_window
+                    and window.idle_reason is None
+                    and executed < steps
+                    and not self._index_due(len(routed_window))
+                    and not self._checkpoint_due(len(routed_window))
+                ):
+                    next_window = route_next(
+                        executed + 1, steps - executed, window.idle_streak
                     )
+                    self.windows_pipelined += 1
+
+                # -- 4. receive and merge window k's observations --------
+                if routed_window:
+                    replies: Dict[int, Dict[str, Any]] = {}
+                    for shard, transport in order:
+                        clock = perf()
+                        reply = transport.recv()
+                        waited = perf() - clock
+                        worker_elapsed = reply.get("elapsed", 0.0)
+                        phase["worker_execute"] += worker_elapsed
+                        phase["idle"] += max(0.0, waited - worker_elapsed)
+                        replies[shard] = reply
                     events += len(routed_window)
                     self.total_events += len(routed_window)
                     self._events_since_checkpoint += len(routed_window)
+                    clock = perf()
                     if observe:
                         records = self.merger.merge_window(
                             routed_window,
@@ -412,9 +492,10 @@ class ShardCoordinator:
                     self.merger.update_summaries(
                         {shard: reply["summary"] for shard, reply in replies.items()}
                     )
-                    self._check_sizes(replies)
+                    phase["merge"] += perf() - clock
+                    self._check_sizes(replies, apply_expected)
 
-                    # -- 3. publish + stop conditions --------------------
+                    # -- 5. publish + stop conditions --------------------
                     compromised = self.merger.compromised()
                     for record in records:
                         self.bus.publish_record(record)
@@ -428,8 +509,8 @@ class ShardCoordinator:
                             stopping = True
                             break
 
-                # -- 4. barrier: drain handoffs, refresh composites ------
-                self._barrier_handoff()
+                # -- 6. drain barrier k, refresh composites --------------
+                self._recv_barrier(barrier)
                 self.barriers_run += 1
                 self._refresh_facade()
                 if self.merger.worst_fraction > peak_worst:
@@ -437,12 +518,19 @@ class ShardCoordinator:
                 if not stopping:
                     self._write_index_if_due(executed)
                     self._checkpoint_if_due()
-                if idle_reason is not None:
-                    stop_reason = idle_reason
+                if window.idle_reason is not None:
+                    stop_reason = window.idle_reason
                     break
+                if stopping or executed >= steps:
+                    break
+                window = (
+                    next_window
+                    if next_window is not None
+                    else route_next(executed + 1, steps - executed, window.idle_streak)
+                )
         finally:
             self.bus.flush()
-        elapsed = time.perf_counter() - started_at
+        elapsed = perf() - started_at
         self.total_steps += executed
 
         return RunResult(
@@ -475,27 +563,45 @@ class ShardCoordinator:
                 return reason
         return None
 
-    def _check_sizes(self, replies: Dict[int, Dict[str, Any]]) -> None:
+    def _check_sizes(
+        self, replies: Dict[int, Dict[str, Any]], expected: Dict[int, int]
+    ) -> None:
+        """Cross-check worker sizes against the directory *as of the window*.
+
+        ``expected`` is the directory's per-shard sizes captured at
+        dispatch time: by the time the replies arrive, the live directory
+        may already reflect the barrier's moves and the prefetched next
+        window.
+        """
         for shard, reply in replies.items():
-            if reply["summary"]["size"] != self.directory.sizes[shard]:
+            if reply["summary"]["size"] != expected[shard]:
                 raise ShardWorkerError(
                     f"shard {shard} size diverged from the directory "
-                    f"({reply['summary']['size']} != {self.directory.sizes[shard]})"
+                    f"({reply['summary']['size']} != {expected[shard]})"
                 )
 
     # ------------------------------------------------------------------
-    # Barrier handoff
+    # Barrier handoff (send/recv halves so the pipeline can overlap them)
     # ------------------------------------------------------------------
-    def _barrier_handoff(self) -> bool:
-        """Drain at most one rebalance move; return whether one happened."""
+    def _send_barrier(self) -> Optional[Dict[str, Any]]:
+        """Plan at most one rebalance move and queue its worker commands.
+
+        The emigrant set is computed from the directory
+        (:meth:`~repro.shard.router.ShardDirectory.emigrants` — the same
+        largest-gids-first selection the donor worker used to make), so
+        planning needs no worker round trip and the commands can queue
+        behind the window's apply batches.  Both halves piggyback their
+        post-handoff summary on the reply, consumed by
+        :meth:`_recv_barrier` after the window's observations are merged.
+        """
         self.last_handoffs = []
         plan = plan_rebalance(
             self.directory.sizes, self.rebalance_threshold, self.min_shard_size
         )
         if plan is None:
-            return False
+            return None
         src, dst, count = plan
-        moves = self._transport_of[src].call("emigrate", src, count)
+        moves = self.directory.emigrants(src, count)
         base = self._seq.get((src, dst), 0)
         messages = [
             HandoffMessage(seq=base + offset, src=src, dst=dst, node_id=gid, role=role)
@@ -508,33 +614,67 @@ class ShardCoordinator:
             (message.src, message.seq, message.node_id, message.role)
             for message in sorted(messages, key=lambda m: (m.src, m.seq))
         ]
-        self._transport_of[dst].call("immigrate", dst, payload)
+        src_transport = self._transport_of[src]
+        dst_transport = self._transport_of[dst]
+        src_transport.send("emigrate_ids", src, [m.node_id for m in messages])
+        dst_transport.send("immigrate", dst, payload)
         self.handoffs_sent += len(messages)
         self.last_handoffs = messages
+        return {
+            "src": src,
+            "dst": dst,
+            "src_transport": src_transport,
+            "dst_transport": dst_transport,
+            # Post-move sizes, captured before any prefetch routing can
+            # advance the live directory past this barrier.
+            "expected": {
+                src: self.directory.sizes[src],
+                dst: self.directory.sizes[dst],
+            },
+        }
 
-        transports = [self._transport_of[src]]
-        if self._transport_of[dst] is not self._transport_of[src]:
-            transports.append(self._transport_of[dst])
-        summaries: Dict[int, Dict[str, Any]] = {}
-        for transport in transports:
-            transport.send("summaries")
-        for transport in transports:
-            summaries.update(transport.recv())
-        self.merger.update_summaries(
-            {shard: summaries[shard] for shard in (src, dst)}
-        )
+    def _recv_barrier(self, barrier: Optional[Dict[str, Any]]) -> None:
+        """Drain the queued handoff replies and re-anchor the merge state."""
+        if barrier is None:
+            return
+        src, dst = barrier["src"], barrier["dst"]
+        summaries = {
+            src: barrier["src_transport"].recv()["summary"],
+            dst: barrier["dst_transport"].recv()["summary"],
+        }
+        self.merger.update_summaries(summaries)
+        expected = barrier["expected"]
         for shard in (src, dst):
-            if summaries[shard]["size"] != self.directory.sizes[shard]:
+            if summaries[shard]["size"] != expected[shard]:
                 raise ShardWorkerError(
                     f"post-handoff size of shard {shard} diverged from the "
                     f"directory ({summaries[shard]['size']} != "
-                    f"{self.directory.sizes[shard]})"
+                    f"{expected[shard]})"
                 )
-        return True
 
     # ------------------------------------------------------------------
     # Trace / checkpoint cadence (barrier-aligned)
     # ------------------------------------------------------------------
+    def _index_due(self, pending: int) -> bool:
+        """Will an index frame be due once ``pending`` records are written?
+
+        Evaluated *before* dispatching a window: index frames call
+        :meth:`state_hash`, which round-trips every worker, so the window
+        after which one is due must flush the pipeline.  Exact, not a
+        heuristic — without stop conditions (pipelining is off with them)
+        every routed event becomes exactly one written record.
+        """
+        writer = self.trace_writer
+        if writer is None:
+            return False
+        return writer.events_written + pending - self._last_indexed >= writer.index_every
+
+    def _checkpoint_due(self, pending: int) -> bool:
+        """Will a checkpoint be due once ``pending`` events are merged?"""
+        if self.checkpoint_path is None or self.checkpoint_every is None:
+            return False
+        return self._events_since_checkpoint + pending >= self.checkpoint_every
+
     def _write_index_if_due(self, step_index: int) -> None:
         writer = self.trace_writer
         if writer is None:

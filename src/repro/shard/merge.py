@@ -25,7 +25,7 @@ from typing import Any, Dict, Iterable, List, Sequence, Set, Tuple
 
 from ..scenarios.bus import StepRecord
 from ..trace.hashing import digest
-from .messages import JOIN, RoutedEvent
+from .messages import JOIN, RoutedEvent, RowBatch, iter_rows
 
 _KIND_NAMES = {JOIN: "join"}
 
@@ -76,16 +76,23 @@ class ObservationMerger:
     def merge_window(
         self,
         routed: Sequence[RoutedEvent],
-        rows_by_shard: Dict[int, Sequence[tuple]],
+        rows_by_shard: Dict[int, RowBatch],
     ) -> List[StepRecord]:
         """Fold one window's per-shard rows back into global event order.
 
         ``routed`` is the window's events in the order the router produced
         them (the global order); each shard's rows come back in its local
         application order, which is a subsequence of the global order — so a
-        single cursor per shard re-interleaves them exactly.
+        k-way merge over one decoding cursor per shard re-interleaves them
+        exactly.  Rows arrive as packed wire buffers
+        (:data:`~repro.shard.messages.ROW_RECORD`) or the legacy tuple-list
+        fallback; :func:`~repro.shard.messages.iter_rows` decodes either
+        lazily, so this loop is the only place packed observations are
+        materialised.
         """
-        cursors = {shard: iter(rows) for shard, rows in rows_by_shard.items()}
+        cursors = {
+            shard: iter_rows(payload) for shard, payload in rows_by_shard.items()
+        }
         records: List[StepRecord] = []
         for event in routed:
             row = next(cursors[event.shard])

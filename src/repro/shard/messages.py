@@ -1,4 +1,4 @@
-"""Wire-level records of the shard protocol.
+"""Wire-level records and packed codecs of the shard protocol.
 
 Everything that crosses a shard boundary is an explicit, picklable message —
 never shared memory — so a sharded run is replayable and auditable at the
@@ -8,20 +8,66 @@ state with the sender).
 
 Three record kinds cross the coordinator/worker boundary:
 
-* **routed events** — compact tuples ``(step, kind, node_id, role, fresh)``
-  built by :meth:`~repro.shard.router.EventRouter.route`; ``node_id`` is the
-  *global* identity, which the worker maps onto its shard-local registry;
+* **routed event batches** — one window's events for one shard, shipped as a
+  single struct-packed ``bytes`` blob (:func:`pack_events`, format
+  :data:`EVENT_RECORD`) instead of a list of per-event tuples.  Packing one
+  blob per shard per window keeps the pickle cost of a dispatch O(bytes)
+  instead of O(events × tuple overhead) — the same trick as the binary
+  trace codec's event blocks (``trace/codec.py``).  A batch whose values
+  fall outside the packed ranges degrades to the legacy tuple list;
+  :func:`iter_events` accepts both interchangeably;
+* **observation row buffers** — the per-event rows a worker returns, packed
+  as ``(op_names, bytes)`` (:func:`pack_rows`, format :data:`ROW_RECORD`)
+  with operation names indexed through a per-batch string table.  The rows
+  are decoded only at the merge boundary (:func:`iter_rows` inside
+  :meth:`~repro.shard.merge.ObservationMerger.merge_window`), never on the
+  worker's hot path;
 * **handoff messages** — :class:`HandoffMessage`, one per node moved between
   shards at a barrier.  Each carries a per-``(src, dst)`` sequence number;
   recipients apply handoffs sorted by ``(src, seq)``, which makes the drain
-  order deterministic and independent of worker scheduling;
-* **worker commands** — ``(method, args)`` pairs executed by the worker loop
-  (:func:`repro.shard.worker.worker_main`), with ``(ok, payload)`` replies.
+  order deterministic and independent of worker scheduling.
+
+Worker commands stay ``(method, args)`` pairs executed by the worker loop
+(:func:`repro.shard.worker.worker_main`), with ``(ok, payload)`` replies.
+
+Packed event record (struct format ``<IBIBB``, 11 bytes)::
+
+    field   type  meaning
+    -----   ----  --------------------------------------------------
+    step    u32   coordinator step index of the event
+    kind    u8    churn kind (index into the module kind table)
+    gid     u32   global node id
+    role    u8    node role (index into the NodeRole enum order)
+    fresh   u8    1 when the join allocates a brand-new identity
+
+Packed observation row (struct format ``<IBBiIIdBIIQ``, 43 bytes)::
+
+    field     type  meaning
+    --------  ----  ------------------------------------------------
+    step      u32   coordinator step index (merge-order check)
+    kind      u8    churn kind code
+    role      u8    node role code
+    node      i32   input event node id (-1 encodes null: fresh join)
+    assigned  u32   global id the event acted on
+    clusters  u32   shard cluster count after the event
+    worst     f64   shard worst corruption fraction (bit-exact)
+    op        u8    operation name (index into the batch's op table)
+    messages  u32   operation message cost
+    rounds    u32   operation round cost
+    hops      u64   operation walk hops
+
+Both enum tables are fixed module-level orders (kind: join, leave; role: the
+``NodeRole`` declaration order) shared by coordinator and workers of one
+process tree — unlike the on-disk trace codec there is no cross-version
+reader, so the tables need not travel with each batch.
 """
 
 from __future__ import annotations
 
-from typing import NamedTuple
+import struct
+from typing import Any, Iterable, Iterator, List, NamedTuple, Sequence, Tuple, Union
+
+from ..network.node import NodeRole
 
 #: Wire codes for routed event kinds (kept one byte; batches are hot).
 JOIN = "j"
@@ -31,6 +77,25 @@ LEAVE = "l"
 #: Far above the scenario's own fan-out (``seed + 1 .. seed + 3`` drive the
 #: workload, adversary and mixer) so the streams never collide.
 SHARD_SEED_OFFSET = 1000
+
+#: One routed event on the wire: step, kind, gid, role, fresh.
+EVENT_RECORD = struct.Struct("<IBIBB")
+#: One observation row on the wire (see the module docstring field table).
+ROW_RECORD = struct.Struct("<IBBiIIdBIIQ")
+
+KINDS: List[str] = [JOIN, LEAVE]
+KIND_CODES = {value: index for index, value in enumerate(KINDS)}
+ROLES: List[str] = [role.value for role in NodeRole]
+ROLE_CODES = {value: index for index, value in enumerate(ROLES)}
+
+#: ``iter_events`` yields these; identical to the legacy wire tuple shape.
+WireEvent = Tuple[int, str, int, str, bool]
+#: The 11-field observation row shape shared by worker, wire and merger.
+WireRow = Tuple[int, str, str, Any, int, int, float, Any, int, int, int]
+
+#: Packed-or-fallback payload types.
+EventBatch = Union[bytes, List[WireEvent]]
+RowBatch = Union[Tuple[List[Any], bytes], List[WireRow]]
 
 
 class HandoffMessage(NamedTuple):
@@ -88,6 +153,110 @@ class RoutedEvent(NamedTuple):
     fresh: bool
     size_after: int
 
-    def wire(self) -> tuple:
-        """The compact tuple shipped to the worker."""
+    def wire(self) -> WireEvent:
+        """The legacy (fallback) tuple form of the packed event record."""
         return (self.step, self.kind, self.node_id, self.role, self.fresh)
+
+
+# ----------------------------------------------------------------------
+# Packed event batches (coordinator -> worker)
+# ----------------------------------------------------------------------
+def pack_events(rows: Iterable[WireEvent]) -> EventBatch:
+    """Pack wire-event tuples into one blob, or fall back to the tuple list.
+
+    The fallback triggers when any value exceeds the packed field ranges
+    (e.g. a global id above ``2**32 - 1``) or names an unknown kind/role —
+    the whole batch degrades, keeping decode logic branch-free per record.
+    """
+    rows = list(rows)
+    try:
+        pack = EVENT_RECORD.pack
+        kind_codes = KIND_CODES
+        role_codes = ROLE_CODES
+        return b"".join(
+            pack(step, kind_codes[kind], gid, role_codes[role], bool(fresh))
+            for step, kind, gid, role, fresh in rows
+        )
+    except (KeyError, struct.error):
+        return rows
+
+
+def iter_events(payload: EventBatch) -> Iterator[WireEvent]:
+    """Yield wire-event tuples from a packed blob or a fallback tuple list."""
+    if isinstance(payload, (bytes, bytearray, memoryview)):
+        kinds = KINDS
+        roles = ROLES
+        for step, kind, gid, role, fresh in EVENT_RECORD.iter_unpack(payload):
+            yield (step, kinds[kind], gid, roles[role], bool(fresh))
+    else:
+        yield from payload
+
+
+# ----------------------------------------------------------------------
+# Packed observation rows (worker -> coordinator)
+# ----------------------------------------------------------------------
+def pack_rows(rows: Sequence[WireRow]) -> RowBatch:
+    """Pack observation rows into ``(op_names, blob)``, or fall back.
+
+    Operation names are strings (occasionally ``None``); each batch carries
+    its own first-appearance-ordered table and rows index into it with one
+    byte.  The whole batch falls back to the plain row list when a value
+    exceeds a packed range, a node id is too large for ``i32``, or a batch
+    somehow names more than 255 distinct operations.
+    """
+    ops: List[Any] = []
+    op_codes: dict = {}
+    parts: List[bytes] = []
+    pack = ROW_RECORD.pack
+    kind_codes = KIND_CODES
+    role_codes = ROLE_CODES
+    try:
+        for step, kind, role, node, assigned, clusters, worst, op, messages, rounds, hops in rows:
+            code = op_codes.get(op)
+            if code is None:  # table codes are ints, so None always means new
+                if len(ops) >= 255:
+                    return list(rows)
+                op_codes[op] = code = len(ops)
+                ops.append(op)
+            parts.append(
+                pack(
+                    step,
+                    kind_codes[kind],
+                    role_codes[role],
+                    -1 if node is None else node,
+                    assigned,
+                    clusters,
+                    worst,
+                    code,
+                    messages,
+                    rounds,
+                    hops,
+                )
+            )
+    except (KeyError, struct.error, TypeError):
+        return list(rows)
+    return (ops, b"".join(parts))
+
+
+def iter_rows(payload: RowBatch) -> Iterator[WireRow]:
+    """Yield observation rows from a packed buffer or a fallback row list."""
+    if isinstance(payload, tuple):
+        op_names, blob = payload
+        kinds = KINDS
+        roles = ROLES
+        for step, kind, role, node, assigned, clusters, worst, op, messages, rounds, hops in ROW_RECORD.iter_unpack(blob):
+            yield (
+                step,
+                kinds[kind],
+                roles[role],
+                None if node < 0 else node,
+                assigned,
+                clusters,
+                worst,
+                op_names[op],
+                messages,
+                rounds,
+                hops,
+            )
+    else:
+        yield from payload

@@ -24,14 +24,24 @@ the classic one: a uniform draw indexes into them.
 
 from __future__ import annotations
 
+import heapq
 import random
-from typing import Any, Dict, List, Optional, Tuple
+import struct
+from typing import Any, Callable, Dict, List, NamedTuple, Optional, Set, Tuple
 
 from ..core.events import ChurnEvent, ChurnKind
 from ..core.state import NodeRegistry
 from ..errors import ConfigurationError
 from ..network.node import NodeRole
-from .messages import JOIN, LEAVE, RoutedEvent
+from .messages import (
+    EVENT_RECORD,
+    JOIN,
+    KIND_CODES,
+    LEAVE,
+    ROLE_CODES,
+    EventBatch,
+    RoutedEvent,
+)
 
 
 def slice_sizes(initial_size: int, shards: int) -> List[int]:
@@ -97,6 +107,11 @@ class ShardDirectory:
         self.nodes = NodeRegistry()
         self.owner: Dict[int, int] = {}
         self.sizes: List[int] = [0] * num_shards
+        # Per-shard member sets mirror ``owner`` (owner[gid] == s ⇔ gid in
+        # members[s]); they exist so barrier planning can pick a shard's
+        # largest gids without a worker round trip or an O(population) scan
+        # of the owner map.
+        self.members: List[Set[int]] = [set() for _ in range(num_shards)]
 
     # ------------------------------------------------------------------
     # Population
@@ -106,6 +121,7 @@ class ShardDirectory:
         self.nodes.register(role=role, joined_at=0, node_id=node_id)
         self.owner[node_id] = shard
         self.sizes[shard] += 1
+        self.members[shard].add(node_id)
 
     def least_loaded(self) -> int:
         """The shard new joiners go to (smallest size, lowest index on ties)."""
@@ -134,6 +150,7 @@ class ShardDirectory:
         shard = self.least_loaded()
         self.owner[node_id] = shard
         self.sizes[shard] += 1
+        self.members[shard].add(node_id)
         return shard, node_id, fresh
 
     def remove_leave(self, node_id: int, time_step: int) -> int:
@@ -145,6 +162,7 @@ class ShardDirectory:
             )
         self.nodes.mark_left(node_id, time_step)
         self.sizes[shard] -= 1
+        self.members[shard].discard(node_id)
         return shard
 
     def move(self, node_id: int, dst: int) -> None:
@@ -155,6 +173,8 @@ class ShardDirectory:
         self.owner[node_id] = dst
         self.sizes[src] -= 1
         self.sizes[dst] += 1
+        self.members[src].discard(node_id)
+        self.members[dst].add(node_id)
 
     # ------------------------------------------------------------------
     # Queries
@@ -162,6 +182,28 @@ class ShardDirectory:
     def active_count(self) -> int:
         """Composite network size (O(1))."""
         return self.nodes.active_count()
+
+    def emigrants(self, shard: int, count: int) -> List[Tuple[int, str]]:
+        """The ``count`` nodes a donor shard hands off, largest gid first.
+
+        Returns ``(global_id, role)`` pairs in the exact order the worker
+        applies the departures — a pure function of the directory, so the
+        coordinator can plan a whole barrier (and dispatch the next window)
+        without waiting on the donor worker.  Matches the worker-side
+        selection bit for bit: the shard engine's active population *is*
+        ``members[shard]`` at a barrier boundary, and roles live in the
+        shared global registry.
+        """
+        population = self.members[shard]
+        if count > len(population):
+            raise ConfigurationError(
+                f"shard {shard} cannot emigrate {count} of {len(population)} nodes"
+            )
+        gids = heapq.nlargest(count, population)
+        is_byzantine = self.nodes.is_byzantine
+        byzantine = NodeRole.BYZANTINE.value
+        honest = NodeRole.HONEST.value
+        return [(gid, byzantine if is_byzantine(gid) else honest) for gid in gids]
 
     # ------------------------------------------------------------------
     # Fingerprinting and checkpoint serialisation
@@ -200,7 +242,27 @@ class ShardDirectory:
         directory.nodes = NodeRegistry.from_snapshot(data["nodes"])
         directory.owner = {int(node_id): int(shard) for node_id, shard in data["owner"]}
         directory.sizes = [int(size) for size in data["sizes"]]
+        for node_id, shard in directory.owner.items():
+            directory.members[shard].add(node_id)
         return directory
+
+
+class WindowBatch(NamedTuple):
+    """One routed barrier window, ready for dispatch.
+
+    ``steps`` counts every time step the window consumed, including idle
+    ones; the coordinator advances its step counter by it.  ``idle_streak``
+    is the streak *at the end of the window* (streaks span window
+    boundaries), and ``idle_reason`` is set when the streak hit the
+    scenario's ``max_idle_streak`` — a pipeline flush condition.
+    """
+
+    routed: List[RoutedEvent]
+    batches: Dict[int, EventBatch]
+    steps: int
+    idle: int
+    idle_streak: int
+    idle_reason: Optional[str]
 
 
 class EventRouter:
@@ -241,6 +303,149 @@ class EventRouter:
             role=event.role.value,
             fresh=False,
             size_after=directory.active_count(),
+        )
+
+    def route_window(
+        self,
+        next_event: Callable[[], Optional[ChurnEvent]],
+        *,
+        next_step: int,
+        limit: int,
+        max_steps: int,
+        idle_streak: int = 0,
+        max_idle_streak: Optional[int] = None,
+    ) -> WindowBatch:
+        """Pull and route up to ``limit`` events in one pass, packing batches.
+
+        The event pull and the routing must stay interleaved — the source
+        samples the live composite population, so each pull sees the exact
+        post-event directory — which is why this takes the ``next_event``
+        callable rather than a pre-pulled list.  Semantically identical to
+        calling :meth:`route` per event (property-tested in
+        ``tests/test_shard_router.py``); the win is mechanical: directory
+        structures and codec callables are resolved once per window instead
+        of per event, and each shard's batch lands directly in a packed
+        wire buffer (:data:`~repro.shard.messages.EVENT_RECORD`), with a
+        per-shard fallback to the legacy tuple list when a value exceeds
+        the packed ranges.
+
+        ``next_step`` is the step index of the first pull; ``max_steps``
+        caps the time steps consumed (the run's remaining budget).
+        """
+        directory = self.directory
+        nodes = directory.nodes
+        owner = directory.owner
+        sizes = directory.sizes
+        members = directory.members
+        num_shards = directory.num_shards
+        contains = nodes.__contains__
+        reactivate = nodes.reactivate
+        register = nodes.register
+        mark_left = nodes.mark_left
+        active_count = nodes.active_count
+        pack = EVENT_RECORD.pack
+        role_codes = ROLE_CODES
+        join_code = KIND_CODES[JOIN]
+        leave_code = KIND_CODES[LEAVE]
+
+        routed: List[RoutedEvent] = []
+        buffers: Dict[int, bytearray] = {}
+        fallback: Set[int] = set()
+        steps = 0
+        idle = 0
+        idle_reason: Optional[str] = None
+
+        while len(routed) < limit and steps < max_steps:
+            step = next_step + steps
+            steps += 1
+            event = next_event()
+            if event is None:
+                idle += 1
+                idle_streak += 1
+                if max_idle_streak is not None and idle_streak >= max_idle_streak:
+                    idle_reason = "source idle"
+                    break
+                continue
+            idle_streak = 0
+            self.events_routed += 1
+            role = event.role
+            node_id = event.node_id
+            if event.kind is ChurnKind.JOIN:
+                if event.contact_cluster is not None:
+                    raise ConfigurationError(
+                        "sharded runs do not support contact_cluster-targeted "
+                        "joins (cluster ids are shard-local)"
+                    )
+                fresh = True
+                if node_id is not None and contains(node_id):
+                    descriptor = reactivate(node_id, step)
+                    if descriptor.role is not role:
+                        descriptor.role = role
+                    fresh = False
+                elif node_id is not None:
+                    register(role=role, joined_at=step, node_id=node_id)
+                else:
+                    node_id = register(role=role, joined_at=step).node_id
+                shard = 0
+                best = sizes[0]
+                for index in range(1, num_shards):
+                    if sizes[index] < best:
+                        best = sizes[index]
+                        shard = index
+                owner[node_id] = shard
+                sizes[shard] += 1
+                members[shard].add(node_id)
+                kind = JOIN
+                kind_code = join_code
+            else:
+                if node_id is None:
+                    raise ConfigurationError(
+                        "a leave event must name the departing node"
+                    )
+                shard = owner.pop(node_id, None)
+                if shard is None:
+                    raise ConfigurationError(
+                        f"leave event names node {node_id}, which no shard owns"
+                    )
+                mark_left(node_id, step)
+                sizes[shard] -= 1
+                members[shard].discard(node_id)
+                fresh = False
+                kind = LEAVE
+                kind_code = leave_code
+            role_value = role.value
+            routed.append(
+                RoutedEvent(
+                    shard, step, kind, node_id, role_value, fresh, active_count()
+                )
+            )
+            if shard not in fallback:
+                try:
+                    buffer = buffers.get(shard)
+                    if buffer is None:
+                        buffer = buffers[shard] = bytearray()
+                    buffer.extend(
+                        pack(step, kind_code, node_id, role_codes[role_value], fresh)
+                    )
+                except (KeyError, struct.error):
+                    fallback.add(shard)
+
+        batches: Dict[int, EventBatch] = {
+            shard: bytes(buffer)
+            for shard, buffer in buffers.items()
+            if shard not in fallback
+        }
+        for shard in fallback:
+            batches[shard] = [
+                record.wire() for record in routed if record.shard == shard
+            ]
+        return WindowBatch(
+            routed=routed,
+            batches=batches,
+            steps=steps,
+            idle=idle,
+            idle_streak=idle_streak,
+            idle_reason=idle_reason,
         )
 
 

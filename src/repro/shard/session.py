@@ -89,12 +89,15 @@ def run_sharded_scenario(
     flush_every: int = DEFAULT_FLUSH_EVERY,
     probe_buffer: int = DEFAULT_PROBE_BUFFER,
     barrier_interval: Optional[int] = None,
+    pipeline: bool = True,
 ) -> SessionResult:
     """Run a sharded scenario with optional trace recording / checkpointing.
 
     As with :func:`~repro.trace.session.record_scenario`, a final checkpoint
     is always written when ``checkpoint_path`` is set, and a run that dies
     mid-way leaves a trace complete to the last flushed frame (no end frame).
+    ``pipeline=False`` forces the serial window loop — an execution choice
+    like ``workers``, never a result bit.
     """
     writer: Optional[TraceWriter] = None
     if trace_path is not None:
@@ -115,6 +118,7 @@ def run_sharded_scenario(
         trace_writer=writer,
         checkpoint_path=checkpoint_path,
         checkpoint_every=checkpoint_every,
+        pipeline=pipeline,
     )
     try:
         result = coordinator.run(scenario.steps if steps is None else steps)
@@ -146,6 +150,7 @@ def resume_sharded_checkpoint(
     probes: Sequence = (),
     stop_conditions: Sequence[StopCondition] = (),
     probe_buffer: int = DEFAULT_PROBE_BUFFER,
+    pipeline: bool = True,
 ) -> SessionResult:
     """Continue an interrupted sharded run from its checkpoint.
 
@@ -164,6 +169,7 @@ def resume_sharded_checkpoint(
         probe_buffer=probe_buffer,
         checkpoint_path=checkpoint_path,
         checkpoint_every=checkpoint_every,
+        pipeline=pipeline,
         _checkpoint=data,
     )
     try:

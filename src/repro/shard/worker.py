@@ -11,10 +11,14 @@ a small command protocol:
     roles and cluster summaries of the initial population (the coordinator
     registers global ids in the directory from this);
 ``apply``
-    one barrier window's batch of routed events, returning per-event
-    observation rows plus the end-of-batch shard summary;
-``emigrate`` / ``immigrate``
-    the two halves of a barrier handoff;
+    one barrier window's batch of routed events (a packed wire buffer or
+    the legacy tuple list — see :mod:`repro.shard.messages`), returning
+    packed per-event observation rows, the end-of-batch shard summary and
+    the worker's self-timed execution seconds;
+``emigrate_ids`` / ``immigrate``
+    the two halves of a barrier handoff.  The coordinator plans the
+    emigrant set from its directory (so the donor needs no planning round
+    trip) and both commands piggyback the post-handoff shard summary;
 ``state_hash`` / ``snapshot`` / ``restore_shard``
     the determinism/checkpoint surface.
 
@@ -34,6 +38,7 @@ coordinator overlaps the shards' work each window.
 from __future__ import annotations
 
 import multiprocessing
+import time
 import traceback
 from typing import Any, Dict, List, Optional, Sequence, Tuple
 
@@ -42,7 +47,15 @@ from ..core.events import ChurnEvent
 from ..errors import ConfigurationError
 from ..network.node import NodeRole
 from ..walks.sampler import WalkMode
-from .messages import JOIN, LEAVE, SHARD_SEED_OFFSET
+from .messages import (
+    JOIN,
+    LEAVE,
+    SHARD_SEED_OFFSET,
+    EventBatch,
+    RowBatch,
+    iter_events,
+    pack_rows,
+)
 
 
 class ShardWorkerError(RuntimeError):
@@ -158,22 +171,25 @@ class ShardWorker:
             }
         return info
 
-    def apply(
-        self, shard: int, batch: Sequence[tuple], observe: bool
-    ) -> Dict[str, Any]:
-        """Apply one window's routed events; return observation rows + summary.
+    def apply(self, shard: int, batch: EventBatch, observe: bool) -> Dict[str, Any]:
+        """Apply one window's routed events; return packed rows + summary.
 
-        Each row carries *global* identities plus the shard-local observables
-        the merge layer folds into composite step records:
-        ``(step, kind, role, node_id, assigned, clusters, worst, operation,
-        messages, rounds, walk_hops)``.  ``node_id`` is ``None`` for a fresh
-        join (mirroring the classic record, whose event names no id) and the
-        global id otherwise.
+        ``batch`` is a packed event buffer (or the legacy tuple-list
+        fallback); the reply's ``rows`` are packed the same way — decoded
+        only at the merge boundary.  Each row carries *global* identities
+        plus the shard-local observables the merge layer folds into
+        composite step records: ``(step, kind, role, node_id, assigned,
+        clusters, worst, operation, messages, rounds, walk_hops)``.
+        ``node_id`` is ``None`` for a fresh join (mirroring the classic
+        record, whose event names no id) and the global id otherwise.
+        ``elapsed`` is the worker's own execution wall time, the
+        ``worker_execute`` input of the coordinator's phase breakdown.
         """
+        started = time.perf_counter()
         slot = self._slot(shard)
         engine = slot.engine
         rows: List[tuple] = []
-        for step, kind, gid, role_value, fresh in batch:
+        for step, kind, gid, role_value, fresh in iter_events(batch):
             if kind == JOIN:
                 local = slot.g2l.get(gid)
                 report = engine.apply_event(
@@ -202,35 +218,29 @@ class ShardWorker:
                         operation.walk_hops,
                     )
                 )
-        return {"rows": rows, "summary": self._summary(engine)}
+        return {
+            "rows": pack_rows(rows) if observe else rows,
+            "summary": self._summary(engine),
+            "elapsed": time.perf_counter() - started,
+        }
 
-    def emigrate(self, shard: int, count: int) -> List[Tuple[int, str]]:
-        """Evict ``count`` nodes for a handoff; return ``(gid, role)`` pairs.
+    def emigrate_ids(self, shard: int, gids: Sequence[int]) -> Dict[str, Any]:
+        """Evict the named nodes for a handoff (in the given order).
 
-        Emigrants are the ``count`` *largest global ids* currently active on
-        the shard — a pure function of shard state, so every worker layout
-        picks the same nodes.  Departures are applied largest-first; the
-        returned order is the handoff sequence order.
+        The coordinator plans the emigrant set from its directory — the
+        shard's largest active global ids, a pure function of routed
+        history — so the donor worker only executes.  Applying the
+        departures in the given (largest-first) order reproduces the exact
+        engine transitions of the planning-on-worker protocol.  The reply
+        piggybacks the post-departure summary, saving the coordinator a
+        ``summaries`` round trip at every barrier.
         """
         slot = self._slot(shard)
-        nodes = slot.engine.state.nodes
-        pairs = sorted(
-            ((slot.l2g[local], local) for local in nodes.active_ids()), reverse=True
-        )[:count]
-        if len(pairs) < count:
-            raise ConfigurationError(
-                f"shard {shard} cannot emigrate {count} nodes (has {len(pairs)})"
-            )
-        moves: List[Tuple[int, str]] = []
-        for gid, local in pairs:
-            role = (
-                NodeRole.BYZANTINE.value
-                if nodes.is_byzantine(local)
-                else NodeRole.HONEST.value
-            )
-            slot.engine.apply_event(ChurnEvent.leave(local))
-            moves.append((gid, role))
-        return moves
+        engine = slot.engine
+        g2l = slot.g2l
+        for gid in gids:
+            engine.apply_event(ChurnEvent.leave(g2l[gid]))
+        return {"summary": self._summary(engine)}
 
     def immigrate(self, shard: int, moves: Sequence[tuple]) -> Dict[str, Any]:
         """Admit handed-off nodes (already ``(src, seq)``-sorted) as joins."""
@@ -276,7 +286,15 @@ class ShardWorker:
 # Transports
 # ----------------------------------------------------------------------
 class InlineTransport:
-    """Executes worker commands in the coordinator process (``workers=1``)."""
+    """Executes worker commands in the coordinator process (``workers=1``).
+
+    Commands queue on ``send`` and execute lazily on ``recv`` — the same
+    FIFO discipline as the process pipe.  That keeps the pipelined
+    dispatch order identical across transports, and it keeps the
+    coordinator's phase breakdown honest at ``workers=1``: worker
+    execution time lands in the recv window, where the coordinator
+    accounts for it, not inside ``send``.
+    """
 
     def __init__(
         self,
@@ -286,13 +304,14 @@ class InlineTransport:
         restore: Optional[Dict[int, Dict[str, Any]]] = None,
     ) -> None:
         self.worker = ShardWorker(scenario_data, shard_ids, sizes, restore=restore)
-        self._pending: List[Any] = []
+        self._pending: List[Tuple[str, tuple]] = []
 
     def send(self, method: str, *args: Any) -> None:
-        self._pending.append(getattr(self.worker, method)(*args))
+        self._pending.append((method, args))
 
     def recv(self) -> Any:
-        return self._pending.pop(0)
+        method, args = self._pending.pop(0)
+        return getattr(self.worker, method)(*args)
 
     def call(self, method: str, *args: Any) -> Any:
         self.send(method, *args)
@@ -361,11 +380,29 @@ class ProcessTransport:
         child.close()
         self.recv()  # bootstrap acknowledgement (raises on worker init failure)
 
+    def _died(self, cause: BaseException) -> ShardWorkerError:
+        self._process.join(timeout=1)
+        exitcode = self._process.exitcode
+        return ShardWorkerError(
+            "shard worker process died mid-command "
+            f"(exitcode {exitcode}): {cause.__class__.__name__}"
+        )
+
     def send(self, method: str, *args: Any) -> None:
-        self._conn.send((method, args))
+        try:
+            self._conn.send((method, args))
+        except (BrokenPipeError, OSError) as error:
+            raise self._died(error) from None
 
     def recv(self) -> Any:
-        ok, payload = self._conn.recv()
+        try:
+            ok, payload = self._conn.recv()
+        except (EOFError, BrokenPipeError, OSError) as error:
+            # The child vanished without replying (killed, OOM, segfault):
+            # the pipe reports EOF rather than a traceback.  Surface a
+            # ShardWorkerError instead of leaving the raw EOFError to
+            # propagate as a confusing coordinator crash.
+            raise self._died(error) from None
         if not ok:
             raise ShardWorkerError(f"shard worker command failed:\n{payload}")
         return payload
@@ -380,7 +417,10 @@ class ProcessTransport:
             self.recv()
         except (OSError, EOFError, BrokenPipeError, ShardWorkerError):
             pass
-        self._conn.close()
+        try:
+            self._conn.close()
+        except OSError:  # pragma: no cover - defensive
+            pass
         self._process.join(timeout=5)
         if self._process.is_alive():  # pragma: no cover - defensive
             self._process.terminate()

@@ -17,6 +17,7 @@ import pytest
 
 from repro import Scenario
 from repro.core.events import ChurnEvent
+from repro.errors import ConfigurationError
 from repro.network.node import NodeRole
 from repro.shard import ShardCoordinator
 from repro.shard.worker import InlineTransport
@@ -156,7 +157,7 @@ def test_handoff_messages_are_sequenced_and_pick_largest_gids():
         coordinator.close()
 
 
-def test_emigrate_returns_largest_active_gids():
+def test_emigrate_ids_applies_leaves_and_piggybacks_summary():
     scenario = Scenario(
         name="emigrate",
         max_size=256,
@@ -167,9 +168,27 @@ def test_emigrate_returns_largest_active_gids():
     )
     transport = InlineTransport(scenario.to_dict(), [0], [120])
     try:
-        moves = transport.call("emigrate", 0, 5)
-        gids = [gid for gid, _role in moves]
-        assert gids == [119, 118, 117, 116, 115]
+        reply = transport.call("emigrate_ids", 0, [119, 118, 117, 116, 115])
+        assert reply["summary"]["size"] == 115
         assert transport.call("summaries")[0]["size"] == 115
     finally:
         transport.close()
+
+
+def test_directory_emigrants_match_worker_selection():
+    # The coordinator plans emigrants from the directory; the selection must
+    # be the donor's largest active gids in descending order with the roles
+    # the worker would have reported.
+    scenario = _scenario([], steps=0)
+    coordinator = ShardCoordinator(scenario, workers=1)
+    try:
+        moves = coordinator.directory.emigrants(1, 5)
+        assert [gid for gid, _role in moves] == [199, 198, 197, 196, 195]
+        registry = coordinator.directory.nodes
+        for gid, role in moves:
+            expected = "byzantine" if registry.is_byzantine(gid) else "honest"
+            assert role == expected
+        with pytest.raises(ConfigurationError):
+            coordinator.directory.emigrants(0, 101)
+    finally:
+        coordinator.close()

@@ -1,0 +1,260 @@
+"""Pipelined shard execution (PR 8): bit-identity, flushes, robustness.
+
+``ShardCoordinator`` overlaps routing window *k+1* with the workers'
+execution of window *k*.  The contract: **pipelining is an execution
+choice**, exactly like the worker count — ``pipeline=True`` and
+``pipeline=False`` produce bit-identical results, probe outputs, composite
+hashes and recorded traces, for every worker count.  These tests pin that
+property (including across the pipeline's flush points — index frames,
+checkpoints, idle exhaustion, stop conditions), the worker-death
+regression (a killed child must surface as ``ShardWorkerError``, not hang
+the coordinator in ``recv``), and the ``run-scenario --profile`` smoke.
+"""
+
+from __future__ import annotations
+
+import os
+import pstats
+
+import pytest
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+
+from repro import Scenario
+from repro.cli import main
+from repro.scenarios.probes import CorruptionTrajectoryProbe, CostLedgerProbe
+from repro.shard import (
+    PHASE_KEYS,
+    ShardCoordinator,
+    ShardWorkerError,
+    resume_sharded_checkpoint,
+    run_sharded_scenario,
+)
+from repro.trace import trace_diff
+
+COMPARED_FIELDS = (
+    "scenario",
+    "steps",
+    "events",
+    "idle_steps",
+    "final_size",
+    "final_cluster_count",
+    "final_worst_fraction",
+    "peak_worst_fraction",
+    "compromised_clusters",
+    "stop_reason",
+    "shards",
+)
+
+BASE = dict(
+    name="pipeline",
+    max_size=256,
+    initial_size=200,
+    tau=0.12,
+    seed=13,
+    steps=150,
+    shards=4,
+)
+
+
+def _scenario(**overrides):
+    fields = dict(BASE)
+    fields.update(overrides)
+    return Scenario.from_dict(fields)
+
+
+def _run(workers, pipeline, **overrides):
+    session = run_sharded_scenario(
+        _scenario(**overrides),
+        workers=workers,
+        pipeline=pipeline,
+        probes=[CorruptionTrajectoryProbe(), CostLedgerProbe()],
+    )
+    result = session.result
+    return (
+        {name: getattr(result, name) for name in COMPARED_FIELDS},
+        result.probes,
+        session.final_state_hash,
+    )
+
+
+# ----------------------------------------------------------------------
+# pipelined == unpipelined == across worker counts
+# ----------------------------------------------------------------------
+@pytest.mark.parametrize("workers", [1, 2, 4])
+def test_pipelined_equals_unpipelined(workers):
+    assert _run(workers, pipeline=True) == _run(workers, pipeline=False)
+
+
+def test_pipelined_overlaps_windows():
+    coordinator = ShardCoordinator(_scenario(), workers=1)
+    try:
+        coordinator.run(BASE["steps"])
+        assert coordinator.windows_pipelined > 0
+        assert set(coordinator.phase_times) == set(PHASE_KEYS)
+        assert all(value >= 0.0 for value in coordinator.phase_times.values())
+    finally:
+        coordinator.close()
+
+
+@settings(
+    max_examples=5,
+    deadline=None,
+    suppress_health_check=[HealthCheck.too_slow],
+)
+@given(
+    seed=st.integers(min_value=0, max_value=2**16),
+    workers=st.sampled_from([1, 2]),
+    barrier_interval=st.sampled_from([8, 32, 64]),
+    adversary_weight=st.sampled_from([0.0, 0.4]),
+)
+def test_property_pipeline_mode_never_changes_results(
+    seed, workers, barrier_interval, adversary_weight
+):
+    overrides = dict(
+        seed=seed,
+        steps=80,
+        shards=2,
+        shard_options={"barrier_interval": barrier_interval},
+    )
+    if adversary_weight:
+        overrides["adversary"] = {"kind": "oblivious"}
+        overrides["adversary_weight"] = adversary_weight
+    oracle = _run(1, pipeline=False, **overrides)
+    assert _run(workers, pipeline=True, **overrides) == oracle
+
+
+# ----------------------------------------------------------------------
+# Flush points: traces, checkpoints, idle exhaustion, stop conditions
+# ----------------------------------------------------------------------
+def test_traces_identical_across_pipeline_modes_and_workers(tmp_path):
+    # Index frames hash worker state mid-run, so this exercises the
+    # predicted-flush path (the pipeline must drain before each frame).
+    first = str(tmp_path / "w1-serial.jsonl")
+    second = str(tmp_path / "w4-pipelined.jsonl")
+    s1 = run_sharded_scenario(
+        _scenario(), workers=1, pipeline=False, trace_path=first, index_every=32
+    )
+    s4 = run_sharded_scenario(
+        _scenario(), workers=4, pipeline=True, trace_path=second, index_every=32
+    )
+    assert s1.final_state_hash == s4.final_state_hash
+    diff = trace_diff(first, second)
+    assert not diff.diverged
+    assert diff.compared_events == s1.result.events
+
+
+def test_checkpoints_identical_across_pipeline_modes(tmp_path):
+    serial = str(tmp_path / "serial.ckpt")
+    pipelined = str(tmp_path / "pipelined.ckpt")
+    run_sharded_scenario(
+        _scenario(),
+        workers=1,
+        pipeline=False,
+        checkpoint_path=serial,
+        checkpoint_every=48,
+    )
+    run_sharded_scenario(
+        _scenario(),
+        workers=2,
+        pipeline=True,
+        checkpoint_path=pipelined,
+        checkpoint_every=48,
+    )
+    resumed_serial = resume_sharded_checkpoint(serial, workers=1, steps=50)
+    resumed_pipelined = resume_sharded_checkpoint(pipelined, workers=2, steps=50)
+    assert resumed_serial.final_state_hash == resumed_pipelined.final_state_hash
+
+
+def test_idle_exhaustion_flushes_and_matches_serial():
+    overrides = dict(
+        workload={"kind": "growth", "target_size": 230},
+        max_idle_streak=4,
+        steps=400,
+    )
+    oracle = _run(1, pipeline=False, **overrides)
+    run = _run(1, pipeline=True, **overrides)
+    assert run == oracle
+    assert run[0]["stop_reason"] == "source idle"
+
+
+def test_stop_conditions_disable_pipelining_and_match_serial():
+    def stop(engine, report, step):
+        return "big enough" if report.network_size >= 205 else None
+
+    def run(pipeline):
+        coordinator = ShardCoordinator(
+            _scenario(), workers=1, stop_conditions=[stop], pipeline=pipeline
+        )
+        try:
+            result = coordinator.run(BASE["steps"])
+            return (
+                result.stop_reason,
+                result.events,
+                coordinator.state_hash(),
+                coordinator.windows_pipelined,
+            )
+        finally:
+            coordinator.close()
+
+    reason, events, state_hash, pipelined_windows = run(True)
+    assert pipelined_windows == 0  # stop conditions are a standing flush
+    assert (reason, events, state_hash) == run(False)[:3]
+    assert reason == "big enough"
+
+
+# ----------------------------------------------------------------------
+# Worker-death robustness
+# ----------------------------------------------------------------------
+def test_worker_killed_mid_run_raises_shard_worker_error():
+    coordinator = ShardCoordinator(_scenario(steps=2000), workers=2)
+    processes = [transport._process for transport in coordinator._transports]
+    try:
+        coordinator.run(50)  # healthy windows first
+        victim = processes[1]
+        victim.kill()
+        victim.join(5)
+        with pytest.raises(ShardWorkerError, match="died mid-command"):
+            coordinator.run(1950)
+    finally:
+        coordinator.close()
+    # close() must reap every child, including the killed one.
+    assert all(not process.is_alive() for process in processes)
+
+
+def test_worker_exception_carries_remote_traceback():
+    coordinator = ShardCoordinator(_scenario(), workers=2)
+    try:
+        with pytest.raises(ShardWorkerError, match="ConfigurationError"):
+            coordinator._transports[0].call("state_hash", 999)  # unhosted shard
+    finally:
+        coordinator.close()
+
+
+# ----------------------------------------------------------------------
+# run-scenario --profile smoke
+# ----------------------------------------------------------------------
+def run_cli(*argv):
+    return main(list(argv))
+
+
+@pytest.mark.parametrize("extra", [(), ("--shards", "2")])
+def test_profile_flag_writes_loadable_pstats(tmp_path, capsys, extra):
+    out = os.path.join(str(tmp_path), "run.pstats")
+    code = run_cli(
+        "run-scenario", "--name", "uniform-churn", "--steps", "40",
+        "--profile", out, *extra,
+    )
+    assert code == 0
+    assert "profile written to" in capsys.readouterr().out
+    stats = pstats.Stats(out)
+    assert stats.total_calls > 0
+
+
+def test_no_pipeline_flag_runs_serial(capsys):
+    code = run_cli(
+        "run-scenario", "--name", "uniform-churn", "--steps", "40",
+        "--shards", "1", "--no-pipeline",
+    )
+    assert code == 0
+    assert "final state hash:" in capsys.readouterr().out

@@ -1,0 +1,298 @@
+"""The packed shard wire protocol (``repro.shard.messages``) and batched router.
+
+Two property families pin the PR 8 hot path to its oracles:
+
+* **codec round trips** — ``pack_events``/``iter_events`` and
+  ``pack_rows``/``iter_rows`` must be identities on every representable
+  batch, and must degrade to the legacy tuple-list fallback (which the
+  decoders accept interchangeably) whenever a value escapes the packed
+  field ranges;
+* **batched routing** — ``EventRouter.route_window`` must route arbitrary
+  churn streams exactly like the per-event ``route`` loop it replaces:
+  same ``RoutedEvent`` sequence, same directory fingerprint, same idle/step
+  accounting, and wire buffers that decode to the events they carry.
+"""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.events import ChurnEvent
+from repro.network.node import NodeRole
+from repro.shard import ShardDirectory
+from repro.shard.messages import (
+    EVENT_RECORD,
+    JOIN,
+    LEAVE,
+    ROW_RECORD,
+    iter_events,
+    iter_rows,
+    pack_events,
+    pack_rows,
+)
+from repro.shard.router import EventRouter
+
+ROLES = [role.value for role in NodeRole]
+
+
+# ----------------------------------------------------------------------
+# Event-batch codec
+# ----------------------------------------------------------------------
+wire_events = st.lists(
+    st.tuples(
+        st.integers(min_value=0, max_value=2**32 - 1),  # step
+        st.sampled_from([JOIN, LEAVE]),
+        st.integers(min_value=0, max_value=2**32 - 1),  # gid
+        st.sampled_from(ROLES),
+        st.booleans(),
+    ),
+    max_size=80,
+)
+
+
+@settings(max_examples=60, deadline=None)
+@given(rows=wire_events)
+def test_event_batch_round_trip(rows):
+    payload = pack_events(rows)
+    assert isinstance(payload, bytes)
+    assert len(payload) == len(rows) * EVENT_RECORD.size
+    assert list(iter_events(payload)) == rows
+
+
+def test_event_batch_oversize_falls_back_to_tuples():
+    rows = [(1, JOIN, 2**32, "honest", True)]  # gid overflows u32
+    payload = pack_events(rows)
+    assert payload == rows  # whole batch degrades
+    assert list(iter_events(payload)) == rows  # decoder accepts the fallback
+
+
+def test_event_batch_unknown_kind_falls_back():
+    rows = [(1, "x", 5, "honest", False)]
+    assert pack_events(rows) == rows
+
+
+# ----------------------------------------------------------------------
+# Observation-row codec
+# ----------------------------------------------------------------------
+wire_rows = st.lists(
+    st.tuples(
+        st.integers(min_value=0, max_value=2**32 - 1),  # step
+        st.sampled_from([JOIN, LEAVE]),
+        st.sampled_from(ROLES),
+        st.one_of(st.none(), st.integers(min_value=0, max_value=2**31 - 1)),
+        st.integers(min_value=0, max_value=2**32 - 1),  # assigned
+        st.integers(min_value=0, max_value=2**32 - 1),  # clusters
+        st.floats(allow_nan=False, allow_infinity=False),  # worst (bit-exact f64)
+        st.sampled_from(["join", "leave", "merge_split", None]),
+        st.integers(min_value=0, max_value=2**32 - 1),  # messages
+        st.integers(min_value=0, max_value=2**32 - 1),  # rounds
+        st.integers(min_value=0, max_value=2**64 - 1),  # hops
+    ),
+    max_size=80,
+)
+
+
+@settings(max_examples=60, deadline=None)
+@given(rows=wire_rows)
+def test_row_batch_round_trip(rows):
+    payload = pack_rows(rows)
+    assert isinstance(payload, tuple)
+    ops, blob = payload
+    assert len(blob) == len(rows) * ROW_RECORD.size
+    assert len(ops) <= 255
+    assert list(iter_rows(payload)) == rows
+
+
+@pytest.mark.parametrize(
+    "row",
+    [
+        # gid overflows u32
+        (1, JOIN, "honest", None, 2**32, 3, 0.1, "join", 1, 1, 1),
+        # node id overflows i32
+        (1, LEAVE, "honest", 2**31, 5, 3, 0.1, "leave", 1, 1, 1),
+        # hops overflows u64
+        (1, JOIN, "honest", None, 5, 3, 0.1, "join", 1, 1, 2**64),
+        # unknown role
+        (1, JOIN, "observer", None, 5, 3, 0.1, "join", 1, 1, 1),
+    ],
+)
+def test_row_batch_oversize_falls_back(row):
+    rows = [row]
+    payload = pack_rows(rows)
+    assert payload == rows
+    assert list(iter_rows(payload)) == rows
+
+
+def test_row_batch_op_table_overflow_falls_back():
+    rows = [
+        (i, JOIN, "honest", None, i, 1, 0.0, f"op{i}", 0, 0, 0) for i in range(300)
+    ]
+    payload = pack_rows(rows)
+    assert payload == rows  # 300 distinct op names exceed the one-byte table
+
+
+# ----------------------------------------------------------------------
+# route_window == per-event route
+# ----------------------------------------------------------------------
+def _build_directory(sizes, roles):
+    directory = ShardDirectory(len(sizes))
+    gid = 0
+    for shard, size in enumerate(sizes):
+        for _ in range(size):
+            directory.register_initial(shard, gid, roles[gid])
+            gid += 1
+    return directory
+
+
+def _script(rng, initial):
+    """A valid churn stream over a model population of ``initial`` nodes."""
+    active = set(range(initial))
+    departed = set()
+    next_id = initial
+    script = []
+    for _ in range(rng.randint(0, 120)):
+        role = rng.choice([NodeRole.HONEST, NodeRole.BYZANTINE])
+        draw = rng.random()
+        if draw < 0.15:
+            script.append(None)  # idle step
+        elif draw < 0.45:
+            script.append(ChurnEvent.join(role=role))
+            active.add(next_id)
+            next_id += 1
+        elif draw < 0.60 and departed:
+            gid = rng.choice(sorted(departed))
+            departed.discard(gid)
+            active.add(gid)
+            script.append(ChurnEvent.join(role=role, node_id=gid))
+        elif active:
+            gid = rng.choice(sorted(active))
+            active.discard(gid)
+            departed.add(gid)
+            script.append(ChurnEvent.leave(gid))
+        else:
+            script.append(None)
+    return script
+
+
+def _next_event_from(script):
+    events = iter(script)
+
+    def next_event():
+        try:
+            return next(events)
+        except StopIteration:
+            return None
+
+    return next_event
+
+
+def _serial_windows(script, directory, limit, max_idle_streak):
+    """Replicates the pre-pipelining coordinator loop verbatim."""
+    router = EventRouter(directory)
+    next_event = _next_event_from(script)
+    total = len(script)
+    executed = 0
+    idle_streak = 0
+    windows = []
+    while executed < total:
+        routed_window = []
+        idle_reason = None
+        while len(routed_window) < limit and executed < total:
+            executed += 1
+            event = next_event()
+            if event is None:
+                idle_streak += 1
+                if max_idle_streak is not None and idle_streak >= max_idle_streak:
+                    idle_reason = "source idle"
+                    break
+                continue
+            idle_streak = 0
+            routed_window.append(router.route(event, executed))
+        windows.append((routed_window, idle_reason))
+        if idle_reason is not None:
+            break
+    return windows, router.events_routed
+
+
+def _batched_windows(script, directory, limit, max_idle_streak):
+    router = EventRouter(directory)
+    next_event = _next_event_from(script)
+    total = len(script)
+    executed = 0
+    idle_streak = 0
+    windows = []
+    while executed < total:
+        window = router.route_window(
+            next_event,
+            next_step=executed + 1,
+            limit=limit,
+            max_steps=total - executed,
+            idle_streak=idle_streak,
+            max_idle_streak=max_idle_streak,
+        )
+        executed += window.steps
+        idle_streak = window.idle_streak
+        windows.append((window.routed, window.idle_reason))
+        # The packed buffers must decode to exactly the events they carry.
+        for shard, payload in window.batches.items():
+            assert list(iter_events(payload)) == [
+                routed.wire() for routed in window.routed if routed.shard == shard
+            ]
+        if window.idle_reason is not None:
+            break
+    return windows, router.events_routed
+
+
+@settings(max_examples=40, deadline=None)
+@given(
+    seed=st.integers(min_value=0, max_value=2**32 - 1),
+    shards=st.sampled_from([1, 2, 4]),
+    limit=st.sampled_from([1, 5, 16, 64]),
+    max_idle_streak=st.sampled_from([None, 2, 5]),
+)
+def test_route_window_equals_per_event_route(seed, shards, limit, max_idle_streak):
+    rng = random.Random(seed)
+    sizes = [rng.randint(3, 10) for _ in range(shards)]
+    roles = [
+        NodeRole.BYZANTINE if rng.random() < 0.2 else NodeRole.HONEST
+        for _ in range(sum(sizes))
+    ]
+    script = _script(rng, sum(sizes))
+
+    serial_dir = _build_directory(sizes, roles)
+    batched_dir = _build_directory(sizes, roles)
+    serial = _serial_windows(script, serial_dir, limit, max_idle_streak)
+    batched = _batched_windows(script, batched_dir, limit, max_idle_streak)
+
+    assert batched == serial
+    assert batched_dir.fingerprint() == serial_dir.fingerprint()
+    # The incremental member sets stay the exact inverse of the owner map.
+    for shard in range(shards):
+        assert batched_dir.members[shard] == {
+            gid for gid, owner in batched_dir.owner.items() if owner == shard
+        }
+
+
+def test_route_window_packed_fallback_per_shard():
+    # A gid beyond u32 degrades only its own shard's buffer to tuples.
+    directory = ShardDirectory(2)
+    directory.register_initial(0, 0, NodeRole.HONEST)
+    directory.register_initial(1, 2**33, NodeRole.HONEST)
+    router = EventRouter(directory)
+    script = [
+        ChurnEvent.leave(2**33),  # shard 1: oversize gid, falls back
+        ChurnEvent.leave(0),  # shard 0: packs fine
+    ]
+    window = router.route_window(
+        _next_event_from(script), next_step=1, limit=8, max_steps=len(script)
+    )
+    assert isinstance(window.batches[0], bytes)
+    assert isinstance(window.batches[1], list)
+    for shard in (0, 1):
+        assert list(iter_events(window.batches[shard])) == [
+            routed.wire() for routed in window.routed if routed.shard == shard
+        ]
