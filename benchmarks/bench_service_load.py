@@ -1,0 +1,144 @@
+"""T2 — Live service load: requests/second and tail latency under churn.
+
+The live-service tentpole's acceptance claim is a *measurement*: the asyncio
+front-end must sustain hundreds of requests per second of mixed
+sample/join/leave traffic with bounded tail latency and zero hard failures.
+This benchmark runs the whole stack in one process — a
+:class:`~repro.service.frontend.ServiceFrontend` on an ephemeral port and
+the open-loop :func:`~repro.service.loadgen.run_load` generator driving a
+deterministic Poisson schedule at it — and appends
+``service.requests_per_second`` and ``service.p99_latency_ms`` to the
+``BENCH_throughput.json`` trajectory at the repository root, alongside the
+engine-throughput history.
+
+Single-process on purpose: the server loop and the generator share one
+event loop, so the measured rate is a *lower* bound on what separate
+processes achieve (the generator steals cycles from the server), and the
+figure is still comfortably above the 500 req/s acceptance bar.
+
+Run standalone (CI writes the JSON artifact this way)::
+
+    PYTHONPATH=src python benchmarks/bench_service_load.py [--rate R] [--duration S]
+"""
+
+from __future__ import annotations
+
+import argparse
+import asyncio
+import json
+import time
+
+import pytest
+
+from repro.service import LiveEngineSession, ServiceFrontend, live_scenario, run_load
+from repro.workloads.arrivals import PoissonArrivals
+
+from bench_engine_throughput import RESULT_PATH, save_result
+from common import run_once
+
+RATE = 800.0
+DURATION = 5.0
+MIX = {"sample": 0.8, "join": 0.1, "leave": 0.1}
+MAX_SIZE = 4096
+INITIAL = 300
+SEED = 47
+
+#: The issue's acceptance bar for sustained mixed load.
+ACCEPTANCE_RATE = 500.0
+
+
+def run_experiment(rate: float = RATE, duration: float = DURATION):
+    arrivals = PoissonArrivals(
+        rate=rate, duration=duration, mix=MIX, seed=SEED + 1
+    ).schedule()
+
+    async def serve_and_drive():
+        session = LiveEngineSession(
+            live_scenario(seed=SEED, initial_size=INITIAL, max_size=MAX_SIZE)
+        )
+        frontend = ServiceFrontend(session, port=0)
+        await frontend.start()
+        try:
+            report = await run_load(
+                "127.0.0.1",
+                frontend.port,
+                arrivals,
+                offered_rate=rate,
+                connections=4,
+            )
+        finally:
+            await frontend.stop()
+        return session, frontend, report
+
+    session, frontend, report = asyncio.run(serve_and_drive())
+
+    latencies = [
+        stats.latency for stats in report.per_operation.values() if stats.latency.count
+    ]
+    # Merge the per-operation sketches for the headline tail figure: push
+    # each sketch's retained (evenly spaced) sample into one combined view.
+    from repro.analysis.statistics import QuantileSketch
+
+    combined = QuantileSketch()
+    for sketch in latencies:
+        for value in sketch.series:
+            combined.push(value)
+
+    result = {
+        "benchmark": "service_load",
+        "offered_rate": report.offered_rate,
+        "duration_seconds": report.duration,
+        "sent": report.sent,
+        "succeeded": report.succeeded,
+        "overloaded": report.overloaded,
+        "failed": report.failed,
+        "missing": report.missing,
+        "service.requests_per_second": report.achieved_rate,
+        "service.p99_latency_ms": combined.quantile(0.99),
+        "service.p50_latency_ms": combined.quantile(0.50),
+        "operations": {
+            name: stats.as_dict()
+            for name, stats in sorted(report.per_operation.items())
+        },
+        "engine_events_applied": session.events_applied,
+        "connections_served": frontend.connections_served,
+        "queue_rejected": frontend.queue.rejected,
+        "acceptance_rate": ACCEPTANCE_RATE,
+        "max_size": MAX_SIZE,
+        "initial_size": INITIAL,
+        "measured_at": time.strftime("%Y-%m-%dT%H:%M:%SZ", time.gmtime()),
+    }
+    return result
+
+
+@pytest.mark.experiment("T2")
+def test_service_load(benchmark):
+    result = run_once(benchmark, lambda: run_experiment())
+    print(
+        f"T2 service load: {result['sent']} requests offered at "
+        f"{result['offered_rate']:.0f} req/s -> "
+        f"{result['service.requests_per_second']:.0f} req/s served, "
+        f"p50 {result['service.p50_latency_ms']:.2f} ms, "
+        f"p99 {result['service.p99_latency_ms']:.2f} ms, "
+        f"{result['overloaded']} overloaded, {result['failed']} failed, "
+        f"{result['engine_events_applied']} churn events applied"
+    )
+    save_result(result)
+
+    assert result["failed"] == 0
+    assert result["missing"] == 0
+    assert result["engine_events_applied"] > 0
+    # The issue's sustained-load acceptance bar (in-process, so conservative).
+    assert result["service.requests_per_second"] >= ACCEPTANCE_RATE
+    assert result["service.p99_latency_ms"] > 0
+
+
+if __name__ == "__main__":
+    parser = argparse.ArgumentParser(description="live service load benchmark")
+    parser.add_argument("--rate", type=float, default=RATE)
+    parser.add_argument("--duration", type=float, default=DURATION)
+    parser.add_argument("--out", type=str, default=RESULT_PATH)
+    args = parser.parse_args()
+    outcome = run_experiment(rate=args.rate, duration=args.duration)
+    save_result(outcome, args.out)
+    print(json.dumps(outcome, indent=2, sort_keys=True))

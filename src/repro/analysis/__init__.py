@@ -24,6 +24,7 @@ from .bounds import (
 from .complexity import FitResult, fit_power_law, fit_polylog, polylog_exponent
 from .statistics import (
     MeanConfidence,
+    QuantileSketch,
     RunningSummary,
     TrajectorySummary,
     mean_confidence,
@@ -42,6 +43,7 @@ __all__ = [
     "fit_polylog",
     "polylog_exponent",
     "MeanConfidence",
+    "QuantileSketch",
     "RunningSummary",
     "mean_confidence",
     "TrajectorySummary",

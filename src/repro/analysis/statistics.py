@@ -10,7 +10,7 @@ from __future__ import annotations
 
 import math
 from dataclasses import dataclass
-from typing import Dict, Iterable, List, Sequence
+from typing import Dict, Iterable, List, Optional, Sequence
 
 
 @dataclass(frozen=True)
@@ -104,19 +104,87 @@ def summarize_fractions(
 DEFAULT_SAMPLE_CAP = 4096
 
 
+class QuantileSketch:
+    """Streaming quantile estimator with bounded memory and no randomness.
+
+    The estimator behind :class:`RunningSummary`'s percentiles, exposed
+    standalone for consumers that only need quantiles (the service load
+    generator reports p50/p95/p99 per operation over millions of request
+    latencies).  While fewer than ``cap`` values have been pushed the sketch
+    stores the full series and quantiles are **exact**; past the cap every
+    second retained point is dropped and the keep-stride doubles, so memory
+    stays ``O(cap)`` and quantiles come from a deterministic, evenly spaced
+    subsequence of the stream.  Two identical streams always retain exactly
+    the same points — there is no reservoir randomness to perturb a
+    recorded run.
+
+    The decimated subsequence is index-based (every ``stride``-th pushed
+    value, oldest-aligned), so for streams whose values are not correlated
+    with arrival order — latency samples, per-step fractions — it behaves
+    like a uniform sample of the distribution.
+    """
+
+    __slots__ = ("count", "_cap", "_stride", "_sample", "_sorted_cache")
+
+    def __init__(self, cap: int = DEFAULT_SAMPLE_CAP) -> None:
+        if cap < 2:
+            raise ValueError("cap must be >= 2")
+        self.count = 0
+        self._cap = cap
+        self._stride = 1
+        self._sample: List[float] = []
+        self._sorted_cache: Optional[List[float]] = None
+
+    def push(self, value: float) -> None:
+        """Fold one observation into the sketch (O(1) amortised)."""
+        index = self.count
+        self.count += 1
+        if index % self._stride == 0:
+            self._sample.append(value)
+            self._sorted_cache = None
+            if len(self._sample) > self._cap:
+                # Decimate: keep every second point, double the stride.
+                del self._sample[1::2]
+                self._stride *= 2
+
+    def quantile(self, q: float) -> float:
+        """Estimated ``q``-quantile (NaN when empty; exact below the cap)."""
+        if self._sorted_cache is None:
+            self._sorted_cache = sorted(self._sample)
+        return quantile(self._sorted_cache, q)
+
+    def quantiles(self, qs: Sequence[float]) -> List[float]:
+        """Estimates for several quantiles over one shared sort."""
+        return [self.quantile(q) for q in qs]
+
+    @property
+    def exact(self) -> bool:
+        """Whether the retained sample is still the full series."""
+        return self._stride == 1
+
+    @property
+    def series(self) -> List[float]:
+        """The retained sample in arrival order (decimated past the cap)."""
+        return list(self._sample)
+
+    @property
+    def stride(self) -> int:
+        """Spacing between retained points (1 while the series is complete)."""
+        return self._stride
+
+
 class RunningSummary:
     """Streaming trajectory statistics with bounded memory.
 
     The streaming counterpart of :func:`summarize_values`: values are pushed
     one at a time and the summary is available at any point without the full
     series ever being stored.  Count, mean (Welford), variance, min, max and
-    threshold exceedances are **exact**; quantiles are computed from a
-    bounded, deterministically decimated sample — while fewer than
-    ``sample_cap`` values have been pushed the sample *is* the full series
-    (quantiles exact too), beyond that every second retained point is
-    dropped and the keep-stride doubles, so memory stays ``O(sample_cap)``
-    over arbitrarily long runs and two identical runs always retain the
-    same points (no randomness — the observation path must not perturb
+    threshold exceedances are **exact**; quantiles come from a composed
+    :class:`QuantileSketch` — exact while fewer than ``sample_cap`` values
+    have been pushed, estimated from the sketch's deterministically
+    decimated sample afterwards, so memory stays ``O(sample_cap)`` over
+    arbitrarily long runs and two identical runs always retain the same
+    points (no randomness — the observation path must not perturb
     trajectories).
     """
 
@@ -129,9 +197,7 @@ class RunningSummary:
         "last",
         "_mean",
         "_m2",
-        "_cap",
-        "_stride",
-        "_sample",
+        "_sketch",
     )
 
     def __init__(
@@ -147,9 +213,7 @@ class RunningSummary:
         self.last = 0.0
         self._mean = 0.0
         self._m2 = 0.0
-        self._cap = sample_cap
-        self._stride = 1
-        self._sample: List[float] = []
+        self._sketch = QuantileSketch(cap=sample_cap)
 
     def push(self, value) -> None:
         """Fold one observation into the running aggregates (O(1) amortised)."""
@@ -161,7 +225,6 @@ class RunningSummary:
                 self.minimum = value
             if value > self.maximum:
                 self.maximum = value
-        index = self.count
         self.count += 1
         self.last = value
         delta = value - self._mean
@@ -169,12 +232,7 @@ class RunningSummary:
         self._m2 += delta * (value - self._mean)
         if value >= self.threshold:
             self.steps_above_threshold += 1
-        if index % self._stride == 0:
-            self._sample.append(value)
-            if len(self._sample) > self._cap:
-                # Decimate: keep every second point, double the stride.
-                del self._sample[1::2]
-                self._stride *= 2
+        self._sketch.push(value)
 
     @property
     def mean(self) -> float:
@@ -190,12 +248,12 @@ class RunningSummary:
     def series(self) -> List[float]:
         """The retained sample: the full series while ``count <= sample_cap``,
         a stride-decimated subsequence (oldest-aligned) afterwards."""
-        return list(self._sample)
+        return self._sketch.series
 
     @property
     def series_stride(self) -> int:
         """Spacing between retained points (1 while the series is complete)."""
-        return self._stride
+        return self._sketch.stride
 
     def summary(self) -> TrajectorySummary:
         """A :class:`TrajectorySummary` of everything pushed so far.
@@ -207,15 +265,14 @@ class RunningSummary:
         """
         if not self.count:
             return summarize_values([], threshold=self.threshold)
-        ordered = sorted(self._sample)
         return TrajectorySummary(
             count=self.count,
             mean=self.mean,
             minimum=self.minimum,
             maximum=self.maximum,
-            p50=quantile(ordered, 0.50),
-            p90=quantile(ordered, 0.90),
-            p99=quantile(ordered, 0.99),
+            p50=self._sketch.quantile(0.50),
+            p90=self._sketch.quantile(0.90),
+            p99=self._sketch.quantile(0.99),
             threshold=self.threshold,
             steps_above_threshold=self.steps_above_threshold,
             fraction_above_threshold=self.steps_above_threshold / self.count,

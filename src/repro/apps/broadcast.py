@@ -17,6 +17,7 @@ coverage under partial compromise.
 
 from __future__ import annotations
 
+import random
 from collections import deque
 from dataclasses import dataclass, field
 from typing import Any, Dict, List, Optional, Set
@@ -50,18 +51,27 @@ class BroadcastReport:
 class ClusteredBroadcast:
     """Flooding broadcast at cluster granularity over the OVER overlay."""
 
-    def __init__(self, engine: NowEngine, metrics: Optional[CommunicationMetrics] = None) -> None:
+    def __init__(
+        self,
+        engine: NowEngine,
+        metrics: Optional[CommunicationMetrics] = None,
+        rng: Optional[random.Random] = None,
+    ) -> None:
         self._engine = engine
         self._metrics = (
             metrics if metrics is not None else engine.metrics.scope("app-broadcast")
         )
+        # Origin picks draw from ``rng`` (the flood itself is deterministic);
+        # the live service passes a private generator so broadcasts never
+        # consume the engine stream (see SamplingService).
+        self._rng = rng if rng is not None else engine.state.rng
         self._channel = InterClusterChannel(engine.state, metrics=self._metrics)
 
     def broadcast(self, payload: Any, origin_cluster: Optional[ClusterId] = None) -> BroadcastReport:
         """Flood ``payload`` from ``origin_cluster`` (default: a random cluster) to all clusters."""
         state = self._engine.state
         if origin_cluster is None:
-            origin_cluster = self._engine.random_cluster()
+            origin_cluster = self._engine.random_cluster(rng=self._rng)
         report = BroadcastReport(
             origin_cluster=origin_cluster, payload=payload, messages=0, rounds=0
         )

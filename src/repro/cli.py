@@ -27,20 +27,31 @@ prints its table — useful for kicking the tyres without writing a script:
   resume point at step N — any trace becomes a library of checkpoints.
 * ``trace-diff`` — pinpoint the first diverging event between two traces
   (the two files may mix JSONL and binary encodings).
+* ``serve``      — run the engine as a live TCP service (newline-delimited
+  JSON protocol, bounded queue with fast-fail backpressure); ``--record``
+  makes the whole live session replayable through ``replay``.
+* ``load``       — open-loop load generator against a running ``serve``:
+  Poisson or trace-file arrivals, per-operation p50/p95/p99 latency and
+  achieved vs offered throughput (exit 1 on hard errors).
 
 Every command accepts ``--seed`` for reproducibility; defaults are sized to
 finish in seconds.  ``run-scenario --record FILE`` records any scenario
 (``--trace-format binary`` for the ~6x smaller struct-packed codec,
 ``--flush-every`` / ``--probe-buffer`` for the write and observation batch
 sizes); ``--checkpoint FILE --checkpoint-every N`` makes it resumable.
+Interrupting a recording run (Ctrl-C / SIGTERM) flushes the trace through
+the abort path and exits 130 — the file on disk replays up to its last
+complete frame.
 """
 
 from __future__ import annotations
 
 import argparse
+import contextlib
 import random
+import signal
 import sys
-from typing import List, Optional, Sequence
+from typing import Iterator, List, Optional, Sequence
 
 from . import NowEngine, default_parameters
 from .adversary import JoinLeaveAttack
@@ -57,6 +68,7 @@ from .scenarios import (
     named_scenario,
 )
 from .scenarios.bus import DEFAULT_PROBE_BUFFER
+from .service import DEFAULT_MAX_BATCH, DEFAULT_MAX_QUEUE
 from .trace import (
     DEFAULT_FLUSH_EVERY,
     TRACE_FORMATS,
@@ -253,6 +265,85 @@ def build_parser() -> argparse.ArgumentParser:
         default="events_per_second,peak_worst_fraction,mean_worst_fraction",
         help=f"comma-separated aggregate columns (choices: {', '.join(AGGREGATED_METRICS)})",
     )
+
+    serve = subparsers.add_parser(
+        "serve", help="run the engine as a live TCP service (see docs/SERVICE.md)"
+    )
+    serve.add_argument("--host", type=str, default="127.0.0.1", help="bind address")
+    serve.add_argument("--port", type=int, default=7641, help="TCP port (0 picks a free one)")
+    serve.add_argument(
+        "--spec", type=str, default=None,
+        help="path to a Scenario JSON file to serve (workload/adversary fields are "
+             "ignored — events come from clients)",
+    )
+    serve.add_argument("--max-size", type=int, default=4096, help="name-space size N")
+    serve.add_argument("--initial-size", type=int, default=300, help="bootstrap population")
+    serve.add_argument("--tau", type=float, default=0.15, help="bootstrap Byzantine fraction")
+    serve.add_argument(
+        "--record", type=str, default=None, metavar="FILE",
+        help="record every churn event to this trace file (replayable via `replay`)",
+    )
+    serve.add_argument(
+        "--trace-format", type=str, default="jsonl", choices=list(TRACE_FORMATS),
+        help="trace encoding for --record",
+    )
+    serve.add_argument(
+        "--index-every", type=int, default=200, metavar="N",
+        help="events between state-hash index frames in the trace (default: 200)",
+    )
+    serve.add_argument(
+        "--flush-every", type=int, default=DEFAULT_FLUSH_EVERY, metavar="N",
+        help="trace frames buffered between disk writes",
+    )
+    serve.add_argument(
+        "--max-queue", type=int, default=DEFAULT_MAX_QUEUE, metavar="N",
+        help=f"bounded request queue size; a full queue fast-fails requests with "
+             f"'overloaded' (default: {DEFAULT_MAX_QUEUE})",
+    )
+    serve.add_argument(
+        "--max-batch", type=int, default=DEFAULT_MAX_BATCH, metavar="N",
+        help=f"requests executed per engine batch between I/O ticks "
+             f"(default: {DEFAULT_MAX_BATCH})",
+    )
+
+    load = subparsers.add_parser(
+        "load", help="open-loop load generator against a running `serve`"
+    )
+    load.add_argument("--host", type=str, default="127.0.0.1", help="server address")
+    load.add_argument("--port", type=int, default=7641, help="server port")
+    load.add_argument(
+        "--rate", type=float, default=500.0, metavar="R",
+        help="offered load in requests/second (default: 500)",
+    )
+    load.add_argument(
+        "--duration", type=float, default=10.0, metavar="S",
+        help="seconds of scheduled arrivals (default: 10)",
+    )
+    load.add_argument(
+        "--mix", type=str, default="sample=0.8,join=0.1,leave=0.1",
+        help="operation mix as op=weight pairs (weights are normalised)",
+    )
+    load.add_argument(
+        "--arrivals", type=str, default=None, metavar="FILE",
+        help="drive a recorded JSONL arrival trace instead of a Poisson process "
+             "(--rate/--duration/--mix are ignored)",
+    )
+    load.add_argument(
+        "--connections", type=int, default=2, metavar="C",
+        help="parallel connections to spread arrivals across (default: 2)",
+    )
+    load.add_argument(
+        "--save-report", type=str, default=None, metavar="FILE",
+        help="also write the full report as JSON to this file",
+    )
+    load.add_argument(
+        "--shutdown-after", action="store_true",
+        help="send a shutdown request to the server after the run (CI smoke)",
+    )
+    load.add_argument(
+        "--strict", action="store_true",
+        help="exit 1 on any overloaded response too, not just hard errors",
+    )
     return parser
 
 
@@ -264,6 +355,35 @@ def _parse_grid_value(text: str):
         except ValueError:
             continue
     return text
+
+
+#: Conventional exit code for a run stopped by Ctrl-C / SIGTERM (128 + SIGINT).
+EXIT_INTERRUPTED = 130
+
+
+@contextlib.contextmanager
+def _terminate_as_interrupt() -> Iterator[None]:
+    """Route SIGTERM through the KeyboardInterrupt path for the block's duration.
+
+    Ctrl-C already raises KeyboardInterrupt; a supervisor's SIGTERM would
+    otherwise kill the process without unwinding, skipping the abort path
+    that flushes a partial trace to disk.  With both signals on the same
+    exception path, every interrupted ``--record`` run leaves a readable
+    crashed-run-shape trace.  No-op outside the main thread (signal
+    handlers cannot be installed there).
+    """
+    def _raise(signum, frame):
+        raise KeyboardInterrupt
+
+    try:
+        previous = signal.signal(signal.SIGTERM, _raise)
+    except ValueError:
+        yield
+        return
+    try:
+        yield
+    finally:
+        signal.signal(signal.SIGTERM, previous)
 
 
 # ----------------------------------------------------------------------
@@ -441,43 +561,64 @@ def run_scenario_command(args: argparse.Namespace) -> int:
         profiler = cProfile.Profile()
         profiler.enable()
     try:
-        if sharded:
-            if scenario.shards == 0:
-                # Worker count is an execution choice; the *logical* shard
-                # count is semantic.  Give shard-less scenarios a stable
-                # default so `--shards W` alone means "same results, W
-                # processes".
-                scenario.shards = 4
-            # Local import: keeps the classic CLI path free of the shard
-            # subsystem.
-            from .shard import run_sharded_scenario
+        with _terminate_as_interrupt():
+            if sharded:
+                if scenario.shards == 0:
+                    # Worker count is an execution choice; the *logical* shard
+                    # count is semantic.  Give shard-less scenarios a stable
+                    # default so `--shards W` alone means "same results, W
+                    # processes".
+                    scenario.shards = 4
+                # Local import: keeps the classic CLI path free of the shard
+                # subsystem.
+                from .shard import run_sharded_scenario
 
-            session = run_sharded_scenario(
-                scenario,
-                workers=args.shards if args.shards is not None else 1,
-                trace_path=args.record,
-                index_every=args.index_every,
-                checkpoint_path=args.checkpoint,
-                checkpoint_every=args.checkpoint_every,
-                probes=[corruption, costs],
-                trace_format=args.trace_format,
-                flush_every=args.flush_every,
-                probe_buffer=args.probe_buffer,
-                barrier_interval=args.barrier_interval,
-                pipeline=not args.no_pipeline,
+                session = run_sharded_scenario(
+                    scenario,
+                    workers=args.shards if args.shards is not None else 1,
+                    trace_path=args.record,
+                    index_every=args.index_every,
+                    checkpoint_path=args.checkpoint,
+                    checkpoint_every=args.checkpoint_every,
+                    probes=[corruption, costs],
+                    trace_format=args.trace_format,
+                    flush_every=args.flush_every,
+                    probe_buffer=args.probe_buffer,
+                    barrier_interval=args.barrier_interval,
+                    pipeline=not args.no_pipeline,
+                )
+            else:
+                session = record_scenario(
+                    scenario,
+                    trace_path=args.record,
+                    index_every=args.index_every,
+                    checkpoint_path=args.checkpoint,
+                    checkpoint_every=args.checkpoint_every,
+                    probes=[corruption, costs],
+                    trace_format=args.trace_format,
+                    flush_every=args.flush_every,
+                    probe_buffer=args.probe_buffer,
+                )
+    except KeyboardInterrupt:
+        # record_scenario's abort path already flushed the partial trace
+        # (and the last checkpoint, if any, is intact on disk) before the
+        # interrupt reached us; report cleanly instead of a traceback.
+        if profiler is not None:
+            profiler.disable()
+        print("run-scenario: interrupted", file=sys.stderr)
+        if args.record:
+            print(
+                f"run-scenario: partial trace flushed to {args.record} "
+                "(replayable up to its last complete frame)",
+                file=sys.stderr,
             )
-        else:
-            session = record_scenario(
-                scenario,
-                trace_path=args.record,
-                index_every=args.index_every,
-                checkpoint_path=args.checkpoint,
-                checkpoint_every=args.checkpoint_every,
-                probes=[corruption, costs],
-                trace_format=args.trace_format,
-                flush_every=args.flush_every,
-                probe_buffer=args.probe_buffer,
+        if args.checkpoint:
+            print(
+                f"run-scenario: resume from the last checkpoint with: "
+                f"repro resume --checkpoint {args.checkpoint}",
+                file=sys.stderr,
             )
+        return EXIT_INTERRUPTED
     except (ConfigurationError, OSError, ValueError) as error:
         # OSError covers unwritable --record/--checkpoint paths.
         if profiler is not None:
@@ -657,6 +798,189 @@ def run_sweep_command(args: argparse.Namespace) -> int:
     return 0
 
 
+def run_serve_command(args: argparse.Namespace) -> int:
+    import asyncio
+
+    from .service import LiveEngineSession, ServiceFrontend, live_scenario
+
+    try:
+        if args.spec:
+            with open(args.spec, "r", encoding="utf-8") as handle:
+                scenario = Scenario.from_json(handle.read())
+            # A live service has no event generator: clients are the
+            # workload.  Strip batch-run fields so the recorded scenario
+            # describes exactly what replay needs — the engine bootstrap.
+            scenario.workload = None
+            scenario.adversary = None
+            scenario.steps = 0
+        else:
+            scenario = live_scenario(
+                seed=args.seed,
+                max_size=args.max_size,
+                initial_size=args.initial_size,
+                tau=args.tau,
+            )
+        session = LiveEngineSession(scenario)
+        if args.record:
+            session.attach_trace(
+                args.record,
+                index_every=args.index_every,
+                trace_format=args.trace_format,
+                flush_every=args.flush_every,
+            )
+        frontend = ServiceFrontend(
+            session,
+            host=args.host,
+            port=args.port,
+            max_queue=args.max_queue,
+            max_batch=args.max_batch,
+        )
+    except (ConfigurationError, OSError, ValueError) as error:
+        print(f"serve: {error}", file=sys.stderr)
+        return 2
+
+    async def _serve() -> None:
+        await frontend.start()
+        loop = asyncio.get_running_loop()
+        for signame in ("SIGINT", "SIGTERM"):
+            try:
+                loop.add_signal_handler(
+                    getattr(signal, signame),
+                    frontend.request_shutdown,
+                    f"received {signame}",
+                )
+            except (NotImplementedError, ValueError, RuntimeError):
+                pass  # platform/thread without loop signal support
+        print(
+            f"serving scenario {scenario.name!r} on {frontend.host}:{frontend.port} "
+            f"(N={scenario.max_size}, n={session.engine.network_size}, "
+            f"queue bound {frontend.queue.maxsize})"
+        )
+        if args.record:
+            print(f"recording churn events to {args.record} ({args.trace_format})")
+        sys.stdout.flush()
+        await frontend.serve_until_shutdown()
+
+    interrupted = False
+    try:
+        with _terminate_as_interrupt():
+            asyncio.run(_serve())
+    except KeyboardInterrupt:
+        # The loop's own signal handlers normally shut down gracefully; this
+        # is the fallback path (no loop signal support).  Seal the trace
+        # through the crash path: flushed, no end frame.
+        interrupted = True
+        session.close(ok=False)
+    except (ConfigurationError, OSError) as error:
+        print(f"serve: {error}", file=sys.stderr)
+        return 2
+
+    print(
+        f"served {session.events_applied} churn event(s), "
+        f"{frontend.responses_sent} response(s) over "
+        f"{frontend.connections_served} connection(s); "
+        f"queue accepted {frontend.queue.accepted}, "
+        f"fast-failed {frontend.queue.rejected}"
+    )
+    if session.operations:
+        print(
+            format_table(
+                ["operation", "count"],
+                [[name, count] for name, count in sorted(session.operations.items())],
+            )
+        )
+    if frontend.shutdown_reason:
+        print(f"shutdown: {frontend.shutdown_reason}")
+    if args.record:
+        print(f"trace recorded to {args.record} (verify with: repro replay --trace {args.record})")
+    return EXIT_INTERRUPTED if interrupted else 0
+
+
+def run_load_command(args: argparse.Namespace) -> int:
+    import asyncio
+    import json
+
+    from .service.loadgen import run_load
+    from .workloads.arrivals import PoissonArrivals, load_arrival_trace, parse_mix
+
+    try:
+        if args.arrivals:
+            arrivals = load_arrival_trace(args.arrivals)
+            span = arrivals[-1].at if arrivals else 0.0
+            offered = len(arrivals) / span if span > 0 else float(len(arrivals))
+        else:
+            process = PoissonArrivals(
+                rate=args.rate,
+                duration=args.duration,
+                mix=parse_mix(args.mix),
+                seed=args.seed,
+            )
+            arrivals = process.schedule()
+            offered = args.rate
+        if not arrivals:
+            print("load: the arrival schedule is empty", file=sys.stderr)
+            return 2
+        if args.connections < 1:
+            print("load: --connections must be >= 1", file=sys.stderr)
+            return 2
+    except (ConfigurationError, OSError, ValueError) as error:
+        print(f"load: {error}", file=sys.stderr)
+        return 2
+
+    try:
+        with _terminate_as_interrupt():
+            report = asyncio.run(
+                run_load(
+                    args.host,
+                    args.port,
+                    arrivals,
+                    offered_rate=offered,
+                    connections=args.connections,
+                    shutdown_after=args.shutdown_after,
+                )
+            )
+    except KeyboardInterrupt:
+        print("load: interrupted", file=sys.stderr)
+        return EXIT_INTERRUPTED
+    except (ConnectionError, OSError) as error:
+        print(f"load: {error}", file=sys.stderr)
+        return 2
+
+    print(
+        f"offered {offered:.1f} req/s ({report.sent} request(s) over "
+        f"{report.duration:.1f}s): {report.succeeded} ok, "
+        f"achieved {report.achieved_rate:.1f} req/s"
+    )
+    print(report.summary_table())
+    if report.overloaded:
+        print(
+            f"{report.overloaded} request(s) fast-failed 'overloaded' "
+            "(backpressure working as designed; raise serve --max-queue or lower --rate)"
+        )
+    if args.save_report:
+        try:
+            with open(args.save_report, "w", encoding="utf-8") as handle:
+                json.dump(report.to_dict(), handle, indent=2, sort_keys=True)
+            print(f"report saved to {args.save_report}")
+        except OSError as error:
+            print(f"load: cannot write report: {error}", file=sys.stderr)
+            return 2
+    if not report.ok:
+        print(
+            f"load: {report.failed} hard failure(s), {report.missing} "
+            "unanswered request(s)",
+            file=sys.stderr,
+        )
+        return 1
+    if args.strict and report.overloaded:
+        print(
+            f"load: --strict and {report.overloaded} overloaded response(s)",
+            file=sys.stderr,
+        )
+        return 1
+    return 0
+
+
 def main(argv: Optional[Sequence[str]] = None) -> int:
     """CLI entry point; returns the process exit code."""
     parser = build_parser()
@@ -677,6 +1001,10 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         return run_replay_command(args)
     if args.command == "trace-diff":
         return run_trace_diff_command(args)
+    if args.command == "serve":
+        return run_serve_command(args)
+    if args.command == "load":
+        return run_load_command(args)
     parser.error(f"unknown command {args.command!r}")  # pragma: no cover - argparse guards this
     return 2  # pragma: no cover
 

@@ -66,9 +66,16 @@ class RandCl:
         randnum: Optional[RandNum] = None,
         walk_mode: WalkMode = WalkMode.ORACLE,
         walk_kernel: str = "naive",
+        rng: Optional[random.Random] = None,
     ) -> None:
         self._state = state
-        self._randnum = randnum if randnum is not None else RandNum(state.rng)
+        # The stream the walks consume.  The engine's own selections run on
+        # ``state.rng``; external callers (the live service) pass a private
+        # generator so recorded runs replay bit-identically — the engine
+        # stream is part of the state fingerprint and must be consumed only
+        # by ``apply_event``.
+        self._rng = rng if rng is not None else state.rng
+        self._randnum = randnum if randnum is not None else RandNum(self._rng)
         self._walk_mode = walk_mode
         self._walk_kernel = resolve_kernel_name(walk_kernel)
         # One sampler is reused across selections (it owns the cached biased
@@ -191,7 +198,7 @@ class RandCl:
         if sampler is None or sampler.graph is not overlay_graph:
             sampler = ClusterSampler(
                 overlay_graph,
-                self._state.rng,
+                self._rng,
                 segment_duration=segment_duration,
                 mode=self._walk_mode,
                 max_restarts=max_restarts,
@@ -233,7 +240,7 @@ class RandCl:
         if self._sampler is None or self._sampler.graph is not overlay_graph:
             self._sampler = ClusterSampler(
                 overlay_graph,
-                self._state.rng,
+                self._rng,
                 segment_duration=2.0,  # placeholder; select() reconfigures per call
                 mode=self._walk_mode,
                 max_restarts=4,

@@ -1,0 +1,281 @@
+"""The asyncio TCP front-end that serves the engine to external clients.
+
+:class:`ServiceFrontend` glues three single-purpose pieces together on one
+event loop (stdlib ``asyncio`` only — no new dependencies):
+
+* ``asyncio.start_server`` connections, one reader coroutine each, speaking
+  the newline-delimited JSON protocol of :mod:`repro.service.protocol`;
+* the bounded :class:`~repro.service.queue.RequestQueue` every connection
+  funnels into (full queue → immediate ``overloaded`` response);
+* the **engine pump**: one background task that drains the queue in batches
+  of up to ``max_batch`` requests, executes them serially on the
+  :class:`~repro.service.session.LiveEngineSession`, and resolves each
+  request's future — then yields to the loop so socket I/O interleaves
+  with engine work instead of starving behind it.
+
+Responses are matched to requests by the echoed ``id``, not by order:
+each request gets its own small responder task, so a pipelined connection
+receives answers as the engine finishes them.  Per-request latency
+(admission to response-ready, ``time.perf_counter``) rides on every
+response frame.
+
+Shutdown is graceful by default: new work is refused with
+``shutting_down``/``overloaded``, everything already admitted is drained
+through the engine, responders finish writing, and the session seals its
+trace with the final state hash.  A crashed pump seals the trace through
+the abort path instead (flushed, no end frame — the crashed-run shape).
+"""
+
+from __future__ import annotations
+
+import asyncio
+import sys
+import time
+from dataclasses import dataclass, field
+from typing import Any, Dict, Optional, Set
+
+from .protocol import (
+    ERROR_FAILED,
+    ERROR_OVERLOADED,
+    ERROR_SHUTTING_DOWN,
+    ProtocolError,
+    encode_frame,
+    error_response,
+    ok_response,
+    parse_request,
+)
+from .queue import DEFAULT_MAX_QUEUE, RequestQueue
+from .session import LiveEngineSession
+
+#: Default number of queued requests the pump executes per engine batch.
+DEFAULT_MAX_BATCH = 64
+
+
+@dataclass
+class _Pending:
+    """One admitted request awaiting the engine."""
+
+    frame: Dict[str, Any]
+    future: asyncio.Future
+    enqueued_at: float = field(default_factory=time.perf_counter)
+
+
+class ServiceFrontend:
+    """Serves a :class:`LiveEngineSession` over TCP."""
+
+    def __init__(
+        self,
+        session: LiveEngineSession,
+        host: str = "127.0.0.1",
+        port: int = 0,
+        max_queue: int = DEFAULT_MAX_QUEUE,
+        max_batch: int = DEFAULT_MAX_BATCH,
+    ) -> None:
+        if max_batch < 1:
+            raise ValueError("max_batch must be >= 1")
+        self.session = session
+        self.host = host
+        self.port = port
+        self.max_batch = max_batch
+        self.queue = RequestQueue(maxsize=max_queue)
+        self.connections_served = 0
+        self.responses_sent = 0
+        self._server: Optional[asyncio.AbstractServer] = None
+        self._pump_task: Optional[asyncio.Task] = None
+        self._responders: Set[asyncio.Task] = set()
+        self._shutdown = asyncio.Event()
+        self._shutdown_reason: Optional[str] = None
+        self._pump_error: Optional[BaseException] = None
+        self._stopped = False
+
+    # ------------------------------------------------------------------
+    # Lifecycle
+    # ------------------------------------------------------------------
+    async def start(self) -> None:
+        """Bind the socket and start the engine pump."""
+        self.session.start()
+        self._server = await asyncio.start_server(
+            self._handle_connection, host=self.host, port=self.port
+        )
+        self.port = self._server.sockets[0].getsockname()[1]
+        self._pump_task = asyncio.create_task(self._pump())
+
+    def request_shutdown(self, reason: str = "requested") -> None:
+        """Ask the serve loop to stop (signal handlers and `shutdown` op)."""
+        if self._shutdown_reason is None:
+            self._shutdown_reason = reason
+        self._shutdown.set()
+
+    @property
+    def shutdown_reason(self) -> Optional[str]:
+        """Why the serve loop stopped (``None`` while running)."""
+        return self._shutdown_reason
+
+    async def serve_until_shutdown(self) -> None:
+        """Block until :meth:`request_shutdown`, then stop gracefully."""
+        await self._shutdown.wait()
+        await self.stop()
+
+    async def stop(self) -> None:
+        """Graceful stop: drain admitted work, seal the trace, close."""
+        if self._stopped:
+            return
+        self._stopped = True
+        self._shutdown.set()
+        # Refuse new connections first, then new requests: live reader
+        # loops see a closed queue and answer ``overloaded``.
+        if self._server is not None:
+            self._server.close()
+        self.queue.close()
+        if self._pump_task is not None:
+            await self._pump_task
+        if self._responders:
+            await asyncio.gather(*tuple(self._responders), return_exceptions=True)
+        if self._server is not None:
+            await self._server.wait_closed()
+        self.session.close(ok=self._pump_error is None)
+        if self._pump_error is not None:
+            raise self._pump_error
+
+    # ------------------------------------------------------------------
+    # Engine pump
+    # ------------------------------------------------------------------
+    async def _pump(self) -> None:
+        """Drain → execute → resolve, one batch per loop iteration."""
+        try:
+            while True:
+                await self.queue.wait()
+                batch = self.queue.drain(self.max_batch)
+                if not batch:
+                    if self.queue.closed:
+                        return
+                    continue
+                for pending in batch:
+                    self._execute_one(pending)
+                # Yield so readers/writers run between engine batches.
+                await asyncio.sleep(0)
+        except BaseException as error:  # pragma: no cover - defensive
+            self._pump_error = error
+            self.request_shutdown(f"engine pump failed: {error}")
+            raise
+
+    def _execute_one(self, pending: _Pending) -> None:
+        frame = pending.frame
+        request_id = frame.get("id")
+        op = frame["op"]
+        try:
+            result = self.session.execute(frame)
+            if op == "status":
+                result["queue"] = {
+                    "depth": len(self.queue),
+                    "bound": self.queue.maxsize,
+                    "accepted": self.queue.accepted,
+                    "rejected": self.queue.rejected,
+                }
+            response = ok_response(request_id, op, result)
+        except ProtocolError as error:
+            response = error_response(request_id, op, error.code, error.message)
+        except Exception as error:
+            # An unexpected engine failure answers this request and keeps
+            # serving; determinism-critical failures would have been raised
+            # by the pre-flight checks before touching the engine.
+            print(f"service: {op} request failed: {error!r}", file=sys.stderr)
+            response = error_response(request_id, op, ERROR_FAILED, f"internal error: {error}")
+        response["latency_ms"] = round(
+            (time.perf_counter() - pending.enqueued_at) * 1000.0, 3
+        )
+        if not pending.future.done():
+            pending.future.set_result(response)
+
+    # ------------------------------------------------------------------
+    # Connections
+    # ------------------------------------------------------------------
+    async def _handle_connection(
+        self, reader: asyncio.StreamReader, writer: asyncio.StreamWriter
+    ) -> None:
+        self.connections_served += 1
+        write_lock = asyncio.Lock()
+        loop = asyncio.get_running_loop()
+        try:
+            while True:
+                line = await reader.readline()
+                if not line:
+                    break
+                if not line.strip():
+                    continue
+                try:
+                    frame = parse_request(line.decode("utf-8", errors="replace"))
+                except ProtocolError as error:
+                    await self._write(
+                        writer,
+                        write_lock,
+                        error_response(error.request_id, error.op, error.code, error.message),
+                    )
+                    continue
+                if frame["op"] == "shutdown":
+                    await self._write(
+                        writer,
+                        write_lock,
+                        ok_response(frame.get("id"), "shutdown", {"stopping": True}),
+                    )
+                    self.request_shutdown("client shutdown request")
+                    continue
+                if self.queue.closed:
+                    await self._write(
+                        writer,
+                        write_lock,
+                        error_response(
+                            frame.get("id"),
+                            frame["op"],
+                            ERROR_SHUTTING_DOWN,
+                            "server is shutting down",
+                        ),
+                    )
+                    continue
+                pending = _Pending(frame=frame, future=loop.create_future())
+                if not self.queue.offer(pending):
+                    # The backpressure fast path: the queue bound was hit, the
+                    # client hears about it now instead of waiting in line.
+                    await self._write(
+                        writer,
+                        write_lock,
+                        error_response(
+                            frame.get("id"),
+                            frame["op"],
+                            ERROR_OVERLOADED,
+                            f"request queue is full ({self.queue.maxsize})",
+                        ),
+                    )
+                    continue
+                responder = asyncio.create_task(self._respond(pending, writer, write_lock))
+                self._responders.add(responder)
+                responder.add_done_callback(self._responders.discard)
+        except (ConnectionResetError, asyncio.IncompleteReadError):
+            pass
+        finally:
+            writer.close()
+            try:
+                await writer.wait_closed()
+            except (ConnectionResetError, BrokenPipeError):
+                pass
+
+    async def _respond(
+        self, pending: _Pending, writer: asyncio.StreamWriter, lock: asyncio.Lock
+    ) -> None:
+        response = await pending.future
+        await self._write(writer, lock, response)
+
+    async def _write(
+        self, writer: asyncio.StreamWriter, lock: asyncio.Lock, frame: Dict[str, Any]
+    ) -> None:
+        async with lock:
+            if writer.is_closing():
+                return
+            try:
+                writer.write(encode_frame(frame))
+                await writer.drain()
+                self.responses_sent += 1
+            except (ConnectionResetError, BrokenPipeError):
+                # The client went away mid-response; the engine work is done
+                # and recorded, dropping the reply is all that is left.
+                pass

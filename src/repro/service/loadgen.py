@@ -1,0 +1,299 @@
+"""Open-loop load generator for the live service.
+
+Drives a schedule of :class:`~repro.workloads.arrivals.Arrival` requests at
+the server and reports what the paper's "heavy traffic" claim needs to be a
+measurement: per-operation p50/p95/p99 latency (client-side round trip,
+estimated by a :class:`~repro.analysis.statistics.QuantileSketch`) and
+achieved vs offered throughput.
+
+Open-loop means the schedule is law: every request goes out at its
+scheduled instant whether or not earlier requests have been answered, so a
+slowing server shows up as growing latency and ``overloaded`` fast-fails —
+not as a quietly throttled request rate (the coordinated-omission trap a
+closed-loop driver falls into).  Responses are consumed by a separate
+reader per connection and matched by request id.
+
+Response taxonomy: ``ok`` and ``overloaded`` are the two *expected*
+outcomes under load (fast-fail backpressure is the server working as
+designed); ``failed`` counts protocol/engine rejections and ``missing``
+requests that never got an answer — both indicate something actually
+wrong, and :meth:`LoadReport.ok` is false when either occurred.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import json
+import time
+from dataclasses import dataclass, field
+from typing import Any, Dict, List, Optional, Sequence, Tuple
+
+from ..analysis.reporting import format_table
+from ..analysis.statistics import QuantileSketch
+from ..workloads.arrivals import Arrival
+from .protocol import ERROR_OVERLOADED, encode_frame
+
+#: Default parallel connections the generator spreads arrivals across.
+DEFAULT_CONNECTIONS = 2
+
+#: How long after the last send to keep waiting for straggler responses.
+DEFAULT_RESPONSE_TIMEOUT = 15.0
+
+
+@dataclass
+class OperationStats:
+    """Counts and latency sketch for one operation under load."""
+
+    sent: int = 0
+    ok: int = 0
+    overloaded: int = 0
+    failed: int = 0
+    missing: int = 0
+    latency: QuantileSketch = field(default_factory=QuantileSketch)
+
+    def record(self, response: Dict[str, Any], rtt_ms: float) -> None:
+        """Fold one matched response into the stats."""
+        self.latency.push(rtt_ms)
+        if response.get("ok"):
+            self.ok += 1
+        elif response.get("error") == ERROR_OVERLOADED:
+            self.overloaded += 1
+        else:
+            self.failed += 1
+
+    def as_dict(self) -> Dict[str, Any]:
+        """JSON-ready view (latencies in milliseconds)."""
+        return {
+            "sent": self.sent,
+            "ok": self.ok,
+            "overloaded": self.overloaded,
+            "failed": self.failed,
+            "missing": self.missing,
+            "p50_ms": self.latency.quantile(0.50),
+            "p95_ms": self.latency.quantile(0.95),
+            "p99_ms": self.latency.quantile(0.99),
+        }
+
+
+@dataclass
+class LoadReport:
+    """Outcome of one load run."""
+
+    offered_rate: float
+    duration: float
+    per_operation: Dict[str, OperationStats]
+
+    @property
+    def sent(self) -> int:
+        return sum(stats.sent for stats in self.per_operation.values())
+
+    @property
+    def completed(self) -> int:
+        """Responses received (any outcome)."""
+        return sum(
+            stats.ok + stats.overloaded + stats.failed
+            for stats in self.per_operation.values()
+        )
+
+    @property
+    def succeeded(self) -> int:
+        return sum(stats.ok for stats in self.per_operation.values())
+
+    @property
+    def overloaded(self) -> int:
+        return sum(stats.overloaded for stats in self.per_operation.values())
+
+    @property
+    def failed(self) -> int:
+        return sum(stats.failed for stats in self.per_operation.values())
+
+    @property
+    def missing(self) -> int:
+        return sum(stats.missing for stats in self.per_operation.values())
+
+    @property
+    def achieved_rate(self) -> float:
+        """Successful responses per second of wall-clock run time."""
+        return self.succeeded / self.duration if self.duration > 0 else 0.0
+
+    @property
+    def ok(self) -> bool:
+        """No hard failures and no unanswered requests."""
+        return self.failed == 0 and self.missing == 0
+
+    def to_dict(self) -> Dict[str, Any]:
+        """JSON-ready view of the whole report."""
+        return {
+            "offered_rate": self.offered_rate,
+            "achieved_rate": self.achieved_rate,
+            "duration_seconds": self.duration,
+            "sent": self.sent,
+            "ok": self.succeeded,
+            "overloaded": self.overloaded,
+            "failed": self.failed,
+            "missing": self.missing,
+            "operations": {
+                name: stats.as_dict() for name, stats in sorted(self.per_operation.items())
+            },
+        }
+
+    def summary_table(self) -> str:
+        """Per-operation latency/outcome table (the CLI's output)."""
+        rows = []
+        for name in sorted(self.per_operation):
+            stats = self.per_operation[name]
+            rows.append(
+                [
+                    name,
+                    stats.sent,
+                    stats.ok,
+                    stats.overloaded,
+                    stats.failed + stats.missing,
+                    f"{stats.latency.quantile(0.50):.2f}",
+                    f"{stats.latency.quantile(0.95):.2f}",
+                    f"{stats.latency.quantile(0.99):.2f}",
+                ]
+            )
+        return format_table(
+            ["operation", "sent", "ok", "overloaded", "errors", "p50 ms", "p95 ms", "p99 ms"],
+            rows,
+        )
+
+
+def build_request(op: str, request_id: str) -> Dict[str, Any]:
+    """The request frame the generator sends for one scheduled arrival."""
+    frame: Dict[str, Any] = {"op": op, "id": request_id}
+    if op == "broadcast":
+        frame["payload"] = f"load-{request_id}"
+    return frame
+
+
+async def open_connection(
+    host: str, port: int, attempts: int = 40, delay: float = 0.25
+) -> Tuple[asyncio.StreamReader, asyncio.StreamWriter]:
+    """Connect with retries, so the generator can start before the server."""
+    last_error: Optional[Exception] = None
+    for attempt in range(attempts):
+        try:
+            return await asyncio.open_connection(host, port)
+        except OSError as error:
+            last_error = error
+            await asyncio.sleep(delay)
+    raise ConnectionError(
+        f"could not connect to {host}:{port} after {attempts} attempts: {last_error}"
+    )
+
+
+async def run_load(
+    host: str,
+    port: int,
+    arrivals: Sequence[Arrival],
+    offered_rate: float,
+    connections: int = DEFAULT_CONNECTIONS,
+    response_timeout: float = DEFAULT_RESPONSE_TIMEOUT,
+    shutdown_after: bool = False,
+) -> LoadReport:
+    """Drive the schedule at the server and collect the report."""
+    if connections < 1:
+        raise ValueError("connections must be >= 1")
+    per_operation: Dict[str, OperationStats] = {}
+    lanes: List[List[Tuple[int, Arrival]]] = [[] for _ in range(connections)]
+    for index, arrival in enumerate(arrivals):
+        lanes[index % connections].append((index, arrival))
+
+    started = time.perf_counter()
+    workers = [
+        _drive_connection(
+            host, port, lane, started, per_operation, response_timeout
+        )
+        for lane in lanes
+        if lane
+    ]
+    await asyncio.gather(*workers)
+    duration = time.perf_counter() - started
+
+    if shutdown_after:
+        reader, writer = await open_connection(host, port)
+        writer.write(encode_frame({"op": "shutdown", "id": "loadgen-shutdown"}))
+        await writer.drain()
+        await reader.readline()
+        writer.close()
+        try:
+            await writer.wait_closed()
+        except (ConnectionResetError, BrokenPipeError):
+            pass
+
+    return LoadReport(
+        offered_rate=offered_rate, duration=duration, per_operation=per_operation
+    )
+
+
+async def _drive_connection(
+    host: str,
+    port: int,
+    lane: Sequence[Tuple[int, Arrival]],
+    started: float,
+    per_operation: Dict[str, OperationStats],
+    response_timeout: float,
+) -> None:
+    """One connection: an open-loop sender and an id-matching reader."""
+    reader, writer = await open_connection(host, port)
+    pending: Dict[str, Tuple[str, float]] = {}
+    sender_done = asyncio.Event()
+
+    async def send() -> None:
+        try:
+            for index, arrival in lane:
+                delay = (started + arrival.at) - time.perf_counter()
+                if delay > 0:
+                    await asyncio.sleep(delay)
+                request_id = f"r{index}"
+                stats = per_operation.setdefault(arrival.op, OperationStats())
+                stats.sent += 1
+                pending[request_id] = (arrival.op, time.perf_counter())
+                writer.write(encode_frame(build_request(arrival.op, request_id)))
+                # No drain per request: open-loop sends must not block on a
+                # slow reader.  asyncio buffers; one drain at the end.
+            await writer.drain()
+        finally:
+            sender_done.set()
+
+    async def receive() -> None:
+        while True:
+            if sender_done.is_set() and not pending:
+                return
+            try:
+                line = await asyncio.wait_for(reader.readline(), timeout=0.5)
+            except asyncio.TimeoutError:
+                continue
+            if not line:
+                return
+            try:
+                response = json.loads(line)
+            except ValueError:
+                continue
+            entry = pending.pop(response.get("id"), None)
+            if entry is None:
+                continue
+            op, sent_at = entry
+            per_operation[op].record(response, (time.perf_counter() - sent_at) * 1000.0)
+
+    sender = asyncio.create_task(send())
+    # The reader gets until the lane's last scheduled send plus the
+    # straggler budget; whatever is still pending then counts as missing.
+    deadline = started + lane[-1][1].at + response_timeout
+    try:
+        await asyncio.wait_for(
+            receive(), timeout=max(0.1, deadline - time.perf_counter())
+        )
+    except asyncio.TimeoutError:
+        pass
+    finally:
+        await sender
+        for op, _sent_at in pending.values():
+            per_operation[op].missing += 1
+        writer.close()
+        try:
+            await writer.wait_closed()
+        except (ConnectionResetError, BrokenPipeError):
+            pass

@@ -13,9 +13,19 @@ here produce such event streams:
 * :class:`OscillatingWorkload` — repeated polynomial expansion/contraction,
 * :func:`drive` / :class:`MixedDriver` — run one or several event sources
   (workloads and adversaries share the same per-step interface) against an
-  engine.
+  engine,
+* :class:`PoissonArrivals` / arrival traces — wall-clock open-loop arrival
+  schedules for the live service's load generator
+  (:mod:`repro.workloads.arrivals`).
 """
 
+from .arrivals import (
+    Arrival,
+    PoissonArrivals,
+    load_arrival_trace,
+    parse_mix,
+    save_arrival_trace,
+)
 from .churn import (
     ChurnWorkload,
     GrowthWorkload,
@@ -33,4 +43,9 @@ __all__ = [
     "OscillatingWorkload",
     "MixedDriver",
     "drive",
+    "Arrival",
+    "PoissonArrivals",
+    "load_arrival_trace",
+    "parse_mix",
+    "save_arrival_trace",
 ]

@@ -1,0 +1,167 @@
+"""Open-loop arrival processes for the live service's load generator.
+
+A batch workload (:mod:`repro.workloads.churn`) emits one event per engine
+step; a *live* load test needs events on a wall-clock schedule that does not
+react to the server — an **open-loop** arrival process.  Closed-loop drivers
+(send, wait for the reply, send again) self-throttle when the server slows
+down and hide exactly the latency degradation a load test exists to measure
+(the classic coordinated-omission trap), so the schedule here is computed
+up-front and requests are launched at their scheduled instant regardless of
+how earlier requests are faring.
+
+Two sources:
+
+* :class:`PoissonArrivals` — exponential inter-arrival gaps at a target
+  aggregate rate with a weighted operation mix, fully determined by the
+  seed (two generators with the same seed produce the identical schedule);
+* :func:`load_arrival_trace` / :func:`save_arrival_trace` — replayable
+  JSONL schedules (``{"at": seconds, "op": name}`` per line), so a recorded
+  production arrival pattern can be re-driven verbatim.
+"""
+
+from __future__ import annotations
+
+import json
+import random
+from dataclasses import dataclass
+from typing import Dict, List, Sequence
+
+from ..errors import ConfigurationError
+
+#: Operations the service protocol accepts as load-mix components.
+MIX_OPERATIONS = ("sample", "broadcast", "join", "leave", "status")
+
+#: Default operation mix: sampling-heavy with background churn, mirroring
+#: the paper's workload model (the service exists to serve samples; churn
+#: arrives underneath it).
+DEFAULT_MIX: Dict[str, float] = {"sample": 0.8, "join": 0.1, "leave": 0.1}
+
+
+@dataclass(frozen=True)
+class Arrival:
+    """One scheduled request: launch ``op`` at ``at`` seconds from start."""
+
+    at: float
+    op: str
+
+
+def parse_mix(text: str) -> Dict[str, float]:
+    """Parse an ``op=weight,op=weight`` mix string into normalised weights.
+
+    Weights are normalised to sum to 1; unknown operations and non-positive
+    totals are configuration errors (the CLI surfaces them as usage
+    mistakes, exit 2).
+    """
+    weights: Dict[str, float] = {}
+    for part in text.split(","):
+        part = part.strip()
+        if not part:
+            continue
+        name, sep, value = part.partition("=")
+        if not sep:
+            raise ConfigurationError(f"malformed mix component {part!r} (expected op=weight)")
+        name = name.strip()
+        if name not in MIX_OPERATIONS:
+            raise ConfigurationError(
+                f"unknown operation {name!r} in mix; expected one of {sorted(MIX_OPERATIONS)}"
+            )
+        try:
+            weight = float(value)
+        except ValueError:
+            raise ConfigurationError(f"mix weight for {name!r} is not a number: {value!r}")
+        if weight < 0:
+            raise ConfigurationError(f"mix weight for {name!r} must be >= 0")
+        weights[name] = weights.get(name, 0.0) + weight
+    total = sum(weights.values())
+    if total <= 0:
+        raise ConfigurationError(f"operation mix {text!r} has no positive weight")
+    return {name: weight / total for name, weight in weights.items() if weight > 0}
+
+
+class PoissonArrivals:
+    """Deterministic Poisson arrival schedule with a weighted operation mix.
+
+    ``rate`` is the aggregate arrival rate in requests/second; each arrival's
+    operation is an independent weighted draw from ``mix``.  The schedule is
+    materialised eagerly by :meth:`schedule` — open-loop load generation
+    wants the full timetable before the first request goes out, and a few
+    thousand ``Arrival`` tuples are cheap.
+    """
+
+    def __init__(
+        self,
+        rate: float,
+        duration: float,
+        mix: Dict[str, float] | None = None,
+        seed: int = 1,
+    ) -> None:
+        if rate <= 0:
+            raise ConfigurationError("arrival rate must be > 0 requests/second")
+        if duration <= 0:
+            raise ConfigurationError("arrival duration must be > 0 seconds")
+        self.rate = float(rate)
+        self.duration = float(duration)
+        self.mix = dict(DEFAULT_MIX if mix is None else mix)
+        if not self.mix:
+            raise ConfigurationError("operation mix must not be empty")
+        unknown = set(self.mix) - set(MIX_OPERATIONS)
+        if unknown:
+            raise ConfigurationError(
+                f"unknown operations in mix: {sorted(unknown)}; "
+                f"expected a subset of {sorted(MIX_OPERATIONS)}"
+            )
+        self.seed = seed
+
+    def schedule(self) -> List[Arrival]:
+        """The full arrival timetable for one run (same seed, same table)."""
+        rng = random.Random(self.seed)
+        operations = sorted(self.mix)
+        weights = [self.mix[name] for name in operations]
+        arrivals: List[Arrival] = []
+        clock = 0.0
+        while True:
+            clock += rng.expovariate(self.rate)
+            if clock >= self.duration:
+                break
+            op = rng.choices(operations, weights=weights, k=1)[0]
+            arrivals.append(Arrival(at=clock, op=op))
+        return arrivals
+
+    @property
+    def offered_load(self) -> float:
+        """The target request rate (requests/second) this process offers."""
+        return self.rate
+
+
+def save_arrival_trace(path: str, arrivals: Sequence[Arrival]) -> None:
+    """Write a schedule as replayable JSONL (one ``{"at", "op"}`` per line)."""
+    with open(path, "w", encoding="utf-8") as handle:
+        for arrival in arrivals:
+            handle.write(json.dumps({"at": arrival.at, "op": arrival.op}) + "\n")
+
+
+def load_arrival_trace(path: str) -> List[Arrival]:
+    """Read a JSONL arrival schedule back, validated and time-ordered."""
+    arrivals: List[Arrival] = []
+    with open(path, "r", encoding="utf-8") as handle:
+        for line_number, line in enumerate(handle, start=1):
+            line = line.strip()
+            if not line:
+                continue
+            try:
+                entry = json.loads(line)
+                at = float(entry["at"])
+                op = entry["op"]
+            except (ValueError, TypeError, KeyError) as error:
+                raise ConfigurationError(
+                    f"{path}:{line_number}: malformed arrival line ({error})"
+                )
+            if op not in MIX_OPERATIONS:
+                raise ConfigurationError(
+                    f"{path}:{line_number}: unknown operation {op!r}"
+                )
+            if at < 0:
+                raise ConfigurationError(f"{path}:{line_number}: negative arrival time")
+            arrivals.append(Arrival(at=at, op=op))
+    arrivals.sort(key=lambda arrival: arrival.at)
+    return arrivals

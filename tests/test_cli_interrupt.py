@@ -1,0 +1,139 @@
+"""Graceful interruption: SIGTERM/Ctrl-C leaves a replayable partial trace."""
+
+from __future__ import annotations
+
+import os
+import signal
+import threading
+
+import pytest
+
+from repro.cli import EXIT_INTERRUPTED, _terminate_as_interrupt, main
+from repro.scenarios.probes import Probe
+from repro.trace.replay import replay_trace
+
+
+class TestTerminateAsInterrupt:
+    def test_sigterm_raises_keyboard_interrupt_inside_block(self):
+        with pytest.raises(KeyboardInterrupt):
+            with _terminate_as_interrupt():
+                os.kill(os.getpid(), signal.SIGTERM)
+                # The handler fires at the next bytecode boundary; spin
+                # until it does rather than racing signal delivery.
+                for _ in range(1_000_000):
+                    pass
+                pytest.fail("SIGTERM was not routed to KeyboardInterrupt")
+
+    def test_previous_handler_restored_after_block(self):
+        sentinel = object()
+        calls = []
+
+        def previous(signum, frame):
+            calls.append(sentinel)
+
+        original = signal.signal(signal.SIGTERM, previous)
+        try:
+            with pytest.raises(KeyboardInterrupt):
+                with _terminate_as_interrupt():
+                    os.kill(os.getpid(), signal.SIGTERM)
+                    for _ in range(1_000_000):
+                        pass
+            assert signal.getsignal(signal.SIGTERM) is previous
+        finally:
+            signal.signal(signal.SIGTERM, original)
+
+    def test_noop_outside_main_thread(self):
+        outcome = {}
+
+        def body():
+            try:
+                with _terminate_as_interrupt():
+                    outcome["entered"] = True
+            except Exception as error:  # pragma: no cover - the failure mode
+                outcome["error"] = error
+
+        worker = threading.Thread(target=body)
+        worker.start()
+        worker.join()
+        assert outcome == {"entered": True}
+
+
+class _InterruptAfter(Probe):
+    """Inline probe that simulates Ctrl-C after N applied events."""
+
+    name = "interrupt-after"
+    inline = True
+
+    def __init__(self, after: int) -> None:
+        self.after = after
+        self.seen = 0
+
+    def on_step(self, engine, report, step_index: int) -> None:
+        self.seen += 1
+        if self.seen >= self.after:
+            raise KeyboardInterrupt
+
+
+class TestInterruptedRecordingRun:
+    def test_interrupted_record_run_leaves_replayable_partial_trace(
+        self, tmp_path, monkeypatch, capsys
+    ):
+        # Interrupt the run mid-recording, exactly as a Ctrl-C between two
+        # applied events would: the CLI must exit 130 and the partial trace
+        # must have the crashed-run shape — readable and replayable up to
+        # its last complete frame.
+        import repro.cli as cli
+        from repro.trace.session import record_scenario as real_record
+
+        interrupter = _InterruptAfter(after=7)
+
+        def interrupting_record(scenario, **kwargs):
+            kwargs["probes"] = list(kwargs.get("probes", ())) + [interrupter]
+            return real_record(scenario, **kwargs)
+
+        monkeypatch.setattr(cli, "record_scenario", interrupting_record)
+        trace = str(tmp_path / "interrupted.jsonl")
+        code = main(
+            [
+                "run-scenario",
+                "--name",
+                "uniform-churn",
+                "--steps",
+                "200",
+                "--record",
+                trace,
+                "--index-every",
+                "3",
+            ]
+        )
+        captured = capsys.readouterr()
+        assert code == EXIT_INTERRUPTED
+        assert "interrupted" in captured.err
+        assert "partial trace flushed" in captured.err
+        assert interrupter.seen == 7
+
+        report = replay_trace(trace)
+        assert report.ok, report.divergence
+        assert 0 < report.events_applied < 200
+        assert report.hash_checks >= 1
+        # Crashed-run shape: no end frame was written.
+        assert report.recorded_final_hash is None
+
+    def test_completed_run_still_exits_zero(self, tmp_path, capsys):
+        trace = str(tmp_path / "complete.jsonl")
+        code = main(
+            [
+                "run-scenario",
+                "--name",
+                "uniform-churn",
+                "--steps",
+                "10",
+                "--record",
+                trace,
+            ]
+        )
+        capsys.readouterr()
+        assert code == 0
+        report = replay_trace(trace)
+        assert report.ok
+        assert report.recorded_final_hash is not None

@@ -1,0 +1,159 @@
+"""Recorded live-service sessions replay divergence-free.
+
+The determinism contract under test: every churn event a live session
+applies is published to the trace exactly as a batch run's events are, and
+every read (sample/broadcast, anonymous-leave pick) draws from the private
+service RNG — so re-applying the recorded events to an engine rebuilt from
+the trace header reproduces the identical state, hash for hash.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import itertools
+import json
+
+from hypothesis import HealthCheck, given, settings, strategies as st
+
+from repro.service import (
+    LiveEngineSession,
+    ProtocolError,
+    ServiceFrontend,
+    encode_frame,
+    live_scenario,
+)
+from repro.trace.hashing import state_hash
+from repro.trace.replay import replay_trace
+
+_trace_counter = itertools.count()
+
+
+def fresh_session(tmp_path, seed: int = 21, record: bool = True):
+    """A small live session, optionally recording to a unique trace path."""
+    session = LiveEngineSession(
+        live_scenario(seed=seed, initial_size=90, max_size=256)
+    )
+    path = None
+    if record:
+        path = str(tmp_path / f"live-{next(_trace_counter)}.jsonl")
+        session.attach_trace(path, index_every=5)
+    return session, path
+
+
+def run_ops(session: LiveEngineSession, ops) -> int:
+    """Drive a mixed request sequence; engine-rejected requests are fine."""
+    executed = 0
+    for index, op in enumerate(ops):
+        frame = {"op": op, "id": index}
+        if op == "broadcast":
+            frame["payload"] = f"p{index}"
+        try:
+            session.execute(frame)
+            executed += 1
+        except ProtocolError:
+            # Size-bound rejections are part of normal service operation
+            # and must not affect the recorded trace.
+            pass
+    return executed
+
+
+class TestRecordedSessionReplays:
+    @settings(
+        max_examples=15,
+        deadline=None,
+        suppress_health_check=[HealthCheck.function_scoped_fixture],
+    )
+    @given(
+        ops=st.lists(
+            st.sampled_from(["join", "leave", "sample", "broadcast", "status"]),
+            min_size=1,
+            max_size=40,
+        ),
+        seed=st.integers(min_value=1, max_value=50),
+    )
+    def test_any_request_sequence_replays_divergence_free(
+        self, tmp_path, ops, seed
+    ):
+        session, path = fresh_session(tmp_path, seed=seed)
+        try:
+            run_ops(session, ops)
+        finally:
+            session.close()
+        report = replay_trace(path)
+        assert report.ok, report.divergence
+        assert report.events_applied == session.events_applied
+        assert report.final_hash == state_hash(session.engine)
+
+    def test_interleaved_reads_do_not_perturb_replay(self, tmp_path):
+        # Two sessions applying the same churn but wildly different read
+        # traffic must record byte-identical event streams.
+        quiet, quiet_path = fresh_session(tmp_path, seed=33)
+        noisy, noisy_path = fresh_session(tmp_path, seed=33)
+        try:
+            for index in range(10):
+                quiet.execute({"op": "join", "id": index})
+                for burst in range(5):
+                    noisy.execute({"op": "sample", "id": f"s{index}-{burst}"})
+                noisy.execute({"op": "broadcast", "id": f"b{index}", "payload": "x"})
+                noisy.execute({"op": "join", "id": index})
+        finally:
+            quiet.close()
+            noisy.close()
+        assert state_hash(quiet.engine) == state_hash(noisy.engine)
+        assert replay_trace(quiet_path).final_hash == replay_trace(noisy_path).final_hash
+
+    def test_crashed_shape_trace_still_replays(self, tmp_path):
+        session, path = fresh_session(tmp_path, seed=8)
+        run_ops(session, ["join", "leave", "join", "sample", "join"])
+        # The crash path: buffered frames are flushed, no end frame.
+        session.close(ok=False)
+        frames = [
+            json.loads(line)
+            for line in open(path, encoding="utf-8")
+            if line.strip()
+        ]
+        assert frames[0]["t"] == "header"
+        assert all(frame["t"] != "end" for frame in frames)
+        report = replay_trace(path)
+        assert report.ok, report.divergence
+        assert report.events_applied == session.events_applied
+
+
+class TestServedSessionReplays:
+    def test_tcp_served_session_records_and_replays(self, tmp_path):
+        path = str(tmp_path / "served.jsonl")
+
+        async def scenario():
+            session = LiveEngineSession(
+                live_scenario(seed=4, initial_size=90, max_size=256)
+            )
+            session.attach_trace(path, index_every=10)
+            frontend = ServiceFrontend(session, port=0)
+            await frontend.start()
+            reader, writer = await asyncio.open_connection("127.0.0.1", frontend.port)
+            ops = (["join"] * 8 + ["sample"] * 6 + ["leave"] * 3 + ["broadcast"]) * 2
+            for index, op in enumerate(ops):
+                frame = {"op": op, "id": index}
+                if op == "broadcast":
+                    frame["payload"] = "hello"
+                writer.write(encode_frame(frame))
+            await writer.drain()
+            responses = []
+            for _ in ops:
+                line = await asyncio.wait_for(reader.readline(), timeout=10)
+                responses.append(json.loads(line))
+            writer.close()
+            try:
+                await writer.wait_closed()
+            except (ConnectionResetError, BrokenPipeError):
+                pass
+            await frontend.stop()
+            return session, responses
+
+        session, responses = asyncio.run(scenario())
+        assert all(response["ok"] for response in responses)
+        assert session.events_applied == 22  # 8 joins + 3 leaves, twice
+        report = replay_trace(path)
+        assert report.ok, report.divergence
+        assert report.events_applied == session.events_applied
+        assert report.final_hash == state_hash(session.engine)

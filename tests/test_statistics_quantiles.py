@@ -1,0 +1,127 @@
+"""QuantileSketch: streaming quantile estimates vs exact quantiles."""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+
+from repro.analysis.statistics import (
+    DEFAULT_SAMPLE_CAP,
+    QuantileSketch,
+    RunningSummary,
+    quantile,
+)
+
+QS = (0.5, 0.9, 0.95, 0.99)
+
+
+def exact(values, q):
+    return quantile(sorted(values), q)
+
+
+class TestQuantileSketchExact:
+    def test_empty_sketch_is_nan(self):
+        sketch = QuantileSketch()
+        assert sketch.count == 0
+        assert sketch.quantile(0.5) != sketch.quantile(0.5)  # NaN
+
+    def test_below_cap_quantiles_are_exact(self):
+        rng = random.Random(7)
+        values = [rng.uniform(0, 100) for _ in range(1000)]
+        sketch = QuantileSketch(cap=4096)
+        for value in values:
+            sketch.push(value)
+        assert sketch.exact
+        for q in QS:
+            assert sketch.quantile(q) == pytest.approx(exact(values, q))
+
+    def test_cap_validation(self):
+        with pytest.raises(ValueError):
+            QuantileSketch(cap=1)
+
+    def test_quantiles_batch_matches_single(self):
+        sketch = QuantileSketch(cap=64)
+        for index in range(500):
+            sketch.push(float(index))
+        assert sketch.quantiles(QS) == [sketch.quantile(q) for q in QS]
+
+
+class TestQuantileSketchDecimated:
+    @pytest.mark.parametrize(
+        "distribution",
+        [
+            lambda rng: rng.uniform(0.0, 1.0),
+            lambda rng: rng.expovariate(1.0),
+            lambda rng: rng.gauss(10.0, 2.0),
+        ],
+        ids=["uniform", "exponential", "normal"],
+    )
+    def test_decimated_estimates_track_exact_quantiles(self, distribution):
+        rng = random.Random(42)
+        values = [distribution(rng) for _ in range(50_000)]
+        sketch = QuantileSketch(cap=2048)
+        for value in values:
+            sketch.push(value)
+        assert not sketch.exact
+        assert sketch.count == len(values)
+        spread = exact(values, 0.99) - exact(values, 0.01)
+        for q in (0.5, 0.9, 0.95):
+            # The retained sample is an evenly spaced subsequence of an
+            # i.i.d. stream, so estimates should land within a few percent
+            # of the distribution's interdecile spread.
+            assert abs(sketch.quantile(q) - exact(values, q)) < 0.1 * spread
+
+    def test_memory_stays_bounded(self):
+        sketch = QuantileSketch(cap=128)
+        for index in range(100_000):
+            sketch.push(float(index))
+        assert len(sketch.series) <= 128
+        assert sketch.stride >= 100_000 // 128
+
+    def test_determinism_no_reservoir_randomness(self):
+        first = QuantileSketch(cap=64)
+        second = QuantileSketch(cap=64)
+        rng = random.Random(3)
+        values = [rng.random() for _ in range(10_000)]
+        for value in values:
+            first.push(value)
+        for value in values:
+            second.push(value)
+        assert first.series == second.series
+        assert first.stride == second.stride
+        assert first.quantile(0.99) == second.quantile(0.99)
+
+    def test_retained_points_are_stride_subsequence(self):
+        sketch = QuantileSketch(cap=32)
+        total = 1000
+        for index in range(total):
+            sketch.push(float(index))
+        assert sketch.series == [
+            float(index) for index in range(0, total, sketch.stride)
+        ]
+
+
+class TestRunningSummaryComposition:
+    def test_running_summary_quantiles_come_from_the_sketch(self):
+        summary = RunningSummary(sample_cap=DEFAULT_SAMPLE_CAP)
+        sketch = QuantileSketch(cap=DEFAULT_SAMPLE_CAP)
+        rng = random.Random(9)
+        for _ in range(5000):
+            value = rng.expovariate(0.5)
+            summary.push(value)
+            sketch.push(value)
+        table = summary.summary()
+        assert table.p50 == sketch.quantile(0.50)
+        assert table.p90 == sketch.quantile(0.90)
+        assert table.p99 == sketch.quantile(0.99)
+
+    def test_series_contract_preserved_after_refactor(self):
+        summary = RunningSummary(sample_cap=64)
+        total = 1000
+        for index in range(total):
+            summary.push(float(index))
+        assert summary.series_stride > 1
+        assert summary.series == [
+            float(index) for index in range(0, total, summary.series_stride)
+        ]

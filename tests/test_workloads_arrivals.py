@@ -1,0 +1,137 @@
+"""Open-loop arrival schedules: Poisson process, mix parsing, trace files."""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.workloads.arrivals import (
+    DEFAULT_MIX,
+    MIX_OPERATIONS,
+    Arrival,
+    PoissonArrivals,
+    load_arrival_trace,
+    parse_mix,
+    save_arrival_trace,
+)
+
+
+class TestPoissonArrivals:
+    def test_same_seed_same_schedule(self):
+        first = PoissonArrivals(rate=200.0, duration=2.0, seed=7).schedule()
+        second = PoissonArrivals(rate=200.0, duration=2.0, seed=7).schedule()
+        assert first == second
+
+    def test_different_seed_different_schedule(self):
+        first = PoissonArrivals(rate=200.0, duration=2.0, seed=7).schedule()
+        second = PoissonArrivals(rate=200.0, duration=2.0, seed=8).schedule()
+        assert first != second
+
+    def test_schedule_is_sorted_and_bounded(self):
+        arrivals = PoissonArrivals(rate=500.0, duration=3.0, seed=1).schedule()
+        times = [arrival.at for arrival in arrivals]
+        assert times == sorted(times)
+        assert all(0.0 < at < 3.0 for at in times)
+
+    def test_rate_is_approximately_honoured(self):
+        rate, duration = 400.0, 5.0
+        arrivals = PoissonArrivals(rate=rate, duration=duration, seed=3).schedule()
+        expected = rate * duration
+        # Poisson count: stddev is sqrt(expected); 5 sigma keeps this stable.
+        assert abs(len(arrivals) - expected) < 5 * expected**0.5
+
+    def test_mix_proportions_are_approximately_honoured(self):
+        mix = {"sample": 0.7, "join": 0.2, "leave": 0.1}
+        arrivals = PoissonArrivals(rate=1000.0, duration=4.0, mix=mix, seed=5).schedule()
+        counts = {op: 0 for op in mix}
+        for arrival in arrivals:
+            counts[arrival.op] += 1
+        total = len(arrivals)
+        for op, weight in mix.items():
+            assert abs(counts[op] / total - weight) < 0.05
+
+    def test_default_mix_used_when_unspecified(self):
+        process = PoissonArrivals(rate=10.0, duration=1.0)
+        assert process.mix == DEFAULT_MIX
+        assert process.offered_load == 10.0
+
+    @pytest.mark.parametrize(
+        "kwargs",
+        [
+            {"rate": 0.0, "duration": 1.0},
+            {"rate": -5.0, "duration": 1.0},
+            {"rate": 10.0, "duration": 0.0},
+            {"rate": 10.0, "duration": 1.0, "mix": {}},
+            {"rate": 10.0, "duration": 1.0, "mix": {"teleport": 1.0}},
+        ],
+    )
+    def test_invalid_construction_rejected(self, kwargs):
+        with pytest.raises(ConfigurationError):
+            PoissonArrivals(**kwargs)
+
+
+class TestParseMix:
+    def test_normalises_weights(self):
+        mix = parse_mix("sample=8, join=1, leave=1")
+        assert mix == {"sample": 0.8, "join": 0.1, "leave": 0.1}
+
+    def test_repeated_ops_accumulate(self):
+        assert parse_mix("sample=1,sample=3") == {"sample": 1.0}
+
+    def test_zero_weight_ops_dropped(self):
+        mix = parse_mix("sample=1,join=0")
+        assert mix == {"sample": 1.0}
+
+    @pytest.mark.parametrize(
+        "text",
+        ["sample", "warp=1", "sample=abc", "sample=-1", "sample=0", ""],
+    )
+    def test_malformed_mix_rejected(self, text):
+        with pytest.raises(ConfigurationError):
+            parse_mix(text)
+
+
+class TestArrivalTraceFiles:
+    def test_save_load_roundtrip(self, tmp_path):
+        path = str(tmp_path / "arrivals.jsonl")
+        arrivals = PoissonArrivals(rate=100.0, duration=1.0, seed=2).schedule()
+        save_arrival_trace(path, arrivals)
+        assert load_arrival_trace(path) == arrivals
+
+    def test_load_sorts_by_time(self, tmp_path):
+        path = str(tmp_path / "arrivals.jsonl")
+        save_arrival_trace(
+            path,
+            [Arrival(at=1.5, op="sample"), Arrival(at=0.5, op="join")],
+        )
+        loaded = load_arrival_trace(path)
+        assert [arrival.at for arrival in loaded] == [0.5, 1.5]
+
+    def test_blank_lines_skipped(self, tmp_path):
+        path = tmp_path / "arrivals.jsonl"
+        path.write_text('{"at": 0.1, "op": "sample"}\n\n{"at": 0.2, "op": "leave"}\n')
+        assert len(load_arrival_trace(str(path))) == 2
+
+    @pytest.mark.parametrize(
+        "line",
+        [
+            "not json",
+            '{"at": 0.1}',
+            '{"op": "sample"}',
+            '{"at": "soon", "op": "sample"}',
+            '{"at": 0.1, "op": "teleport"}',
+            '{"at": -0.1, "op": "sample"}',
+        ],
+    )
+    def test_malformed_lines_rejected_with_location(self, tmp_path, line):
+        path = tmp_path / "arrivals.jsonl"
+        path.write_text('{"at": 0.0, "op": "sample"}\n' + line + "\n")
+        with pytest.raises(ConfigurationError, match=":2:"):
+            load_arrival_trace(str(path))
+
+    def test_mix_operations_cover_protocol_subset(self):
+        from repro.service.protocol import OPERATIONS
+
+        assert set(MIX_OPERATIONS) <= OPERATIONS
