@@ -83,6 +83,11 @@ from .walks.kernel import KERNEL_NAMES
 from .workloads import MixedDriver, UniformChurn, drive
 from .workloads.record import RunRecord
 
+#: The `load` command's default operation mix.  Kept as a named constant so
+#: `--sessions lognormal` can tell "user left the default" (switch to the
+#: read-only session mix) from "user asked for this mix exactly".
+LOAD_DEFAULT_MIX = "sample=0.8,join=0.1,leave=0.1"
+
 
 def build_parser() -> argparse.ArgumentParser:
     """Construct the CLI argument parser (exposed for testing and docs)."""
@@ -280,6 +285,12 @@ def build_parser() -> argparse.ArgumentParser:
     serve.add_argument("--initial-size", type=int, default=300, help="bootstrap population")
     serve.add_argument("--tau", type=float, default=0.15, help="bootstrap Byzantine fraction")
     serve.add_argument(
+        "--shards", type=int, default=0, metavar="W",
+        help="serve through the sharded backend with W worker processes "
+             "(0 = classic single-engine pump; the scenario's logical shard "
+             "count defaults to 4 when the spec doesn't set one)",
+    )
+    serve.add_argument(
         "--record", type=str, default=None, metavar="FILE",
         help="record every churn event to this trace file (replayable via `replay`)",
     )
@@ -320,13 +331,46 @@ def build_parser() -> argparse.ArgumentParser:
         help="seconds of scheduled arrivals (default: 10)",
     )
     load.add_argument(
-        "--mix", type=str, default="sample=0.8,join=0.1,leave=0.1",
-        help="operation mix as op=weight pairs (weights are normalised)",
+        "--mix", type=str, default=LOAD_DEFAULT_MIX,
+        help="operation mix as op=weight pairs (weights are normalised); with "
+             "--sessions lognormal this is the in-session read mix "
+             "(default then: sample=0.7,broadcast=0.1,status=0.2)",
     )
     load.add_argument(
         "--arrivals", type=str, default=None, metavar="FILE",
-        help="drive a recorded JSONL arrival trace instead of a Poisson process "
-             "(--rate/--duration/--mix are ignored)",
+        help="drive a recorded JSONL arrival trace instead of a generated "
+             "schedule (--rate/--duration/--mix/--sessions are ignored)",
+    )
+    load.add_argument(
+        "--sessions", type=str, default="poisson", choices=("poisson", "lognormal"),
+        help="arrival model: independent Poisson requests, or heavy-tailed "
+             "join→ops→leave session lifecycles with log-normal lengths",
+    )
+    load.add_argument(
+        "--mean-session", type=float, default=8.0, metavar="S",
+        help="lognormal sessions: mean session length in seconds (default: 8)",
+    )
+    load.add_argument(
+        "--sigma", type=float, default=1.2, metavar="SHAPE",
+        help="lognormal sessions: heavy-tail shape parameter (default: 1.2)",
+    )
+    load.add_argument(
+        "--op-rate", type=float, default=1.0, metavar="R",
+        help="lognormal sessions: in-session read ops per second (default: 1)",
+    )
+    load.add_argument(
+        "--diurnal", action="store_true",
+        help="modulate the arrival rate over a day/night cycle (thinning; "
+             "--rate stays the cycle average)",
+    )
+    load.add_argument(
+        "--day-length", type=float, default=None, metavar="S",
+        help="diurnal cycle length in seconds (default: the --duration span)",
+    )
+    load.add_argument(
+        "--diurnal-amplitude", type=float, default=0.8, metavar="A",
+        help="diurnal swing in (0,1): rate varies between (1-A)x and (1+A)x "
+             "the base rate (default: 0.8)",
     )
     load.add_argument(
         "--connections", type=int, default=2, metavar="C",
@@ -801,8 +845,20 @@ def run_sweep_command(args: argparse.Namespace) -> int:
 def run_serve_command(args: argparse.Namespace) -> int:
     import asyncio
 
-    from .service import LiveEngineSession, ServiceFrontend, live_scenario
+    from .service import (
+        LiveEngineSession,
+        ServiceFrontend,
+        ShardedLiveSession,
+        live_scenario,
+        sharded_live_scenario,
+    )
+    from .service.sharded import DEFAULT_SERVICE_SHARDS
+    from .shard import ShardWorkerError
 
+    if args.shards < 0:
+        print("serve: --shards must be >= 0 (0 = classic backend)", file=sys.stderr)
+        return 2
+    sharded = args.shards > 0
     try:
         if args.spec:
             with open(args.spec, "r", encoding="utf-8") as handle:
@@ -813,6 +869,18 @@ def run_serve_command(args: argparse.Namespace) -> int:
             scenario.workload = None
             scenario.adversary = None
             scenario.steps = 0
+            if sharded and not scenario.shards:
+                # Mirror run-scenario's batch semantics: --shards picks the
+                # worker count; a spec without a logical shard count gets
+                # the default partition.
+                scenario.shards = DEFAULT_SERVICE_SHARDS
+        elif sharded:
+            scenario = sharded_live_scenario(
+                seed=args.seed,
+                max_size=args.max_size,
+                initial_size=args.initial_size,
+                tau=args.tau,
+            )
         else:
             scenario = live_scenario(
                 seed=args.seed,
@@ -820,7 +888,10 @@ def run_serve_command(args: argparse.Namespace) -> int:
                 initial_size=args.initial_size,
                 tau=args.tau,
             )
-        session = LiveEngineSession(scenario)
+        if sharded:
+            session = ShardedLiveSession(scenario, workers=args.shards)
+        else:
+            session = LiveEngineSession(scenario)
         if args.record:
             session.attach_trace(
                 args.record,
@@ -851,9 +922,14 @@ def run_serve_command(args: argparse.Namespace) -> int:
                 )
             except (NotImplementedError, ValueError, RuntimeError):
                 pass  # platform/thread without loop signal support
+        backend = (
+            f"sharded x{scenario.shards} ({args.shards} worker(s))"
+            if sharded
+            else "single engine"
+        )
         print(
             f"serving scenario {scenario.name!r} on {frontend.host}:{frontend.port} "
-            f"(N={scenario.max_size}, n={session.engine.network_size}, "
+            f"(N={scenario.max_size}, n={session.network_size}, {backend}, "
             f"queue bound {frontend.queue.maxsize})"
         )
         if args.record:
@@ -871,6 +947,16 @@ def run_serve_command(args: argparse.Namespace) -> int:
         # through the crash path: flushed, no end frame.
         interrupted = True
         session.close(ok=False)
+    except ShardWorkerError as error:
+        # The frontend already failed in-flight requests with 'failed' and
+        # sealed the trace crashed-shape; report the death and exit non-zero.
+        print(f"serve: shard worker died: {error}", file=sys.stderr)
+        if args.record:
+            print(
+                f"trace sealed without end frame (crashed-run shape): {args.record}",
+                file=sys.stderr,
+            )
+        return 1
     except (ConfigurationError, OSError) as error:
         print(f"serve: {error}", file=sys.stderr)
         return 2
@@ -901,7 +987,13 @@ def run_load_command(args: argparse.Namespace) -> int:
     import json
 
     from .service.loadgen import run_load
-    from .workloads.arrivals import PoissonArrivals, load_arrival_trace, parse_mix
+    from .workloads.arrivals import (
+        DiurnalProfile,
+        LogNormalSessions,
+        PoissonArrivals,
+        load_arrival_trace,
+        parse_mix,
+    )
 
     try:
         if args.arrivals:
@@ -909,12 +1001,33 @@ def run_load_command(args: argparse.Namespace) -> int:
             span = arrivals[-1].at if arrivals else 0.0
             offered = len(arrivals) / span if span > 0 else float(len(arrivals))
         else:
-            process = PoissonArrivals(
-                rate=args.rate,
-                duration=args.duration,
-                mix=parse_mix(args.mix),
-                seed=args.seed,
-            )
+            diurnal = None
+            if args.diurnal:
+                day = args.day_length if args.day_length is not None else args.duration
+                diurnal = DiurnalProfile(day, amplitude=args.diurnal_amplitude)
+            if args.sessions == "lognormal":
+                # The plain-mix default includes join/leave weights, which a
+                # session generator rejects (churn comes from the lifecycle);
+                # only a mix the user actually set overrides the session mix.
+                mix = parse_mix(args.mix) if args.mix != LOAD_DEFAULT_MIX else None
+                process = LogNormalSessions(
+                    rate=args.rate,
+                    duration=args.duration,
+                    mean_session=args.mean_session,
+                    sigma=args.sigma,
+                    op_rate=args.op_rate,
+                    mix=mix,
+                    seed=args.seed,
+                    diurnal=diurnal,
+                )
+            else:
+                process = PoissonArrivals(
+                    rate=args.rate,
+                    duration=args.duration,
+                    mix=parse_mix(args.mix),
+                    seed=args.seed,
+                    diurnal=diurnal,
+                )
             arrivals = process.schedule()
             offered = args.rate
         if not arrivals:

@@ -10,8 +10,12 @@ network service under measured load:
 * :mod:`repro.service.session`  — :class:`LiveEngineSession`: one engine,
   one observation bus, a private service RNG for reads so recorded
   sessions replay bit-identically through ``repro replay``;
+* :mod:`repro.service.sharded`  — :class:`ShardedLiveSession`: the same
+  request surface backed by the multi-core shard coordinator — windowed
+  write lane, snapshot-served read lane (``repro serve --shards W``);
 * :mod:`repro.service.frontend` — :class:`ServiceFrontend`: the asyncio
-  TCP server and its engine pump (``repro serve``);
+  TCP server and its engine pump (``repro serve``), pluggable over either
+  session backend;
 * :mod:`repro.service.loadgen`  — the open-loop load generator and its
   per-operation latency report (``repro load``).
 
@@ -32,6 +36,11 @@ from .protocol import (
 )
 from .queue import DEFAULT_MAX_QUEUE, RequestQueue
 from .session import SERVICE_RNG_OFFSET, LiveEngineSession, live_scenario
+from .sharded import (
+    SERVICE_READ_RNG_OFFSET,
+    ShardedLiveSession,
+    sharded_live_scenario,
+)
 
 __all__ = [
     "DEFAULT_MAX_BATCH",
@@ -43,8 +52,11 @@ __all__ = [
     "OperationStats",
     "ProtocolError",
     "RequestQueue",
+    "SERVICE_READ_RNG_OFFSET",
     "SERVICE_RNG_OFFSET",
     "ServiceFrontend",
+    "ShardedLiveSession",
+    "sharded_live_scenario",
     "encode_frame",
     "error_response",
     "live_scenario",

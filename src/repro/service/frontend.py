@@ -34,6 +34,7 @@ import time
 from dataclasses import dataclass, field
 from typing import Any, Dict, Optional, Set
 
+from ..shard.worker import ShardWorkerError
 from .protocol import (
     ERROR_FAILED,
     ERROR_OVERLOADED,
@@ -49,6 +50,10 @@ from .session import LiveEngineSession
 
 #: Default number of queued requests the pump executes per engine batch.
 DEFAULT_MAX_BATCH = 64
+
+#: Queue lanes: writes are ordered and windowed, reads ride beside them.
+WRITE_LANE = 0
+READ_LANE = 1
 
 
 @dataclass
@@ -77,12 +82,16 @@ class ServiceFrontend:
         self.host = host
         self.port = port
         self.max_batch = max_batch
-        self.queue = RequestQueue(maxsize=max_queue)
+        #: Ops the session serves off the write window's path (empty on the
+        #: classic single-engine session — everything stays in lane 0).
+        self.read_lane_ops = frozenset(getattr(session, "read_lane_ops", ()))
+        self.queue = RequestQueue(maxsize=max_queue, lanes=2)
         self.connections_served = 0
         self.responses_sent = 0
         self._server: Optional[asyncio.AbstractServer] = None
         self._pump_task: Optional[asyncio.Task] = None
         self._responders: Set[asyncio.Task] = set()
+        self._connections: Set[asyncio.Task] = set()
         self._shutdown = asyncio.Event()
         self._shutdown_reason: Optional[str] = None
         self._pump_error: Optional[BaseException] = None
@@ -128,9 +137,20 @@ class ServiceFrontend:
             self._server.close()
         self.queue.close()
         if self._pump_task is not None:
-            await self._pump_task
+            # The pump re-raises its fatal error; swallow it here (it is
+            # kept in _pump_error and re-raised below) so the trace still
+            # gets sealed and the responders still finish writing.
+            await asyncio.gather(self._pump_task, return_exceptions=True)
         if self._responders:
             await asyncio.gather(*tuple(self._responders), return_exceptions=True)
+        # Reader loops still blocked on a client that never hangs up would
+        # otherwise be cancelled abruptly at loop teardown (a noisy
+        # traceback); cancel them here, after every admitted request has
+        # been answered.
+        for task in tuple(self._connections):
+            task.cancel()
+        if self._connections:
+            await asyncio.gather(*tuple(self._connections), return_exceptions=True)
         if self._server is not None:
             await self._server.wait_closed()
         self.session.close(ok=self._pump_error is None)
@@ -141,23 +161,121 @@ class ServiceFrontend:
     # Engine pump
     # ------------------------------------------------------------------
     async def _pump(self) -> None:
-        """Drain → execute → resolve, one batch per loop iteration."""
+        """Drain → execute → resolve until the queue closes.
+
+        Classic sessions run the single-engine loop; sessions marked
+        ``windowed`` (the sharded backend) run the two-lane windowed loop.
+        A fatal pump error — a shard worker dying is the expected one —
+        fails every request still queued (error code ``failed``, never a
+        hung connection) and triggers shutdown; :meth:`stop` re-raises it
+        after sealing the trace in crashed-run shape.
+        """
         try:
-            while True:
-                await self.queue.wait()
-                batch = self.queue.drain(self.max_batch)
-                if not batch:
-                    if self.queue.closed:
-                        return
-                    continue
-                for pending in batch:
-                    self._execute_one(pending)
-                # Yield so readers/writers run between engine batches.
-                await asyncio.sleep(0)
-        except BaseException as error:  # pragma: no cover - defensive
+            if getattr(self.session, "windowed", False):
+                await self._pump_windowed()
+            else:
+                await self._pump_classic()
+        except BaseException as error:
             self._pump_error = error
             self.request_shutdown(f"engine pump failed: {error}")
+            self._abort_queued(f"engine pump failed: {error}")
             raise
+
+    async def _pump_classic(self) -> None:
+        """The single-engine loop: everything executes in admission order."""
+        while True:
+            await self.queue.wait()
+            batch = self.queue.drain(self.max_batch, lane=WRITE_LANE)
+            batch += self.queue.drain(self.max_batch, lane=READ_LANE)
+            if not batch:
+                if self.queue.closed:
+                    return
+                continue
+            for pending in batch:
+                self._execute_one(pending)
+            # Yield so readers/writers run between engine batches.
+            await asyncio.sleep(0)
+
+    async def _pump_windowed(self) -> None:
+        """The sharded loop: windowed writes, reads served during execution.
+
+        Each iteration drains both lanes, dispatches the write batch to the
+        shard workers (``begin_window`` — send half only), serves whatever
+        read traffic does not need a worker round trip *while the workers
+        execute the window*, then collects the window (``finish_window``)
+        and serves the deferred reads from the freshly merged state.
+        """
+        session = self.session
+        while True:
+            await self.queue.wait()
+            writes = self.queue.drain(self.max_batch, lane=WRITE_LANE)
+            reads = self.queue.drain(self.max_batch, lane=READ_LANE)
+            if not writes and not reads:
+                if self.queue.closed:
+                    return
+                continue
+            try:
+                handle = session.begin_window([p.frame for p in writes]) if writes else None
+                deferred = []
+                for pending in reads:
+                    if handle is not None and not session.read_ready(pending.frame["op"]):
+                        deferred.append(pending)
+                    else:
+                        self._execute_one(pending)
+                if handle is not None:
+                    outcomes = session.finish_window(handle)
+                    for pending, outcome in zip(writes, outcomes):
+                        self._resolve_windowed(pending, outcome)
+                for pending in deferred:
+                    self._execute_one(pending)
+            except ShardWorkerError:
+                self._fail_batch(
+                    writes + reads, "a shard worker died executing this window"
+                )
+                raise
+            await asyncio.sleep(0)
+
+    def _resolve_windowed(self, pending: "_Pending", outcome: Any) -> None:
+        """Resolve one write-lane request from its window outcome."""
+        frame = pending.frame
+        request_id = frame.get("id")
+        op = frame["op"]
+        if isinstance(outcome, ProtocolError):
+            response = error_response(request_id, op, outcome.code, outcome.message)
+        else:
+            response = ok_response(request_id, op, outcome)
+        response["latency_ms"] = round(
+            (time.perf_counter() - pending.enqueued_at) * 1000.0, 3
+        )
+        if not pending.future.done():
+            pending.future.set_result(response)
+
+    def _fail_batch(self, batch, message: str) -> None:
+        """Answer every unresolved request of a batch with ``failed``."""
+        for pending in batch:
+            if pending.future.done():
+                continue
+            frame = pending.frame
+            response = error_response(
+                frame.get("id"), frame["op"], ERROR_FAILED, message
+            )
+            response["latency_ms"] = round(
+                (time.perf_counter() - pending.enqueued_at) * 1000.0, 3
+            )
+            pending.future.set_result(response)
+
+    def _abort_queued(self, message: str) -> None:
+        """Close the queue and fail everything still waiting in it.
+
+        Runs synchronously inside the pump's fatal-error handler (no awaits
+        between close and drain), so no request can slip in unanswered:
+        later arrivals see the closed queue and get ``shutting_down``.
+        """
+        self.queue.close()
+        leftovers = []
+        for lane in range(self.queue.lanes):
+            leftovers += self.queue.drain(len(self.queue) + 1, lane=lane)
+        self._fail_batch(leftovers, message)
 
     def _execute_one(self, pending: _Pending) -> None:
         frame = pending.frame
@@ -196,6 +314,10 @@ class ServiceFrontend:
         self.connections_served += 1
         write_lock = asyncio.Lock()
         loop = asyncio.get_running_loop()
+        task = asyncio.current_task()
+        if task is not None:
+            self._connections.add(task)
+            task.add_done_callback(self._connections.discard)
         try:
             while True:
                 line = await reader.readline()
@@ -233,7 +355,8 @@ class ServiceFrontend:
                     )
                     continue
                 pending = _Pending(frame=frame, future=loop.create_future())
-                if not self.queue.offer(pending):
+                lane = READ_LANE if frame["op"] in self.read_lane_ops else WRITE_LANE
+                if not self.queue.offer(pending, lane=lane):
                     # The backpressure fast path: the queue bound was hit, the
                     # client hears about it now instead of waiting in line.
                     await self._write(
@@ -251,6 +374,12 @@ class ServiceFrontend:
                 self._responders.add(responder)
                 responder.add_done_callback(self._responders.discard)
         except (ConnectionResetError, asyncio.IncompleteReadError):
+            pass
+        except asyncio.CancelledError:
+            # Shutdown cancelled this reader while it waited for the next
+            # line; every admitted request is already answered, so finishing
+            # quietly (and closing the socket below) is the clean exit —
+            # propagating would make asyncio log a spurious traceback.
             pass
         finally:
             writer.close()

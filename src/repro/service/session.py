@@ -81,6 +81,13 @@ def live_scenario(
 class LiveEngineSession:
     """Serialised execution of service requests against one live engine."""
 
+    #: Classic sessions run the straight-through pump, not the windowed one.
+    windowed = False
+    #: No read lane: one engine means one serialised stream for every op
+    #: (reads draw from the same service RNG the anonymous leaves use, so
+    #: reordering them around writes would perturb the recorded trace).
+    read_lane_ops = frozenset()
+
     def __init__(
         self,
         scenario: Optional[Scenario] = None,
@@ -171,6 +178,11 @@ class LiveEngineSession:
     def closed(self) -> bool:
         """Whether the session was sealed."""
         return self._closed
+
+    @property
+    def network_size(self) -> int:
+        """Current active population (the backend-independent size view)."""
+        return self.engine.network_size
 
     # ------------------------------------------------------------------
     # Request execution

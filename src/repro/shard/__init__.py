@@ -43,6 +43,7 @@ from .router import (
     plan_rebalance,
     slice_sizes,
 )
+from .serve import ShardReadModel, replay_sharded_trace
 from .session import (
     SHARDED_CHECKPOINT_FORMAT,
     resume_sharded_checkpoint,
@@ -57,8 +58,10 @@ __all__ = [
     "SHARDED_CHECKPOINT_FORMAT",
     "ShardCoordinator",
     "ShardDirectory",
+    "ShardReadModel",
     "ShardWorker",
     "ShardWorkerError",
+    "replay_sharded_trace",
     "ShardedEngineFacade",
     "WindowBatch",
     "composite_state_hash",

@@ -250,7 +250,12 @@ class ShardCoordinator:
         self.router = EventRouter(self.directory)
         self.facade = ShardedEngineFacade(self.params, self.directory)
         self._refresh_facade()
-        self.source = scenario.build_source(self.facade)
+        if scenario.workload is None and scenario.adversary is None:
+            # Serve mode (repro.service.sharded): events arrive from live
+            # clients through serve_dispatch, not from a workload source.
+            self.source = None
+        else:
+            self.source = scenario.build_source(self.facade)
         if _checkpoint is not None:
             self.source.restore_state(_checkpoint["source"])
             expected = _checkpoint.get("state_hash")
@@ -261,7 +266,16 @@ class ShardCoordinator:
                     f"({restored[:12]} != {expected[:12]}); the checkpoint is "
                     "corrupt or was produced by an incompatible version"
                 )
-        self._next_event = bind_event_source(self.facade, self.source)
+        self._next_event = (
+            bind_event_source(self.facade, self.source)
+            if self.source is not None
+            else None
+        )
+        #: Events accepted by serve_dispatch (== total_events once collected);
+        #: serve-mode barriers run when this crosses a barrier_interval
+        #: multiple, so shard evolution is a pure function of the admitted
+        #: event sequence, independent of how the live pump chunks windows.
+        self.events_admitted = self.total_events
         try:
             self.bus = ObservationBus(self.facade, self.probes, buffer_size=probe_buffer)
         except ValueError as error:
@@ -394,6 +408,11 @@ class ShardCoordinator:
         """
         if steps < 0:
             raise ConfigurationError("steps must be non-negative")
+        if self._next_event is None:
+            raise ConfigurationError(
+                "this coordinator has no event source (serve mode); drive it "
+                "through serve_dispatch/serve_collect instead of run()"
+            )
         self.bus.sync(self.probes)
         if not self._started:
             self.bus.on_start()
@@ -653,6 +672,117 @@ class ShardCoordinator:
                 )
 
     # ------------------------------------------------------------------
+    # Serve mode: explicit event windows from the live service
+    # ------------------------------------------------------------------
+    def events_until_barrier(self) -> int:
+        """Remaining capacity of the current serve window (>= 1).
+
+        Serve-mode barriers run when the cumulative admitted event count
+        crosses a multiple of ``barrier_interval`` — never "once per pump
+        window" — so a window may not straddle a multiple.  Callers chunk
+        their admitted writes to this capacity.
+        """
+        return self.barrier_interval - (self.events_admitted % self.barrier_interval)
+
+    def serve_dispatch(self, events: Sequence) -> Dict[str, Any]:
+        """Route one window of client churn events and queue it (send half).
+
+        The live service's entry point: ``events`` are pre-validated
+        :class:`~repro.core.events.ChurnEvent` objects in admission order
+        (leaves always name their node — the session resolves anonymous
+        leaves against the directory before building the event).  The window
+        is routed through :meth:`~repro.shard.router.EventRouter.
+        route_window` into packed per-shard wire batches and dispatched
+        without waiting for replies, so the caller can serve read traffic
+        while the workers execute; :meth:`serve_collect` receives and merges
+        the window.  If the window fills the current barrier interval, the
+        barrier's handoff commands are planned and queued behind it, exactly
+        as in the batch loop.
+        """
+        if self._next_event is not None:
+            raise ConfigurationError(
+                "serve_dispatch drives source-less coordinators only; this "
+                "one owns a workload source (use run())"
+            )
+        count = len(events)
+        if count < 1:
+            raise ConfigurationError("a serve window needs at least one event")
+        if count > self.events_until_barrier():
+            raise ConfigurationError(
+                f"serve window of {count} events crosses the next barrier "
+                f"boundary ({self.events_until_barrier()} events away)"
+            )
+        phase = self.phase_times
+        perf = time.perf_counter
+        queue = iter(events)
+        clock = perf()
+        window = self.router.route_window(
+            lambda: next(queue, None),
+            next_step=self.events_admitted + 1,
+            limit=count,
+            max_steps=count,
+        )
+        phase["route"] += perf() - clock
+        order: List[Tuple[int, Any]] = []
+        apply_expected = {
+            shard: self.directory.sizes[shard] for shard in window.batches
+        }
+        clock = perf()
+        for shard, batch in sorted(window.batches.items()):
+            transport = self._transport_of[shard]
+            transport.send("apply", shard, batch, True)
+            order.append((shard, transport))
+        phase["serialize"] += perf() - clock
+        self.events_admitted += count
+        barrier = None
+        if self.events_admitted % self.barrier_interval == 0:
+            barrier = self._send_barrier()
+        return {
+            "window": window,
+            "order": order,
+            "expected": apply_expected,
+            "barrier": barrier,
+        }
+
+    def serve_collect(self, token: Dict[str, Any]) -> List[StepRecord]:
+        """Receive and merge one dispatched serve window (recv half).
+
+        Returns the window's composite :class:`~repro.scenarios.bus.
+        StepRecord` objects in admission order — one per event, carrying the
+        observables the session's responses and trace frames are built from.
+        A worker dying mid-window surfaces here as
+        :class:`~repro.shard.worker.ShardWorkerError`.
+        """
+        window = token["window"]
+        routed = window.routed
+        phase = self.phase_times
+        perf = time.perf_counter
+        replies: Dict[int, Dict[str, Any]] = {}
+        for shard, transport in token["order"]:
+            clock = perf()
+            reply = transport.recv()
+            waited = perf() - clock
+            worker_elapsed = reply.get("elapsed", 0.0)
+            phase["worker_execute"] += worker_elapsed
+            phase["idle"] += max(0.0, waited - worker_elapsed)
+            replies[shard] = reply
+        self.total_events += len(routed)
+        clock = perf()
+        records = self.merger.merge_window(
+            routed, {shard: reply["rows"] for shard, reply in replies.items()}
+        )
+        self.merger.update_summaries(
+            {shard: reply["summary"] for shard, reply in replies.items()}
+        )
+        phase["merge"] += perf() - clock
+        self._check_sizes(replies, token["expected"])
+        self._recv_barrier(token["barrier"])
+        if token["barrier"] is not None:
+            self.barriers_run += 1
+        self._refresh_facade()
+        return records
+
+    # ------------------------------------------------------------------
     # Trace / checkpoint cadence (barrier-aligned)
     # ------------------------------------------------------------------
     def _index_due(self, pending: int) -> bool:
@@ -705,6 +835,11 @@ class ShardCoordinator:
 
     def capture_state(self) -> Dict[str, Any]:
         """The checkpointable coordinator state (valid at barriers only)."""
+        if self.source is None:
+            raise ConfigurationError(
+                "serve-mode coordinators do not checkpoint (a live session's "
+                "durability artefact is its recorded trace)"
+            )
         snapshots = self._gather_shards(
             [(shard, ()) for shard in range(self.shards)], "snapshot"
         )

@@ -255,6 +255,29 @@ class ShardWorker:
                 slot.map_new(gid, report.operation.node_id)
         return {"summary": self._summary(engine)}
 
+    def read_view(self, shard: int) -> Dict[str, Any]:
+        """A compact snapshot of the shard's clusters and overlay, in gids.
+
+        The read path of the sharded live service: the coordinator fetches
+        one view per shard after a merged window and serves ``sample`` /
+        ``broadcast`` requests from it without re-entering the worker round
+        trip.  Members are translated to global ids so the coordinator's
+        directory supplies roles; the adjacency is the OVER overlay at
+        cluster granularity.
+        """
+        slot = self._slot(shard)
+        l2g = slot.l2g
+        state = slot.engine.state
+        clusters = {
+            cluster.cluster_id: sorted(l2g[member] for member in cluster.members)
+            for cluster in state.clusters.clusters()
+        }
+        graph = state.overlay.graph
+        adjacency = {
+            vertex: sorted(graph.neighbours(vertex)) for vertex in graph.vertices()
+        }
+        return {"clusters": clusters, "adjacency": adjacency}
+
     def summaries(self) -> Dict[int, Dict[str, Any]]:
         """Current summary of every hosted shard (post-handoff merge input)."""
         return {shard: self._summary(slot.engine) for shard, slot in self.slots.items()}

@@ -177,8 +177,21 @@ class ReplayEngine:
 
 
 def replay_trace(path: str, engine=None) -> ReplayReport:
-    """Convenience wrapper: ``ReplayEngine(path, engine).run()``."""
-    return ReplayEngine(path, engine=engine).run()
+    """Replay a recorded trace, dispatching on the engine that produced it.
+
+    Single-engine traces replay through :class:`ReplayEngine`.  Sharded
+    *serve* traces (recorded by ``repro serve --shards``) replay through
+    :func:`repro.shard.serve.replay_sharded_trace` — their fixed barrier
+    cadence makes the composite run re-derivable from the event sequence
+    alone.  Batch sharded traces remain replayable only via ``trace-diff``.
+    """
+    reader = TraceReader(path)
+    if reader.header.get("engine") == "sharded":
+        from ..shard.serve import is_serve_trace, replay_sharded_trace
+
+        if is_serve_trace(reader):
+            return replay_sharded_trace(reader)
+    return ReplayEngine(reader, engine=engine).run()
 
 
 # ----------------------------------------------------------------------

@@ -14,13 +14,16 @@ here produce such event streams:
 * :func:`drive` / :class:`MixedDriver` — run one or several event sources
   (workloads and adversaries share the same per-step interface) against an
   engine,
-* :class:`PoissonArrivals` / arrival traces — wall-clock open-loop arrival
-  schedules for the live service's load generator
+* :class:`PoissonArrivals` / :class:`LogNormalSessions` / arrival traces —
+  wall-clock open-loop arrival schedules for the live service's load
+  generator, optionally modulated by a :class:`DiurnalProfile`
   (:mod:`repro.workloads.arrivals`).
 """
 
 from .arrivals import (
     Arrival,
+    DiurnalProfile,
+    LogNormalSessions,
     PoissonArrivals,
     load_arrival_trace,
     parse_mix,
@@ -44,6 +47,8 @@ __all__ = [
     "MixedDriver",
     "drive",
     "Arrival",
+    "DiurnalProfile",
+    "LogNormalSessions",
     "PoissonArrivals",
     "load_arrival_trace",
     "parse_mix",

@@ -154,7 +154,7 @@ class TestBackpressure:
                 # Pin the queue at "full" so admission (not pump speed)
                 # decides the outcome: the overloaded fast-path must answer
                 # without the request ever reaching the engine.
-                frontend.queue.offer = lambda item: False
+                frontend.queue.offer = lambda item, lane=0: False
                 reader, writer = await connect(frontend)
                 events_before = frontend.session.events_applied
                 response = await rpc(reader, writer, {"op": "join", "id": 1})

@@ -1,16 +1,21 @@
-"""Open-loop arrival schedules: Poisson process, mix parsing, trace files."""
+"""Open-loop arrival schedules: Poisson process, log-normal session
+lifecycles, diurnal modulation, mix parsing, trace files."""
 
 from __future__ import annotations
 
 import json
+import math
 
 import pytest
 
 from repro.errors import ConfigurationError
 from repro.workloads.arrivals import (
     DEFAULT_MIX,
+    DEFAULT_SESSION_MIX,
     MIX_OPERATIONS,
     Arrival,
+    DiurnalProfile,
+    LogNormalSessions,
     PoissonArrivals,
     load_arrival_trace,
     parse_mix,
@@ -70,6 +75,143 @@ class TestPoissonArrivals:
     def test_invalid_construction_rejected(self, kwargs):
         with pytest.raises(ConfigurationError):
             PoissonArrivals(**kwargs)
+
+
+class TestDiurnalProfile:
+    def test_scale_swings_between_trough_and_peak(self):
+        profile = DiurnalProfile(day_length=100.0, amplitude=0.8)
+        assert profile.scale(0.0) == pytest.approx(0.2)
+        assert profile.scale(50.0) == pytest.approx(1.8)
+        assert profile.peak == pytest.approx(1.8)
+
+    def test_mean_scale_over_a_cycle_is_one(self):
+        profile = DiurnalProfile(day_length=10.0, amplitude=0.6)
+        samples = [profile.scale(10.0 * i / 1000) for i in range(1000)]
+        assert sum(samples) / len(samples) == pytest.approx(1.0, abs=1e-6)
+
+    @pytest.mark.parametrize(
+        "kwargs",
+        [
+            {"day_length": 0.0},
+            {"day_length": -1.0},
+            {"day_length": 10.0, "amplitude": 0.0},
+            {"day_length": 10.0, "amplitude": 1.0},
+            {"day_length": 10.0, "amplitude": 1.5},
+        ],
+    )
+    def test_invalid_construction_rejected(self, kwargs):
+        with pytest.raises(ConfigurationError):
+            DiurnalProfile(**kwargs)
+
+    def test_thinned_poisson_is_deterministic_and_rate_preserving(self):
+        profile = DiurnalProfile(day_length=4.0, amplitude=0.8)
+        first = PoissonArrivals(rate=400.0, duration=8.0, seed=6, diurnal=profile)
+        second = PoissonArrivals(rate=400.0, duration=8.0, seed=6, diurnal=profile)
+        arrivals = first.schedule()
+        assert arrivals == second.schedule()
+        # Thinning keeps --rate the cycle average (duration = 2 full cycles).
+        expected = 400.0 * 8.0
+        assert abs(len(arrivals) - expected) < 5 * expected**0.5
+
+    def test_thinning_shapes_the_cycle(self):
+        """More arrivals land mid-cycle (the peak) than at the trough."""
+        profile = DiurnalProfile(day_length=10.0, amplitude=0.8)
+        arrivals = PoissonArrivals(
+            rate=600.0, duration=10.0, seed=2, diurnal=profile
+        ).schedule()
+        trough = sum(1 for a in arrivals if a.at < 2.0 or a.at >= 8.0)
+        peak = sum(1 for a in arrivals if 3.0 <= a.at < 7.0)
+        assert peak > 2 * trough
+
+
+class TestLogNormalSessions:
+    def test_same_seed_same_schedule(self):
+        first = LogNormalSessions(rate=150.0, duration=4.0, seed=7).schedule()
+        second = LogNormalSessions(rate=150.0, duration=4.0, seed=7).schedule()
+        assert first == second
+        assert first != LogNormalSessions(rate=150.0, duration=4.0, seed=8).schedule()
+
+    def test_schedule_is_sorted_with_paired_lifecycles(self):
+        arrivals = LogNormalSessions(
+            rate=200.0, duration=5.0, mean_session=2.0, seed=3
+        ).schedule()
+        times = [a.at for a in arrivals]
+        assert times == sorted(times)
+        joins = sum(1 for a in arrivals if a.op == "join")
+        leaves = sum(1 for a in arrivals if a.op == "leave")
+        assert joins == leaves > 0
+        # Every leave is a session that joined earlier: at every prefix of
+        # the timetable the leave count never exceeds the join count.
+        balance = 0
+        for arrival in arrivals:
+            if arrival.op == "join":
+                balance += 1
+            elif arrival.op == "leave":
+                balance -= 1
+            assert balance >= 0
+        assert balance == 0
+
+    def test_aggregate_rate_is_approximately_honoured(self):
+        rate, duration = 300.0, 6.0
+        generator = LogNormalSessions(
+            rate=rate, duration=duration, mean_session=1.5, sigma=0.8, seed=5
+        )
+        arrivals = generator.schedule()
+        expected = rate * duration
+        # Session lengths add variance beyond the Poisson count, so the
+        # tolerance is looser than the plain-process test's 5 sigma.
+        assert abs(len(arrivals) - expected) < 0.25 * expected
+
+    def test_sessions_extend_past_the_arrival_window(self):
+        """Truncating the tail would defeat a heavy-tail generator."""
+        generator = LogNormalSessions(
+            rate=120.0, duration=3.0, mean_session=4.0, sigma=1.5, seed=9
+        )
+        arrivals = generator.schedule()
+        assert max(a.at for a in arrivals) > 3.0
+
+    def test_session_lengths_are_heavy_tailed(self):
+        """With sigma=1.2 the mean sits far above the median length."""
+        generator = LogNormalSessions(
+            rate=400.0, duration=10.0, mean_session=5.0, sigma=1.2, seed=4
+        )
+        median = math.exp(generator.mu)
+        assert generator.mean_session / median == pytest.approx(
+            math.exp(1.2 * 1.2 / 2.0)
+        )
+        assert generator.mean_session / median > 2.0
+
+    def test_in_session_mix_defaults_to_read_operations(self):
+        generator = LogNormalSessions(rate=50.0, duration=2.0)
+        assert generator.mix == DEFAULT_SESSION_MIX
+        ops = {a.op for a in generator.schedule()}
+        assert ops <= set(DEFAULT_SESSION_MIX) | {"join", "leave"}
+
+    @pytest.mark.parametrize(
+        "kwargs",
+        [
+            {"rate": 0.0, "duration": 1.0},
+            {"rate": 10.0, "duration": 0.0},
+            {"rate": 10.0, "duration": 1.0, "mean_session": 0.0},
+            {"rate": 10.0, "duration": 1.0, "sigma": 0.0},
+            {"rate": 10.0, "duration": 1.0, "op_rate": -1.0},
+            {"rate": 10.0, "duration": 1.0, "mix": {}},
+            {"rate": 10.0, "duration": 1.0, "mix": {"join": 1.0}},
+            {"rate": 10.0, "duration": 1.0, "mix": {"leave": 1.0}},
+            {"rate": 10.0, "duration": 1.0, "mix": {"teleport": 1.0}},
+        ],
+    )
+    def test_invalid_construction_rejected(self, kwargs):
+        with pytest.raises(ConfigurationError):
+            LogNormalSessions(**kwargs)
+
+    def test_schedule_round_trips_through_the_trace_format(self, tmp_path):
+        path = str(tmp_path / "sessions.jsonl")
+        arrivals = LogNormalSessions(
+            rate=100.0, duration=2.0, seed=2, diurnal=DiurnalProfile(day_length=2.0)
+        ).schedule()
+        save_arrival_trace(path, arrivals)
+        assert load_arrival_trace(path) == arrivals
 
 
 class TestParseMix:
